@@ -1,0 +1,61 @@
+// Command dvsexp regenerates the paper's tables and figures (see
+// DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dvsexp -exp f3            # one experiment
+//	dvsexp -exp all           # the whole evaluation
+//	dvsexp -exp t2 -csv       # CSV output for post-processing
+//	dvsexp -exp f3 -quick     # reduced replication for a fast look
+//	dvsexp -list              # list experiment IDs
+//
+// Experiment IDs: t1 f3 f4 f5 t2 f6 f7 t3 t4 f8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvsslack/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (t1, f3, f4, f5, t2, f6, f7, t3, t4, f8) or 'all'")
+		quick = flag.Bool("quick", false, "reduced replication count for a fast run")
+		seeds = flag.Int("seeds", 0, "override the number of random task sets per point")
+		seed0 = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
+		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiment.Options{Quick: *quick, Seeds: *seeds, Seed0: *seed0}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.IDs()
+	}
+	for _, id := range ids {
+		r, err := experiment.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsexp: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			r.PrintCSV(os.Stdout)
+		} else {
+			r.Print(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command dvssim runs a single DVS-EDF simulation and reports the
+// energy breakdown, optionally with a Gantt chart of the schedule.
+//
+// Usage:
+//
+//	dvssim -policy lpshe -n 8 -u 0.7 -ratio 0.5
+//	dvssim -policy all -taskset cnc -gantt
+//	dvssim -policy dra -file tasks.json -levels "0.25,0.5,0.75,1"
+//	dvssim -policy lpshe -u 0.9 -switch-time 0.1
+//
+// Built-in task sets: cnc, avionics, videophone, quickstart; -n/-u
+// generate a random set instead; -file loads JSON (see cmd/taskgen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/trace"
+	"dvsslack/internal/workload"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "lpshe", "policy: nondvs, static, lpps, cc, la, dra, lpshe, greedy, or 'all'")
+		name    = flag.String("taskset", "", "built-in task set: cnc, avionics, videophone, quickstart")
+		file    = flag.String("file", "", "task-set JSON file (overrides -taskset)")
+		n       = flag.Int("n", 8, "number of tasks for random generation")
+		u       = flag.Float64("u", 0.7, "worst-case utilization for random generation")
+		ratio   = flag.Float64("ratio", 0.5, "BCET/WCET ratio: AET ~ U[ratio,1]*WCET")
+		seed    = flag.Uint64("seed", 1, "random seed (task set and workload)")
+		smin    = flag.Float64("smin", 0.1, "minimum processor speed")
+		levels  = flag.String("levels", "", "comma-separated discrete speed levels (last must be 1)")
+		swTime  = flag.Float64("switch-time", 0, "speed transition stall time")
+		swCoef  = flag.Float64("switch-energy", 0, "transition energy coefficient")
+		horizon = flag.Float64("horizon", 0, "simulation length (0 = one hyperperiod)")
+		gantt   = flag.Bool("gantt", false, "print a Gantt chart of the schedule")
+		strict  = flag.Bool("strict", true, "fail on the first deadline miss")
+	)
+	flag.Parse()
+
+	ts, err := loadTaskSet(*file, *name, *n, *u, *seed)
+	if err != nil {
+		fail(err)
+	}
+	proc, err := buildProcessor(*smin, *levels)
+	if err != nil {
+		fail(err)
+	}
+	proc.SwitchTime = *swTime
+	proc.SwitchEnergyCoeff = *swCoef
+
+	gen := workload.Uniform{Lo: *ratio, Hi: 1, Seed: *seed}
+	fmt.Printf("task set %s: %d tasks, U=%.3f, hyperperiod=%s\n",
+		ts.Name, ts.N(), ts.Utilization(), hyperStr(ts))
+	fmt.Printf("processor: %s  workload: %s\n\n", proc.Name(), gen.Name())
+
+	pols, err := policies(*policy)
+	if err != nil {
+		fail(err)
+	}
+	var ref sim.Result
+	for i, p := range pols {
+		rec := trace.NewRecorder()
+		res, err := sim.Run(sim.Config{
+			TaskSet:         ts,
+			Processor:       proc,
+			Policy:          p,
+			Workload:        gen,
+			Horizon:         *horizon,
+			StrictDeadlines: *strict,
+			Observer:        rec,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if i == 0 {
+			ref = res
+		}
+		fmt.Printf("%-12s energy=%10.4f (busy %9.4f idle %8.4f switch %8.4f)"+
+			" norm=%6.4f misses=%d switches=%d preempt=%d\n",
+			res.Policy, res.Energy, res.BusyEnergy, res.IdleEnergy, res.SwitchEnergy,
+			res.NormalizedTo(ref), res.DeadlineMisses, res.SpeedSwitches, res.Preemptions)
+		if *gantt {
+			var names []string
+			for _, t := range ts.Tasks {
+				names = append(names, t.Name)
+			}
+			rec.Gantt(os.Stdout, names, res.Time, 96)
+			fmt.Println()
+		}
+	}
+	bound := dvs.Bound(ts, proc, gen, pickHorizon(*horizon, ts))
+	if ref.Energy > 0 {
+		fmt.Printf("\nclairvoyant static bound: %.4f (normalized %.4f)\n", bound, bound/ref.Energy)
+	}
+}
+
+func pickHorizon(h float64, ts *rtm.TaskSet) float64 {
+	if h > 0 {
+		return h
+	}
+	return sim.DefaultHorizon(ts)
+}
+
+func hyperStr(ts *rtm.TaskSet) string {
+	if h, ok := ts.Hyperperiod(); ok {
+		return fmt.Sprintf("%g", h)
+	}
+	return "unknown"
+}
+
+func loadTaskSet(file, name string, n int, u float64, seed uint64) (*rtm.TaskSet, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rtm.ReadJSON(f)
+	}
+	switch name {
+	case "cnc":
+		return rtm.CNC(), nil
+	case "avionics":
+		return rtm.Avionics(), nil
+	case "videophone":
+		return rtm.Videophone(), nil
+	case "quickstart":
+		return rtm.Quickstart(), nil
+	case "":
+		return rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+	default:
+		return nil, fmt.Errorf("unknown task set %q", name)
+	}
+}
+
+func buildProcessor(smin float64, levels string) (*cpu.Processor, error) {
+	if levels == "" {
+		return cpu.Continuous(smin), nil
+	}
+	var speeds []float64
+	for _, part := range strings.Split(levels, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q: %v", part, err)
+		}
+		speeds = append(speeds, v)
+	}
+	return cpu.WithLevels(speeds...)
+}
+
+func policies(spec string) ([]sim.Policy, error) {
+	mk := map[string]func() sim.Policy{
+		"nondvs": func() sim.Policy { return &dvs.NonDVS{} },
+		"static": func() sim.Policy { return &dvs.StaticEDF{} },
+		"lpps":   func() sim.Policy { return &dvs.LppsEDF{} },
+		"cc":     func() sim.Policy { return &dvs.CCEDF{} },
+		"la":     func() sim.Policy { return &dvs.LAEDF{} },
+		"dra":    func() sim.Policy { return &dvs.DRA{} },
+		"lpshe":  func() sim.Policy { return core.NewLpSHE() },
+		"greedy": func() sim.Policy { return core.NewLpSHEVariant(core.Greedy) },
+	}
+	if spec == "all" {
+		order := []string{"nondvs", "static", "lpps", "cc", "la", "dra", "lpshe"}
+		var out []sim.Policy
+		for _, k := range order {
+			out = append(out, mk[k]())
+		}
+		return out, nil
+	}
+	var out []sim.Policy
+	out = append(out, mk["nondvs"]()) // normalization reference first
+	if spec != "nondvs" {
+		f, ok := mk[spec]
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q", spec)
+		}
+		out = append(out, f())
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dvssim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command taskgen emits periodic task sets as JSON for use with
+// dvssim -file or external tooling.
+//
+// Usage:
+//
+//	taskgen -n 8 -u 0.7 -seed 3            # random (UUniFast) set
+//	taskgen -taskset avionics              # built-in benchmark set
+//	taskgen -n 5 -u 0.9 -periods "10,20,40"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dvsslack/internal/rtm"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 8, "number of tasks")
+		u       = flag.Float64("u", 0.7, "worst-case utilization")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		name    = flag.String("taskset", "", "emit a built-in set: cnc, avionics, videophone, quickstart")
+		periods = flag.String("periods", "", "comma-separated period pool (default: built-in pool)")
+	)
+	flag.Parse()
+
+	var (
+		ts  *rtm.TaskSet
+		err error
+	)
+	switch *name {
+	case "cnc":
+		ts = rtm.CNC()
+	case "avionics":
+		ts = rtm.Avionics()
+	case "videophone":
+		ts = rtm.Videophone()
+	case "quickstart":
+		ts = rtm.Quickstart()
+	case "":
+		cfg := rtm.DefaultGenConfig(*n, *u, *seed)
+		if *periods != "" {
+			cfg.Periods, err = parsePeriods(*periods)
+			if err != nil {
+				fail(err)
+			}
+		}
+		ts, err = rtm.Generate(cfg)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown task set %q", *name))
+	}
+	if err := ts.WriteJSON(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func parsePeriods(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad period %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// CNC: the machine-controller benchmark from the paper family's
+// evaluation. Runs the full policy suite on the CNC task set with a
+// bursty (bimodal) workload — the fast common path of a control loop
+// with occasional heavy iterations — and prints the energy
+// comparison plus a Gantt excerpt of the lpSHE schedule.
+//
+//	go run ./examples/cnc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/trace"
+	"dvsslack/internal/workload"
+)
+
+func main() {
+	ts := rtm.CNC()
+	// Control iterations: usually 30% of WCET, occasionally (10%)
+	// the full worst case.
+	wl := workload.Bimodal{LightFrac: 0.3, HeavyFrac: 1.0, PHeavy: 0.1, Seed: 7}
+	proc := cpu.Continuous(0.1)
+
+	fmt.Printf("CNC controller: %d tasks, U=%.3f, hyperperiod %.1f ms\n\n",
+		ts.N(), ts.Utilization(), mustHyper(ts))
+
+	policies := []sim.Policy{
+		&dvs.NonDVS{}, &dvs.StaticEDF{}, &dvs.LppsEDF{},
+		&dvs.CCEDF{}, &dvs.LAEDF{}, &dvs.DRA{}, core.NewLpSHE(),
+	}
+	var ref sim.Result
+	for i, p := range policies {
+		res, err := sim.Run(sim.Config{
+			TaskSet:         ts,
+			Processor:       proc,
+			Policy:          p,
+			Workload:        wl,
+			StrictDeadlines: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+		}
+		fmt.Printf("%-10s normalized energy %.4f  switches/job %.2f\n",
+			res.Policy, res.NormalizedTo(ref),
+			float64(res.SpeedSwitches)/float64(res.JobsCompleted))
+	}
+
+	// One hyperperiod of the lpSHE schedule, as a Gantt chart.
+	fmt.Printf("\nlpSHE schedule, first hyperperiod (speed in tenths):\n")
+	rec := trace.NewRecorder()
+	if _, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    core.NewLpSHE(),
+		Workload:  wl,
+		Horizon:   mustHyper(ts),
+		Observer:  rec,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	for _, t := range ts.Tasks {
+		names = append(names, t.Name)
+	}
+	rec.Gantt(os.Stdout, names, mustHyper(ts), 90)
+}
+
+func mustHyper(ts *rtm.TaskSet) float64 {
+	h, ok := ts.Hyperperiod()
+	if !ok {
+		log.Fatal("hyperperiod not computable")
+	}
+	return h
+}

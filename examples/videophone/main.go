@@ -1,0 +1,78 @@
+// Videophone: a soft-realtime-flavored workload on hard guarantees.
+// Video frames vary smoothly in complexity (sinusoidal AET pattern,
+// as scene content drifts), audio is nearly constant. The example
+// shows per-task energy behavior and how the slack analysis converts
+// frame-complexity troughs into low-speed intervals, and compares
+// discrete (XScale-like) against continuous speed scaling.
+//
+//	go run ./examples/videophone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// videoWorkload drives the two video tasks with a slow sinusoidal
+// complexity drift and the audio tasks with near-constant demand.
+type videoWorkload struct {
+	video workload.Sinusoidal
+	audio workload.Normal
+}
+
+func (w videoWorkload) AET(task, index int, wcet float64) float64 {
+	if task <= 1 { // video_encode, video_decode
+		return w.video.AET(task, index, wcet)
+	}
+	return w.audio.AET(task, index, wcet)
+}
+
+func (w videoWorkload) Name() string { return "videophone(sin video + normal audio)" }
+
+func main() {
+	ts := rtm.Videophone()
+	wl := videoWorkload{
+		video: workload.Sinusoidal{Mean: 0.6, Amp: 0.3, PeriodJobs: 90, Jitter: 0.05, Seed: 11},
+		audio: workload.Normal{Mean: 0.8, StdDev: 0.05, Seed: 12},
+	}
+
+	fmt.Printf("videophone: %d tasks, U=%.3f\n\n", ts.N(), ts.Utilization())
+	fmt.Println("processor        policy      normalized-energy  misses")
+	for _, pc := range []struct {
+		name string
+		proc *cpu.Processor
+	}{
+		{"continuous", cpu.Continuous(0.1)},
+		{"xscale (5 lv)", cpu.XScale()},
+		{"uniform4", cpu.UniformLevels(4)},
+	} {
+		ref, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: pc.proc, Policy: &dvs.NonDVS{},
+			Workload: wl, Horizon: 264 * 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range []sim.Policy{&dvs.StaticEDF{}, core.NewLpSHE()} {
+			res, err := sim.Run(sim.Config{
+				TaskSet: ts, Processor: pc.proc, Policy: p,
+				Workload: wl, Horizon: 264 * 20, StrictDeadlines: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %-12s %12.4f %10d\n",
+				pc.name, res.Policy, res.NormalizedTo(ref), res.DeadlineMisses)
+		}
+	}
+
+	fmt.Println("\nall deadlines met: the hard guarantee holds even though the")
+	fmt.Println("workload itself is multimedia-shaped (drifting frame complexity).")
+}

@@ -1,0 +1,126 @@
+package dvsslack
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeSurface exercises the re-exported API end to end: task
+// construction, generation, analysis, all policy constructors,
+// wrappers, bounds, and the experiment registry.
+func TestFacadeSurface(t *testing.T) {
+	ts, err := GenerateTaskSet(GenConfig{N: 5, Utilization: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EDFSchedulable(ts) {
+		t.Fatal("generated set should be EDF-schedulable")
+	}
+	if s := MinConstantSpeed(ts); math.Abs(s-0.6) > 1e-9 {
+		t.Errorf("MinConstantSpeed = %v, want 0.6", s)
+	}
+
+	proc := ContinuousProcessor(0.1)
+	wl := UniformWorkload(0.4, 1, 4)
+	policies := []Policy{
+		NewNonDVS(), NewStaticEDF(), NewLppsEDF(), NewCCEDF(),
+		NewLAEDF(), NewDRA(), NewFeedbackEDF(), NewLpSHE(),
+		WithOverheadGuard(NewLpSHE()),
+	}
+	var ref Result
+	for i, p := range policies {
+		res, err := Simulate(Config{TaskSet: ts, Processor: proc, Policy: p, Workload: wl})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Errorf("%s: misses", p.Name())
+		}
+		if i == 0 {
+			ref = res
+		} else if res.Energy > ref.Energy*1.0001 {
+			t.Errorf("%s exceeds non-DVS energy", p.Name())
+		}
+	}
+
+	horizon := ref.Time
+	flat := EnergyBound(ts, proc, wl, horizon)
+	yds, err := OptimalEnergy(ts, proc, wl, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat > yds+1e-9 {
+		t.Errorf("flat bound %v above YDS %v", flat, yds)
+	}
+	if yds > ref.Energy {
+		t.Errorf("YDS %v above non-DVS %v", yds, ref.Energy)
+	}
+}
+
+func TestFacadeDiscreteAndDual(t *testing.T) {
+	proc, err := DiscreteProcessor(0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := CNCTaskSet()
+	wl := UniformWorkload(0.5, 1, 2)
+	up, err := Simulate(Config{TaskSet: ts, Processor: proc, Policy: NewLpSHE(), Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Simulate(Config{TaskSet: ts, Processor: proc, Policy: WithDualLevel(NewLpSHE()), Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.DeadlineMisses != 0 || dual.DeadlineMisses != 0 {
+		t.Fatal("misses on discrete processor")
+	}
+	if dual.Energy > up.Energy*1.0001 {
+		t.Errorf("dual-level %v should not exceed quantize-up %v", dual.Energy, up.Energy)
+	}
+}
+
+func TestFacadeBenchmarkSets(t *testing.T) {
+	for _, ts := range []*TaskSet{CNCTaskSet(), AvionicsTaskSet(), VideophoneTaskSet()} {
+		if err := ts.Validate(); err != nil {
+			t.Errorf("%s: %v", ts.Name, err)
+		}
+	}
+}
+
+func TestFacadeFixedPriority(t *testing.T) {
+	ts := NewTaskSet("rm",
+		NewTask("fast", 1, 4),
+		NewTask("slow", 2, 12),
+	)
+	if !RMSchedulable(ts) {
+		t.Fatal("set should pass RTA")
+	}
+	res, err := Simulate(Config{
+		TaskSet:         ts,
+		Processor:       ContinuousProcessor(0.1),
+		Policy:          NewNonDVS(),
+		FixedPriorities: RateMonotonicPriorities(ts),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Error("RM-schedulable set missed deadlines in simulation")
+	}
+}
+
+func TestFacadeExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("expected at least 10 experiments, got %v", ids)
+	}
+	// Spot-run the cheapest one through the facade.
+	r, err := RunExperiment("t1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) == 0 {
+		t.Error("t1 produced no tables")
+	}
+}

@@ -1,0 +1,3 @@
+module dvsslack
+
+go 1.22

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/rtm"
+)
+
+func twoTask() *rtm.TaskSet {
+	return rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 4},
+		rtm.Task{WCET: 2, Period: 6},
+	)
+}
+
+func TestDemandBound(t *testing.T) {
+	ts := twoTask()
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0},
+		{3.9, 0},
+		{4, 1},   // first deadline of T1
+		{6, 3},   // plus first deadline of T2
+		{8, 4},   // second T1 deadline
+		{12, 7},  // T1 x3 + T2 x2
+		{24, 14}, // one hyperperiod: T1 x6 + T2 x4
+	}
+	for _, c := range cases {
+		if got := DemandBound(ts, c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("dbf(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDemandBoundConstrainedDeadline(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 1, Period: 10, Deadline: 3})
+	if got := DemandBound(ts, 2.9); got != 0 {
+		t.Errorf("dbf(2.9) = %v, want 0", got)
+	}
+	if got := DemandBound(ts, 3); got != 1 {
+		t.Errorf("dbf(3) = %v, want 1", got)
+	}
+	if got := DemandBound(ts, 13); got != 2 {
+		t.Errorf("dbf(13) = %v, want 2", got)
+	}
+}
+
+func TestEDFSchedulableImplicit(t *testing.T) {
+	if !EDFSchedulable(twoTask()) {
+		t.Error("U = 7/12 should be schedulable")
+	}
+	over := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 3, Period: 4},
+		rtm.Task{WCET: 2, Period: 6},
+	)
+	if EDFSchedulable(over) {
+		t.Error("U > 1 should not be schedulable")
+	}
+	full := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 2, Period: 4},
+		rtm.Task{WCET: 3, Period: 6},
+	)
+	if !EDFSchedulable(full) {
+		t.Error("U = 1 implicit deadlines should be schedulable")
+	}
+}
+
+func TestEDFSchedulableConstrained(t *testing.T) {
+	// Classic infeasible constrained case despite U < 1:
+	// two tasks both needing completion within tight deadlines.
+	bad := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 2, Period: 10, Deadline: 3},
+		rtm.Task{WCET: 2, Period: 10, Deadline: 3},
+	)
+	if EDFSchedulable(bad) {
+		t.Error("dbf(3) = 4 > 3 should be unschedulable")
+	}
+	good := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 10, Deadline: 3},
+		rtm.Task{WCET: 2, Period: 10, Deadline: 3},
+	)
+	if !EDFSchedulable(good) {
+		t.Error("dbf(3) = 3 <= 3 should be schedulable")
+	}
+}
+
+func TestBusyPeriod(t *testing.T) {
+	ts := twoTask() // W(t): t=3 -> 1+2=3 fixed point
+	bp, ok := BusyPeriod(ts)
+	if !ok {
+		t.Fatal("busy period should converge for U < 1")
+	}
+	if math.Abs(bp-3) > 1e-9 {
+		t.Errorf("busy period = %v, want 3", bp)
+	}
+	full := rtm.NewTaskSet("x", rtm.Task{WCET: 4, Period: 4})
+	if _, ok := BusyPeriod(full); ok {
+		t.Error("busy period at U = 1 should report not-ok")
+	}
+}
+
+func TestMinConstantSpeed(t *testing.T) {
+	ts := twoTask()
+	if s := MinConstantSpeed(ts); math.Abs(s-ts.Utilization()) > 1e-12 {
+		t.Errorf("implicit-deadline min speed = %v, want U = %v", s, ts.Utilization())
+	}
+	constrained := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 2, Period: 10, Deadline: 4},
+	)
+	// dbf(4)/4 = 0.5 > U = 0.2.
+	if s := MinConstantSpeed(constrained); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("constrained min speed = %v, want 0.5", s)
+	}
+}
+
+func TestCheckPoints(t *testing.T) {
+	ts := twoTask()
+	pts := CheckPoints(ts, 12)
+	want := []float64{4, 6, 8, 12}
+	if len(pts) != len(want) {
+		t.Fatalf("checkpoints = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("checkpoints = %v, want %v", pts, want)
+		}
+	}
+}
+
+// Property: the demand bound never exceeds utilization*t + sum(C),
+// and EDF schedulability at U <= 1 holds for implicit deadlines.
+func TestDemandBoundEnvelope(t *testing.T) {
+	f := func(seed uint64, x uint16) bool {
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(4, 0.8, seed))
+		tt := float64(x) / 16
+		dbf := DemandBound(ts, tt)
+		env := ts.Utilization()*tt + ts.TotalWCET()
+		return dbf <= env+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dbf is monotone non-decreasing in t.
+func TestDemandBoundMonotone(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(6, 0.9, 5))
+	prev := 0.0
+	for x := 0.0; x < 500; x += 0.5 {
+		d := DemandBound(ts, x)
+		if d < prev-1e-12 {
+			t.Fatalf("dbf decreased at %v: %v < %v", x, d, prev)
+		}
+		prev = d
+	}
+}

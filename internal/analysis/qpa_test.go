@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/prng"
+	"dvsslack/internal/rtm"
+)
+
+func TestQPAKnownCases(t *testing.T) {
+	cases := []struct {
+		name string
+		ts   *rtm.TaskSet
+		want bool
+	}{
+		{"implicit feasible", rtm.NewTaskSet("x",
+			rtm.Task{WCET: 1, Period: 4},
+			rtm.Task{WCET: 2, Period: 6}), true},
+		{"overloaded", rtm.NewTaskSet("x",
+			rtm.Task{WCET: 3, Period: 4},
+			rtm.Task{WCET: 2, Period: 6}), false},
+		{"constrained infeasible", rtm.NewTaskSet("x",
+			rtm.Task{WCET: 2, Period: 10, Deadline: 3},
+			rtm.Task{WCET: 2, Period: 10, Deadline: 3}), false},
+		{"constrained feasible", rtm.NewTaskSet("x",
+			rtm.Task{WCET: 1, Period: 10, Deadline: 3},
+			rtm.Task{WCET: 2, Period: 10, Deadline: 3}), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := QPA(c.ts); got != c.want {
+				t.Errorf("QPA = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestQPAMatchesCheckpointScan is the defining property: QPA and the
+// exhaustive processor-demand scan agree on every random
+// constrained-deadline task set.
+func TestQPAMatchesCheckpointScan(t *testing.T) {
+	f := func(seed uint64, nRaw, uRaw uint8) bool {
+		n := 1 + int(nRaw)%8
+		u := 0.3 + 0.7*float64(uRaw)/255
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		// Tighten deadlines randomly into [WCET, T].
+		src := prng.New(seed ^ 0x51)
+		for i := range ts.Tasks {
+			task := &ts.Tasks[i]
+			task.Deadline = task.WCET + src.Float64()*(task.Period-task.WCET)
+		}
+		return QPA(ts) == EDFSchedulable(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestDeadlineBelow(t *testing.T) {
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 4},               // deadlines 4, 8, 12...
+		rtm.Task{WCET: 1, Period: 10, Deadline: 7}, // deadlines 7, 17, 27...
+	)
+	cases := []struct{ limit, want float64 }{
+		{20, 17},
+		{17, 16},
+		{8, 7},
+		{7, 4},
+		{4, 0},
+		{3, 0},
+	}
+	for _, c := range cases {
+		if got := largestDeadlineBelow(ts, c.limit); got != c.want {
+			t.Errorf("largestDeadlineBelow(%v) = %v, want %v", c.limit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"dvsslack/internal/rtm"
+)
+
+// Fixed-priority (rate-monotonic) analysis. The paper targets
+// dynamic priorities (EDF), but its simulator substrate — like
+// SimDVS — also schedules fixed priorities; this file provides the
+// classical companion analysis: rate/deadline-monotonic priority
+// assignment, exact response-time analysis (Joseph & Pandya; Audsley
+// et al.), and the Liu & Layland utilization bound.
+
+// RateMonotonicPriorities assigns priorities by increasing period
+// (shorter period = more urgent = smaller value). Ties break by task
+// index. The result plugs into sim.Config.FixedPriorities.
+func RateMonotonicPriorities(ts *rtm.TaskSet) []int {
+	return priorityOrder(ts, func(t rtm.Task) float64 { return t.Period })
+}
+
+// DeadlineMonotonicPriorities assigns priorities by increasing
+// relative deadline — optimal for constrained-deadline fixed-priority
+// scheduling (Leung & Whitehead).
+func DeadlineMonotonicPriorities(ts *rtm.TaskSet) []int {
+	return priorityOrder(ts, func(t rtm.Task) float64 { return t.RelDeadline() })
+}
+
+func priorityOrder(ts *rtm.TaskSet, key func(rtm.Task) float64) []int {
+	idx := make([]int, ts.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return key(ts.Tasks[idx[a]]) < key(ts.Tasks[idx[b]])
+	})
+	prio := make([]int, ts.N())
+	for rank, task := range idx {
+		prio[task] = rank
+	}
+	return prio
+}
+
+// ResponseTimes computes the worst-case response time of every task
+// under preemptive fixed-priority scheduling with the given priority
+// assignment (lower value = higher priority), by the standard
+// fixed-point iteration
+//
+//	R = C_i + Σ_{j ∈ hp(i)} ceil(R/T_j)·C_j.
+//
+// The iteration for a task is abandoned (response time +Inf) when R
+// exceeds the task's period — the analysis covers the common
+// D ≤ T case, where a response beyond the period means the task is
+// unschedulable anyway. ok reports whether every task converged with
+// R_i ≤ D_i.
+//
+// Release jitter J_j of interfering tasks is accounted with the
+// standard ceil((R+J_j)/T_j) inflation, and a task's own jitter adds
+// to its response time relative to the nominal release.
+func ResponseTimes(ts *rtm.TaskSet, priorities []int) (r []float64, ok bool) {
+	n := ts.N()
+	r = make([]float64, n)
+	ok = true
+	for i := 0; i < n; i++ {
+		ri := respTime(ts, priorities, i)
+		r[i] = ri
+		if ri > ts.Tasks[i].RelDeadline()+1e-9 {
+			ok = false
+		}
+	}
+	return r, ok
+}
+
+func respTime(ts *rtm.TaskSet, priorities []int, i int) float64 {
+	ti := ts.Tasks[i]
+	r := ti.WCET
+	for iter := 0; iter < 10000; iter++ {
+		w := ti.WCET
+		for j, tj := range ts.Tasks {
+			if j == i || priorities[j] >= priorities[i] {
+				continue
+			}
+			w += math.Ceil((r+tj.Jitter)/tj.Period) * tj.WCET
+		}
+		if math.Abs(w-r) < 1e-9 {
+			return w + ti.Jitter
+		}
+		r = w
+		if r > ti.Period {
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// RMSchedulable reports whether the task set is schedulable under
+// rate-monotonic priorities on a unit-speed processor, by exact
+// response-time analysis.
+func RMSchedulable(ts *rtm.TaskSet) bool {
+	_, ok := ResponseTimes(ts, RateMonotonicPriorities(ts))
+	return ok
+}
+
+// RMUtilizationBound returns the Liu & Layland sufficient bound
+// n·(2^{1/n} − 1) for n tasks.
+func RMUtilizationBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/rtm"
+)
+
+func TestRateMonotonicPriorities(t *testing.T) {
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 30},
+		rtm.Task{WCET: 1, Period: 10},
+		rtm.Task{WCET: 1, Period: 20},
+	)
+	got := RateMonotonicPriorities(ts)
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priorities = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeadlineMonotonicPriorities(t *testing.T) {
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 10, Deadline: 9},
+		rtm.Task{WCET: 1, Period: 20, Deadline: 4},
+	)
+	got := DeadlineMonotonicPriorities(ts)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("priorities = %v, want [1 0]", got)
+	}
+}
+
+func TestResponseTimesClassicExample(t *testing.T) {
+	// The textbook Liu & Layland / RTA example:
+	// T1 = (1, 4), T2 = (2, 6), T3 = (3, 13) under RM.
+	// R1 = 1; R2 = 1 + 2 = 3; R3: 3+... iterate:
+	// R3 = 3 + ceil(R/4)*1 + ceil(R/6)*2; R=3 -> 3+1+2=6 ->
+	// 3+2+2=7 -> 3+2+4=9 -> 3+3+4=10 -> 3+3+4=10. R3 = 10 <= 13.
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 4},
+		rtm.Task{WCET: 2, Period: 6},
+		rtm.Task{WCET: 3, Period: 13},
+	)
+	r, ok := ResponseTimes(ts, RateMonotonicPriorities(ts))
+	if !ok {
+		t.Fatal("set should be RM-schedulable")
+	}
+	want := []float64{1, 3, 10}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-9 {
+			t.Errorf("R%d = %v, want %v", i+1, r[i], want[i])
+		}
+	}
+}
+
+func TestRMSchedulabilityBoundary(t *testing.T) {
+	// U = 1 with non-harmonic periods is not RM-schedulable ...
+	bad := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 2, Period: 4},
+		rtm.Task{WCET: 3, Period: 6},
+	)
+	if RMSchedulable(bad) {
+		t.Error("U=1 non-harmonic should fail RM")
+	}
+	// ... but harmonic periods schedule up to U = 1.
+	harmonic := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 2, Period: 4},
+		rtm.Task{WCET: 4, Period: 8},
+	)
+	if !RMSchedulable(harmonic) {
+		t.Error("harmonic U=1 should pass RM")
+	}
+}
+
+func TestRMUtilizationBound(t *testing.T) {
+	if b := RMUtilizationBound(1); math.Abs(b-1) > 1e-12 {
+		t.Errorf("bound(1) = %v, want 1", b)
+	}
+	if b := RMUtilizationBound(2); math.Abs(b-0.828427) > 1e-5 {
+		t.Errorf("bound(2) = %v, want ~0.8284", b)
+	}
+	if b := RMUtilizationBound(100); b < 0.693 || b > 0.70 {
+		t.Errorf("bound(100) = %v, want ~ln 2", b)
+	}
+	if RMUtilizationBound(0) != 0 {
+		t.Error("bound(0) should be 0")
+	}
+}
+
+// Property: any set below the Liu & Layland bound passes exact RTA.
+func TestBoundImpliesRTA(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%6
+		u := RMUtilizationBound(n) * 0.95
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		return RMSchedulable(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseTimesWithJitter(t *testing.T) {
+	// Interfering jitter inflates lower-priority response times.
+	base := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 4},
+		rtm.Task{WCET: 1, Period: 10},
+	)
+	jittered := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 4, Jitter: 3},
+		rtm.Task{WCET: 1, Period: 10},
+	)
+	rBase, _ := ResponseTimes(base, RateMonotonicPriorities(base))
+	rJit, _ := ResponseTimes(jittered, RateMonotonicPriorities(jittered))
+	if rJit[1] <= rBase[1] {
+		t.Errorf("jitter should inflate R2: %v vs %v", rJit[1], rBase[1])
+	}
+}

@@ -1,0 +1,344 @@
+// Package core implements the paper's primary contribution: online
+// slack-time analysis for EDF-scheduled periodic hard real-time task
+// sets, and the DVS policy (lpSHE) that converts the analyzed slack
+// into the execution speed of the current job.
+//
+// # Slack-time analysis
+//
+// At time t, let h(t, d) be the worst-case work that must finish by
+// deadline d:
+//
+//	h(t, d) = Σ RemainingWCET(J)   over released, incomplete jobs J
+//	                               with AbsDeadline(J) ≤ d
+//	        + Σ WCET(F)            over future jobs F released at or
+//	                               after t with AbsDeadline(F) ≤ d.
+//
+// The system slack is
+//
+//	L(t) = min over deadlines d in (t, t+H]  of  ( d − t − h(t, d) ),
+//
+// the largest amount of extra wall-clock time the processor can give
+// to the earliest-deadline job (or spend idling) without any current
+// or future deadline becoming infeasible at full speed. The three
+// classical slack sources are special cases: static slack (U < 1),
+// reclaimed slack (early-completed jobs simply vanish from h), and
+// idle-interval look-ahead slack (gaps before future releases).
+//
+// # Soundness
+//
+// Invariant I(t): h(t, d) ≤ d − t for every deadline d. I(0) holds
+// iff the task set is EDF-feasible at full speed. If the current job
+// with remaining worst-case work w runs at s = w/(w+L(t)), then for
+// any elapsed x ≤ w/s the work done is x·s, so
+// h(t+x, d) ≤ h(t, d) − x·s ≤ (d − t) − L − x·s ≤ d − (t+x),
+// using x(1−s) ≤ (w/s)(1−s) = L. Hence I is preserved at every
+// instant, through preemptions and recomputations, and EDF at the
+// selected speeds never misses a deadline. The property-based tests
+// in this module fuzz exactly this claim.
+//
+// # Termination of the scan
+//
+// Deadlines are scanned in increasing order. Two sound cutoffs bound
+// the scan:
+//
+//  1. Hyperperiod periodicity: let d* = max_i(first future deadline
+//     of task i) + H, with H the hyperperiod. Every deadline beyond
+//     d* lies exactly H after another deadline of the same task, and
+//     past d* − H all release streams are in steady state, so
+//     h(t, d) = h(t, d−H) + U·H and the slack at d exceeds the slack
+//     at d−H by (1−U)·H ≥ 0. The minimum over all deadlines is
+//     therefore attained in (t, d*], a window of at most three
+//     hyperperiods.
+//  2. Utilization lower bound: h(t, d) ≤ R + U·(d−t) + C_Σ where R is
+//     the total remaining work of active jobs and C_Σ = ΣCᵢ, so once
+//     (d−t)(1−U) − R − C_Σ exceeds the minimum found so far no later
+//     deadline can lower it.
+//
+// If a configured scan budget is exhausted before either cutoff
+// applies, the analyzer returns a conservative (smaller) slack value
+// that remains sound: min(found, max(0, bound-at-cutoff)).
+package core
+
+import (
+	"math"
+
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+)
+
+// Analyzer performs slack-time analysis for one task set. It is
+// stateless with respect to the simulation (all dynamic state arrives
+// through the Slack arguments) and reusable across runs; the counters
+// are the only mutable fields.
+type Analyzer struct {
+	ts       *rtm.TaskSet
+	util     float64 // worst-case utilization
+	totalC   float64 // ΣCi
+	hyper    float64 // hyperperiod, 0 when unknown
+	maxScan  int     // hard cap on scanned deadlines per call
+	phantoms []phantom
+
+	// instrumentation
+	calls   float64
+	scanned float64
+	capped  float64
+}
+
+// phantom is synthetic demand used by the no-reclaim ablation: the
+// unused worst-case allowance of an early-completed job, kept until
+// its deadline passes.
+type phantom struct {
+	deadline float64
+	rem      float64
+}
+
+// DefaultMaxScan bounds the number of deadlines examined per
+// analysis; it is far above what the cutoffs need for any workload in
+// the evaluation and exists only as a safety valve (exceeding it
+// degrades slack to a conservative value, never soundness).
+const DefaultMaxScan = 1 << 20
+
+// NewAnalyzer builds an Analyzer for ts.
+func NewAnalyzer(ts *rtm.TaskSet) *Analyzer {
+	a := &Analyzer{ts: ts, maxScan: DefaultMaxScan}
+	a.util = ts.Utilization()
+	a.totalC = ts.TotalWCET()
+	if h, ok := ts.Hyperperiod(); ok {
+		a.hyper = h
+	}
+	return a
+}
+
+// SetMaxScan overrides the per-call deadline scan budget (used by the
+// truncated-horizon ablation). Values < 1 restore the default.
+func (a *Analyzer) SetMaxScan(n int) {
+	if n < 1 {
+		n = DefaultMaxScan
+	}
+	a.maxScan = n
+}
+
+// AddPhantom registers phantom demand (no-reclaim ablation).
+func (a *Analyzer) AddPhantom(deadline, rem float64) {
+	if rem > 0 {
+		a.phantoms = append(a.phantoms, phantom{deadline: deadline, rem: rem})
+	}
+}
+
+// Counters exposes instrumentation for the overhead experiments.
+func (a *Analyzer) Counters() map[string]float64 {
+	return map[string]float64{
+		"slack_calls":          a.calls,
+		"slack_scanned":        a.scanned,
+		"slack_budget_capped":  a.capped,
+		"slack_avg_scan_len":   safeDiv(a.scanned, a.calls),
+		"slack_phantom_buffer": float64(len(a.phantoms)),
+	}
+}
+
+// ResetCounters zeroes instrumentation and drops phantom demand.
+func (a *Analyzer) ResetCounters() {
+	a.calls, a.scanned, a.capped = 0, 0, 0
+	a.phantoms = a.phantoms[:0]
+}
+
+// Slack returns L(t) ≥ 0 given the currently active jobs and the next
+// release time of each task (periodic continuation). The result is
+// the exact minimum when the scan completes via a cutoff, or a sound
+// underestimate if the scan budget is exhausted.
+func (a *Analyzer) Slack(t float64, active []*sim.JobState, nextReleaseOf func(int) float64) float64 {
+	l, _ := a.Analyze(t, active, nextReleaseOf)
+	return l
+}
+
+// Intensity returns the critical-interval intensity
+//
+//	s*(t) = max over deadlines d of  h(t, d) / (d − t),
+//
+// the minimal constant speed that keeps every current and future
+// deadline feasible from time t onward. It is the dual reading of the
+// same slack-time analysis: where Slack reports the largest stretch
+// the *current job* may absorb, Intensity reports the uniform speed
+// that spreads all analyzed slack evenly over the outstanding work —
+// the distribution a convex power curve prefers. The result is exact
+// under the scan cutoffs and degrades to 1 (full speed) if the scan
+// budget is exhausted.
+func (a *Analyzer) Intensity(t float64, active []*sim.JobState, nextReleaseOf func(int) float64) float64 {
+	_, s := a.Analyze(t, active, nextReleaseOf)
+	return s
+}
+
+// Analyze performs one scan of the slack-time analysis and returns
+// both readings: the minimum slack L(t) and the critical intensity
+// s*(t). See the package comment for definitions, soundness, and the
+// termination argument.
+func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func(int) float64) (slack, intensity float64) {
+	a.calls++
+	a.dropExpiredPhantoms(t)
+
+	// Active (and phantom) demand entries sorted by deadline.
+	entries := make([]phantom, 0, len(active)+len(a.phantoms))
+	var activeRem float64
+	for _, j := range active {
+		r := j.RemainingWCET()
+		activeRem += r
+		entries = append(entries, phantom{deadline: j.AbsDeadline, rem: r})
+	}
+	for _, p := range a.phantoms {
+		activeRem += p.rem
+		entries = append(entries, p)
+	}
+	sortPhantoms(entries)
+
+	// Per-task future release streams: deadline of the next
+	// not-yet-released job of each task.
+	streams := make([]stream, len(a.ts.Tasks))
+	maxFirstDeadline := t
+	for i, task := range a.ts.Tasks {
+		nd := nextReleaseOf(i) + task.RelDeadline()
+		streams[i] = stream{
+			nextDeadline: nd,
+			period:       task.Period,
+			wcet:         task.WCET,
+		}
+		if nd > maxFirstDeadline {
+			maxFirstDeadline = nd
+		}
+	}
+
+	// Periodicity cutoff d* (see package comment): beyond
+	// maxFirstDeadline + H the slack function only repeats shifted
+	// upward by (1-U)·H per hyperperiod.
+	horizon := math.Inf(1)
+	if a.hyper > 0 {
+		horizon = maxFirstDeadline + a.hyper
+	}
+
+	var (
+		h       float64 // accumulated demand at the scan point
+		minL    = math.Inf(1)
+		maxS    float64 // running max of h/(d-t)
+		ai      int     // next active entry
+		scanCnt int
+	)
+	for {
+		// Next candidate deadline across active entries and streams.
+		d := math.Inf(1)
+		if ai < len(entries) {
+			d = entries[ai].deadline
+		}
+		for _, s := range streams {
+			if s.nextDeadline < d {
+				d = s.nextDeadline
+			}
+		}
+		if math.IsInf(d, 1) || d > horizon+sim.Eps {
+			break
+		}
+		// Fold in every demand due exactly at d.
+		for ai < len(entries) && entries[ai].deadline <= d {
+			h += entries[ai].rem
+			ai++
+		}
+		for i := range streams {
+			for streams[i].nextDeadline <= d {
+				h += streams[i].wcet
+				streams[i].nextDeadline += streams[i].period
+			}
+		}
+		scanCnt++
+		if d > t { // deadlines at or before t contribute demand only
+			if l := d - t - h; l < minL {
+				minL = l
+			}
+			if s := h / (d - t); s > maxS {
+				maxS = s
+			}
+		}
+		if minL <= 0 || maxS >= 1 {
+			// Slack exhausted / full speed required: neither reading
+			// can get more extreme for a feasible system.
+			break
+		}
+		// Utilization cutoffs: stop once no later deadline can lower
+		// the slack minimum or raise the intensity maximum. Beyond
+		// the scan point, h(t,d) ≤ activeRem + C_Σ + U·(d−t).
+		if a.util < 1 {
+			envelope := activeRem + a.totalC
+			slackDone := (d-t)*(1-a.util)-envelope > minL
+			intensityDone := maxS > a.util && envelope/(d-t) < maxS-a.util
+			if slackDone && intensityDone {
+				break
+			}
+		}
+		if scanCnt >= a.maxScan {
+			// Budget exhausted: degrade both readings to their sound
+			// conservative values for everything beyond d.
+			a.capped++
+			lb := (d-t)*(1-a.util) - activeRem - a.totalC
+			if lb < minL {
+				minL = lb
+			}
+			maxS = 1
+			break
+		}
+	}
+	a.scanned += float64(scanCnt)
+
+	// Far-deadline limit: as d → ∞ the intensity approaches U from
+	// below along the periodic envelope, and past the periodicity
+	// cutoff every ratio is bounded by max(maxS, U) (mediant
+	// inequality on (h+U·H)/(Δ+H)).
+	if a.util > maxS {
+		maxS = a.util
+	}
+	if maxS > 1 {
+		maxS = 1
+	}
+	if math.IsInf(minL, 1) {
+		// No deadline scanned at all: an empty task set (no streams,
+		// no active jobs). Nothing constrains the slack; report zero
+		// conservatively.
+		return 0, maxS
+	}
+	if minL < 0 {
+		minL = 0
+	}
+	return minL, maxS
+}
+
+func (a *Analyzer) dropExpiredPhantoms(t float64) {
+	keep := a.phantoms[:0]
+	for _, p := range a.phantoms {
+		if p.deadline > t {
+			keep = append(keep, p)
+		}
+	}
+	a.phantoms = keep
+}
+
+type stream struct {
+	nextDeadline float64
+	period       float64
+	wcet         float64
+}
+
+func sortPhantoms(v []phantom) {
+	// Insertion sort: entry counts are the number of active jobs
+	// (≤ number of tasks) and stay tiny.
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for ; j >= 0 && v[j].deadline > x.deadline; j-- {
+			v[j+1] = v[j]
+		}
+		v[j+1] = x
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dvsslack/internal/sim"
+)
+
+// Variant selects which parts of the slack analysis an LpSHE policy
+// instance uses; the non-default values exist for the F8 ablation
+// experiment and are all deadline-safe (they only ever select speeds
+// at least as high as analysis requires).
+type Variant int
+
+const (
+	// Full is the paper's algorithm as shipped: exact slack-time
+	// analysis carrying the guarantee, with the pace/fill shaping
+	// described on LpSHE choosing where in the sound region the
+	// speed lands.
+	Full Variant = iota
+	// Greedy gives the entire analyzed slack to the current job:
+	// s = w/(w + L(t)). Deadline-safe but convexity-blind; kept as
+	// the ablation showing why the balanced reading matters.
+	Greedy
+	// NoReclaim disables reclamation: the unused worst-case
+	// allowance of an early-completed job is kept as phantom demand
+	// until the job's deadline passes, so only static and
+	// idle-interval slack remain.
+	NoReclaim
+	// Horizon8 truncates the analysis scan to 8 deadlines,
+	// degrading to the sound conservative readings beyond them.
+	Horizon8
+	// Horizon32 truncates the analysis scan to 32 deadlines.
+	Horizon32
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "full"
+	case Greedy:
+		return "greedy"
+	case NoReclaim:
+		return "no-reclaim"
+	case Horizon8:
+		return "horizon8"
+	case Horizon32:
+		return "horizon32"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// LpSHE is the paper's DVS policy. At every scheduling point it runs
+// the slack-time analysis over the released jobs and the future
+// (earliest-possible) periodic releases, obtaining the system slack
+// L(t), and selects the speed of the earliest-deadline job as
+//
+//	s = max( ownDeadlineFloor, soundFloor, min(pace, fill) )
+//
+// where:
+//
+//   - soundFloor = min( w/(w+L), 1 − L/(b−t) ) is the minimal speed
+//     that provably preserves full-speed EDF feasibility until the
+//     next scheduling point (b = guaranteed next-decision bound) —
+//     this floor alone carries the entire hard real-time guarantee;
+//   - pace is the utilization-shaped smoothing target, predicting
+//     each task's usage share from its most recent actual execution
+//     time (an active job contributes max(prediction, executed)),
+//     the distribution a convex power curve prefers during busy
+//     intervals;
+//   - fill = backlog/(nextRelease − t) harvests idle-interval slack
+//     during drain phases;
+//   - ownDeadlineFloor = w/(d − t) always completes the dispatched
+//     job by its own deadline.
+//
+// Because the analysis is recomputed at each release and completion,
+// early-finishing jobs (dynamic slack), unused utilization (static
+// slack), and gaps before future releases (idle-interval slack) all
+// flow into the speed automatically; the pacing heuristics influence
+// only where in the sound region the speed lands, never safety.
+//
+// The processor clamp (round-up on discrete level sets, floor at
+// SMin) only ever raises the speed, so the hard real-time guarantee
+// of the analysis is preserved verbatim. Release jitter is covered:
+// the analysis assumes earliest-possible arrivals and the event
+// floor uses the guaranteed decision bound (nominal plus jitter).
+type LpSHE struct {
+	sim.NopHooks
+
+	// Variant selects the ablation mode (default Full).
+	Variant Variant
+	// SafetyMargin, when positive, is added multiplicatively to
+	// every selected speed (s ← s·(1+SafetyMargin)); zero by
+	// default — the analysis is exact and the engine's Eps absorbs
+	// float drift.
+	SafetyMargin float64
+
+	sys      sim.System
+	analyzer *Analyzer
+	decided  float64
+	// lastUsage[i] is the actual work the most recent completed job
+	// of task i performed (initialized to the WCET). It feeds only
+	// the pacing heuristic, never the guarantee.
+	lastUsage []float64
+}
+
+// NewLpSHE returns the paper's algorithm in its standard (Full)
+// configuration.
+func NewLpSHE() *LpSHE { return &LpSHE{} }
+
+// NewLpSHEVariant returns the algorithm with an ablation variant.
+func NewLpSHEVariant(v Variant) *LpSHE { return &LpSHE{Variant: v} }
+
+// Name implements sim.Policy.
+func (p *LpSHE) Name() string {
+	if p.Variant == Full {
+		return "lpSHE"
+	}
+	return "lpSHE-" + p.Variant.String()
+}
+
+// Reset implements sim.Policy.
+func (p *LpSHE) Reset(sys sim.System) {
+	p.sys = sys
+	p.analyzer = NewAnalyzer(sys.TaskSet())
+	p.decided = 0
+	p.lastUsage = make([]float64, sys.TaskSet().N())
+	for i, t := range sys.TaskSet().Tasks {
+		p.lastUsage[i] = t.WCET
+	}
+	switch p.Variant {
+	case Horizon8:
+		p.analyzer.SetMaxScan(8)
+	case Horizon32:
+		p.analyzer.SetMaxScan(32)
+	}
+}
+
+// OnComplete implements sim.Policy: record the actual usage for the
+// pacing heuristic; the no-reclaim ablation additionally pins the
+// unused allowance of early finishers as phantom demand.
+func (p *LpSHE) OnComplete(j *sim.JobState) {
+	p.lastUsage[j.TaskIndex] = j.Executed
+	if p.Variant != NoReclaim {
+		return
+	}
+	if rem := j.WCET - j.Executed; rem > 0 {
+		p.analyzer.AddPhantom(j.AbsDeadline, rem)
+	}
+}
+
+// SelectSpeed implements sim.Policy.
+func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
+	p.decided++
+	w := j.RemainingWCET()
+	if w <= 0 {
+		// The job exhausted its worst-case budget (it is about to
+		// complete); any positive speed is deadline-safe, so finish
+		// it at the floor.
+		return p.sys.Processor().SMin
+	}
+	now := p.sys.Now()
+	active := p.sys.ActiveJobs()
+	slack, _ := p.analyzer.Analyze(now, active, p.sys.NextReleaseOf)
+
+	// Speed-transition overhead: every change of the operating point
+	// stalls the processor for SwitchTime. Reserve two stalls out of
+	// the analyzed slack — one for the switch this decision may
+	// trigger and one to fund the recovery switch back to full speed
+	// once the slack is spent. A stall consumes wall-clock time at
+	// zero progress, i.e. exactly one unit of every deadline's slack
+	// per unit of stall, so subtracting 2σ keeps the feasibility
+	// invariant argument intact verbatim.
+	var reserve float64
+	if st := p.sys.Processor().SwitchTime; st > 0 {
+		reserve = 2 * st
+	}
+	slack -= reserve
+	if slack < 0 {
+		slack = 0
+	}
+
+	// Sound floor. Two independently sufficient conditions keep the
+	// full-speed feasibility invariant (h(t,d) ≤ d−t for all d)
+	// alive until the next scheduling point, where the analysis
+	// reruns; the smaller of the two is therefore a sound floor:
+	//
+	//   greedy: s ≥ w/(w+L) — the job completes within w/s wall
+	//   time and (w/s)(1−s) ≤ L, so no deadline's slack is
+	//   overdrawn before the completion rescheduling point;
+	//
+	//   event: s ≥ 1 − L/(b−t) — a release is guaranteed by the
+	//   decision bound b (nominal next release plus jitter), the
+	//   engine recomputes the speed there, and (b−t)(1−s) ≤ L.
+	//
+	// The own-deadline floor w/(d−t) is enforced on top because
+	// under the event branch the job's deadline may precede its
+	// stretched completion.
+	greedy := 1.0
+	if slack > 0 {
+		greedy = w / (w + slack)
+	}
+	soundMin := greedy
+	bound := p.sys.NextDecisionBound()
+	if gapB := bound - now; !math.IsInf(bound, 1) && gapB > 0 && slack > 0 {
+		event := 1 - slack/gapB
+		if event < 0 {
+			event = 0
+		}
+		if event < soundMin {
+			soundMin = event
+		}
+	}
+
+	var s float64
+	if p.Variant == Greedy {
+		// Ablation: the whole analyzed slack goes to the current
+		// job. Sound, but convexity-blind: later jobs find the
+		// slack gone and run fast, so the speed trace oscillates.
+		s = greedy
+	} else {
+		// Pacing target above the sound floor, by regime:
+		//
+		//   pace — utilization-shaped smoothing: each task counts
+		//   its *predicted* usage share, estimated from the most
+		//   recent actual execution time (an active job contributes
+		//   at least what it has already executed; a worse-than-
+		//   predicted job simply pushes the floors up later). This
+		//   is the speed a steadily busy system should hold; convex
+		//   power strongly prefers it over stretch-then-sprint.
+		//
+		//   fill — W/(nr−t): the speed that just finishes the known
+		//   backlog W by the next arrival. In drain and idle phases
+		//   (shallow queue, far next release) this is far below pace
+		//   and harvests the idle-interval slack.
+		//
+		// min(pace, fill) picks the regime; the sound and
+		// own-deadline floors below guarantee hard deadlines
+		// regardless of how wrong the pacing history turns out.
+		ts := p.sys.TaskSet()
+		var backlog float64
+		expected := make([]float64, ts.N())
+		hasActive := make([]bool, ts.N())
+		for _, a := range active {
+			hasActive[a.TaskIndex] = true
+			backlog += a.RemainingWCET()
+			// Expected total usage of the active job: at least what it
+			// has already executed, predicted by the last observation.
+			if e := math.Max(p.lastUsage[a.TaskIndex], a.Executed); e > expected[a.TaskIndex] {
+				expected[a.TaskIndex] = e
+			}
+		}
+		var pace float64
+		for i, task := range ts.Tasks {
+			if hasActive[i] {
+				pace += expected[i] / task.Period
+			} else {
+				pace += p.lastUsage[i] / task.Period
+			}
+		}
+		fill := 1.0
+		nr := p.sys.NextRelease() // earliest possible arrival
+		if gap := nr - now; math.IsInf(nr, 1) {
+			fill = 0 // no more arrivals: pure drain
+		} else if gap > 0 {
+			fill = backlog / gap
+		}
+		s = math.Min(pace, fill)
+		if s < soundMin {
+			s = soundMin
+		}
+	}
+	// Never finish after the job's own deadline (the transition
+	// reserve shrinks the usable window under non-zero SwitchTime).
+	if win := j.AbsDeadline - now - reserve; win > 0 {
+		if floor := w / win; floor > s {
+			s = floor
+		}
+	} else {
+		s = 1
+	}
+	if p.SafetyMargin > 0 {
+		s *= 1 + p.SafetyMargin
+	}
+	return s
+}
+
+// Counters implements sim.Instrumented.
+func (p *LpSHE) Counters() map[string]float64 {
+	c := p.analyzer.Counters()
+	c["decisions"] = p.decided
+	return c
+}

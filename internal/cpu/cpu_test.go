@@ -1,0 +1,226 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubicModel(t *testing.T) {
+	m := CubicModel{}
+	if m.Power(1) != 1 {
+		t.Error("P(1) must be 1")
+	}
+	if got := m.Power(0.5); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("P(0.5) = %v, want 0.125", got)
+	}
+	if m.Voltage(0.3) != 0.3 {
+		t.Error("cubic voltage should equal speed")
+	}
+}
+
+func TestAlphaModel(t *testing.T) {
+	m := DefaultAlphaModel()
+	if got := m.Power(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("P(1) = %v, want 1", got)
+	}
+	if v := m.Voltage(1); math.Abs(v-1) > 1e-9 {
+		t.Errorf("V(1) = %v, want 1", v)
+	}
+	// Voltage inversion: speedAt(Voltage(s)) == s.
+	for _, s := range []float64{0.05, 0.2, 0.5, 0.8, 0.99} {
+		v := m.Voltage(s)
+		if v <= m.Vt || v > 1 {
+			t.Errorf("V(%v) = %v out of (Vt, 1]", s, v)
+		}
+		back := m.speedAt(v)
+		if math.Abs(back-s) > 1e-9 {
+			t.Errorf("speedAt(V(%v)) = %v", s, back)
+		}
+	}
+	// Alpha-power penalizes low speeds less than linear voltage
+	// scaling: at a given speed, voltage is higher than under the
+	// cubic model, so power is too.
+	if m.Power(0.3) <= (CubicModel{}).Power(0.3) {
+		t.Error("alpha-power model should draw more power than cubic at low speed")
+	}
+}
+
+func TestPowerModelsMonotone(t *testing.T) {
+	models := []PowerModel{CubicModel{}, DefaultAlphaModel(), XScale().Model, Crusoe().Model}
+	for _, m := range models {
+		prev := -1.0
+		for s := 0.05; s <= 1.0001; s += 0.01 {
+			p := m.Power(s)
+			if p < prev-1e-12 {
+				t.Errorf("%s: power not monotone at s=%v", m.Name(), s)
+				break
+			}
+			prev = p
+		}
+	}
+}
+
+func TestTableModelValidation(t *testing.T) {
+	if _, err := NewTableModel("x", nil); err == nil {
+		t.Error("empty table should fail")
+	}
+	if _, err := NewTableModel("x", []Level{{Speed: 0.5, Voltage: 1}}); err == nil {
+		t.Error("top speed != 1 should fail")
+	}
+	if _, err := NewTableModel("x", []Level{{Speed: 0.5, Voltage: 2}, {Speed: 0.4, Voltage: 3}, {Speed: 1, Voltage: 5}}); err == nil {
+		t.Error("non-increasing speeds should fail")
+	}
+	if _, err := NewTableModel("x", []Level{{Speed: 1, Voltage: 0}}); err == nil {
+		t.Error("zero voltage should fail")
+	}
+}
+
+func TestTableModelInterpolation(t *testing.T) {
+	m, err := NewTableModel("x", []Level{
+		{Speed: 0.5, Voltage: 2},
+		{Speed: 1.0, Voltage: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized: V(0.5)=0.5, V(1)=1, V(0.75)=0.75 by interpolation.
+	if v := m.Voltage(0.75); math.Abs(v-0.75) > 1e-12 {
+		t.Errorf("V(0.75) = %v, want 0.75", v)
+	}
+	if v := m.Voltage(0.1); v != 0.5 {
+		t.Errorf("V below lowest level = %v, want clamped 0.5", v)
+	}
+	if p := m.Power(1); math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(1) = %v, want 1", p)
+	}
+}
+
+func TestWithLevels(t *testing.T) {
+	p, err := WithLevels(0.75, 0.25, 0.5, 1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := p.Levels()
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+	if !p.Discrete() {
+		t.Error("Discrete() should be true")
+	}
+	if _, err := WithLevels(0.5); err == nil {
+		t.Error("missing top level 1 should fail")
+	}
+	if _, err := WithLevels(0, 1); err == nil {
+		t.Error("zero level should fail")
+	}
+	if _, err := WithLevels(); err == nil {
+		t.Error("no levels should fail")
+	}
+}
+
+func TestClampContinuous(t *testing.T) {
+	p := Continuous(0.2)
+	cases := [][2]float64{{0, 0.2}, {0.1, 0.2}, {0.5, 0.5}, {1, 1}, {2, 1}}
+	for _, c := range cases {
+		if got := p.Clamp(c[0]); got != c[1] {
+			t.Errorf("Clamp(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+}
+
+func TestClampDiscreteRoundsUp(t *testing.T) {
+	p, _ := WithLevels(0.25, 0.5, 0.75, 1)
+	cases := [][2]float64{
+		{0.1, 0.25}, {0.25, 0.25}, {0.26, 0.5}, {0.5, 0.5},
+		{0.51, 0.75}, {0.99, 1}, {1, 1}, {1.5, 1},
+	}
+	for _, c := range cases {
+		if got := p.Clamp(c[0]); got != c[1] {
+			t.Errorf("Clamp(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+}
+
+// Property: Clamp never returns a slower speed than requested (within
+// the usable range), which is what preserves deadline guarantees.
+func TestClampNeverSlower(t *testing.T) {
+	procs := []*Processor{Continuous(0.1), UniformLevels(4), XScale(), Crusoe()}
+	f := func(raw uint16) bool {
+		s := float64(raw) / 65535
+		for _, p := range procs {
+			c := p.Clamp(s)
+			if c < math.Min(s, 1)-1e-12 || c <= 0 || c > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	p := Continuous(0.1)
+	p.SwitchEnergyCoeff = 2
+	if e := p.SwitchEnergy(0.5, 0.5); e != 0 {
+		t.Errorf("no-op switch energy = %v", e)
+	}
+	// Cubic: V = s, |0.25 - 1| * 2 = 1.5.
+	if e := p.SwitchEnergy(0.5, 1); math.Abs(e-1.5) > 1e-12 {
+		t.Errorf("switch energy = %v, want 1.5", e)
+	}
+	// Symmetric.
+	if p.SwitchEnergy(0.5, 1) != p.SwitchEnergy(1, 0.5) {
+		t.Error("switch energy should be symmetric")
+	}
+}
+
+func TestProcessorValidate(t *testing.T) {
+	good := Continuous(0.1)
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Continuous(-0.1)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative SMin should fail")
+	}
+	bad2 := Continuous(0.1)
+	bad2.SwitchTime = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative switch time should fail")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for name, p := range Presets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if got := p.Power(1); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: P(1) = %v, want 1", name, got)
+		}
+	}
+	if n := len(XScale().Levels()); n != 5 {
+		t.Errorf("xscale should have 5 levels, has %d", n)
+	}
+	if n := len(UniformLevels(8).Levels()); n != 8 {
+		t.Errorf("uniform8 should have 8 levels, has %d", n)
+	}
+	if !SA1100().Discrete() == false && SA1100().Discrete() {
+		t.Error("sa1100 should be continuous")
+	}
+}
+
+func TestProcessorName(t *testing.T) {
+	if XScale().Name() == "" || Continuous(0.1).Name() == "" {
+		t.Error("Name() should be non-empty")
+	}
+}

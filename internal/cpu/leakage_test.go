@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBusyPowerIncludesLeakage(t *testing.T) {
+	p := Continuous(0.1)
+	p.LeakagePower = 0.07
+	if got := p.BusyPower(1); math.Abs(got-1.07) > 1e-12 {
+		t.Errorf("BusyPower(1) = %v, want 1.07", got)
+	}
+	if got := p.AwakeIdlePower(); math.Abs(got-(DefaultIdlePower+0.07)) > 1e-12 {
+		t.Errorf("AwakeIdlePower = %v", got)
+	}
+}
+
+func TestCriticalSpeedZeroLeakage(t *testing.T) {
+	p := Continuous(0.1)
+	if s := p.CriticalSpeed(); s != 0.1 {
+		t.Errorf("critical speed without leakage = %v, want SMin", s)
+	}
+}
+
+func TestCriticalSpeedCubicLeakage(t *testing.T) {
+	// Minimize (s³ + k)/s = s² + k/s: derivative 2s − k/s² = 0 →
+	// s_crit = (k/2)^(1/3). For k = 0.25: s_crit = 0.5.
+	p := Continuous(0.05)
+	p.LeakagePower = 0.25
+	want := math.Cbrt(0.25 / 2)
+	if s := p.CriticalSpeed(); math.Abs(s-want) > 0.002 {
+		t.Errorf("critical speed = %v, want %v", s, want)
+	}
+}
+
+func TestCriticalSpeedDiscreteReturnsLevel(t *testing.T) {
+	p, err := WithLevels(0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LeakagePower = 0.25 // continuous optimum 0.5: exactly a level
+	if s := p.CriticalSpeed(); s != 0.5 {
+		t.Errorf("critical speed = %v, want level 0.5", s)
+	}
+}
+
+func TestBreakEvenIdle(t *testing.T) {
+	p := Continuous(0.1)
+	p.SleepEnabled = true
+	p.SleepPower = 0.01
+	p.WakeEnergy = 0.2
+	// Saving rate 0.05 − 0.01 = 0.04 → break-even 5.
+	if b := p.BreakEvenIdle(); math.Abs(b-5) > 1e-12 {
+		t.Errorf("break-even = %v, want 5", b)
+	}
+	if !p.CanSleep() {
+		t.Error("CanSleep should be true")
+	}
+	p.SleepPower = 1 // worse than idling
+	if p.CanSleep() {
+		t.Error("CanSleep should be false when sleep draws more")
+	}
+	if !math.IsInf(p.BreakEvenIdle(), 1) {
+		t.Error("break-even should be +Inf when sleep never pays")
+	}
+}
+
+func TestSleepDisabledByDefault(t *testing.T) {
+	p := Continuous(0.1)
+	if p.CanSleep() {
+		t.Error("sleep must be off unless explicitly enabled")
+	}
+}
+
+func TestValidateLeakageFields(t *testing.T) {
+	for _, mut := range []func(*Processor){
+		func(p *Processor) { p.LeakagePower = -1 },
+		func(p *Processor) { p.SleepPower = -1 },
+		func(p *Processor) { p.WakeEnergy = -1 },
+	} {
+		p := Continuous(0.1)
+		mut(p)
+		if err := p.Validate(); err == nil {
+			t.Error("negative power field should fail validation")
+		}
+	}
+}

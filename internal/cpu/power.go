@@ -1,0 +1,178 @@
+// Package cpu models the variable-voltage processor: normalized
+// speed/voltage pairs, continuous and discrete frequency sets modeled
+// after the processors the DVS literature of the paper's era
+// evaluated on (Intel XScale-, Transmeta Crusoe-, StrongARM
+// SA-1100-like level tables), CMOS dynamic power, idle power, and
+// speed-transition overhead.
+//
+// Speeds are normalized to the maximum frequency, s = f/f_max in
+// (0, 1]. Power is normalized so that P(1) = 1 for every model, which
+// makes the "normalized energy" metric of the evaluation directly
+// comparable across models: the energy of running at full speed for
+// one time unit is one energy unit.
+package cpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerModel maps a normalized speed to normalized dynamic power
+// consumption. Implementations must be monotonically increasing and
+// normalized so Power(1) == 1.
+type PowerModel interface {
+	// Power returns the dynamic power drawn while executing at
+	// speed s in (0, 1].
+	Power(s float64) float64
+	// Voltage returns the supply voltage (normalized to V(1) == 1)
+	// required to sustain speed s; used by the transition-energy
+	// overhead model.
+	Voltage(s float64) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// CubicModel is the canonical first-order CMOS model: with supply
+// voltage proportional to frequency (V ∝ f), dynamic power
+// P = C·V²·f collapses to P(s) = s³. This is the model most
+// inter-task DVS papers (including the paper family reproduced here)
+// use for normalized-energy results.
+type CubicModel struct{}
+
+// Power implements PowerModel.
+func (CubicModel) Power(s float64) float64 { return s * s * s }
+
+// Voltage implements PowerModel.
+func (CubicModel) Voltage(s float64) float64 { return s }
+
+// Name implements PowerModel.
+func (CubicModel) Name() string { return "cubic" }
+
+// AlphaModel refines the voltage/frequency relation with the
+// alpha-power MOSFET law f ∝ (V - Vt)^α / V: at low voltages the
+// frequency falls off faster than linearly, so low speeds are less
+// rewarding than the cubic model predicts. Vt is the threshold
+// voltage as a fraction of the nominal supply (typical 0.2-0.4) and
+// Alpha the velocity-saturation exponent (typical 1.2-2.0).
+type AlphaModel struct {
+	Vt    float64 // threshold voltage / nominal supply voltage
+	Alpha float64 // velocity saturation index
+}
+
+// DefaultAlphaModel returns an AlphaModel with Vt = 0.3, α = 1.5,
+// representative of the 180 nm-era parts in the paper's evaluations.
+func DefaultAlphaModel() AlphaModel { return AlphaModel{Vt: 0.3, Alpha: 1.5} }
+
+// speedAt returns the normalized speed sustained at normalized
+// voltage v, i.e. f(v)/f(1).
+func (m AlphaModel) speedAt(v float64) float64 {
+	if v <= m.Vt {
+		return 0
+	}
+	num := math.Pow(v-m.Vt, m.Alpha) / v
+	den := math.Pow(1-m.Vt, m.Alpha) // / 1
+	return num / den
+}
+
+// Voltage implements PowerModel by inverting the alpha-power law with
+// bisection (the law is monotone in v on (Vt, 1]).
+func (m AlphaModel) Voltage(s float64) float64 {
+	if s >= 1 {
+		return 1
+	}
+	if s <= 0 {
+		return m.Vt
+	}
+	lo, hi := m.Vt, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.speedAt(mid) < s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Power implements PowerModel: P = s·V(s)², normalized to P(1) = 1.
+func (m AlphaModel) Power(s float64) float64 {
+	v := m.Voltage(s)
+	return s * v * v
+}
+
+// Name implements PowerModel.
+func (m AlphaModel) Name() string { return fmt.Sprintf("alpha(Vt=%g,a=%g)", m.Vt, m.Alpha) }
+
+// Level is one operating point of a discrete-voltage processor.
+type Level struct {
+	Speed   float64 // f/f_max in (0, 1]
+	Voltage float64 // V/V_max in (0, 1]
+}
+
+// TableModel derives power from an explicit table of operating
+// points, interpolating voltage linearly between levels for
+// continuous-speed use. P(s) = s·V(s)²/(1·V(1)²).
+type TableModel struct {
+	levels []Level // ascending by speed; last entry must be {1, 1}-normalized
+	name   string
+}
+
+// NewTableModel builds a TableModel from levels, which must be sorted
+// by increasing speed, end at full speed, and have positive voltages.
+// Voltages are renormalized so the top level has voltage 1.
+func NewTableModel(name string, levels []Level) (*TableModel, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cpu: table model %q needs at least one level", name)
+	}
+	norm := make([]Level, len(levels))
+	copy(norm, levels)
+	top := norm[len(norm)-1]
+	if top.Speed != 1 {
+		return nil, fmt.Errorf("cpu: table model %q: top level speed must be 1, got %v", name, top.Speed)
+	}
+	if top.Voltage <= 0 {
+		return nil, fmt.Errorf("cpu: table model %q: top level voltage must be positive", name)
+	}
+	for i := range norm {
+		if norm[i].Speed <= 0 || norm[i].Speed > 1 {
+			return nil, fmt.Errorf("cpu: table model %q: level %d speed %v out of (0,1]", name, i, norm[i].Speed)
+		}
+		if i > 0 && norm[i].Speed <= norm[i-1].Speed {
+			return nil, fmt.Errorf("cpu: table model %q: levels must be strictly increasing in speed", name)
+		}
+		norm[i].Voltage /= top.Voltage
+		if norm[i].Voltage <= 0 {
+			return nil, fmt.Errorf("cpu: table model %q: level %d voltage must be positive", name, i)
+		}
+	}
+	return &TableModel{levels: norm, name: name}, nil
+}
+
+// Levels returns the (normalized) operating points.
+func (m *TableModel) Levels() []Level { return append([]Level(nil), m.levels...) }
+
+// Voltage implements PowerModel with linear interpolation between
+// table entries; below the lowest level the lowest voltage is used.
+func (m *TableModel) Voltage(s float64) float64 {
+	if s <= m.levels[0].Speed {
+		return m.levels[0].Voltage
+	}
+	for i := 1; i < len(m.levels); i++ {
+		if s <= m.levels[i].Speed {
+			lo, hi := m.levels[i-1], m.levels[i]
+			frac := (s - lo.Speed) / (hi.Speed - lo.Speed)
+			return lo.Voltage + frac*(hi.Voltage-lo.Voltage)
+		}
+	}
+	return m.levels[len(m.levels)-1].Voltage
+}
+
+// Power implements PowerModel.
+func (m *TableModel) Power(s float64) float64 {
+	v := m.Voltage(s)
+	return s * v * v
+}
+
+// Name implements PowerModel.
+func (m *TableModel) Name() string { return m.name }

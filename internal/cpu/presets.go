@@ -1,0 +1,86 @@
+package cpu
+
+// Named processor presets modeled after the variable-voltage parts
+// the early-2000s DVS literature evaluated on. Frequencies and
+// voltages are normalized to the top operating point; the absolute
+// values in the comments are the published nominal figures the ratios
+// were taken from.
+
+// XScale returns a processor with the five operating points of the
+// Intel XScale 80200 family (150/400/600/800/1000 MHz at
+// 0.75/1.0/1.3/1.6/1.8 V), as used by many DVS evaluations.
+func XScale() *Processor {
+	model, err := NewTableModel("xscale", []Level{
+		{Speed: 0.15, Voltage: 0.75 / 1.8},
+		{Speed: 0.40, Voltage: 1.0 / 1.8},
+		{Speed: 0.60, Voltage: 1.3 / 1.8},
+		{Speed: 0.80, Voltage: 1.6 / 1.8},
+		{Speed: 1.00, Voltage: 1.0},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	p, err := WithLevels(0.15, 0.40, 0.60, 0.80, 1.00)
+	if err != nil {
+		panic(err)
+	}
+	p.Model = model
+	return p
+}
+
+// Crusoe returns a processor with the Transmeta Crusoe TM5400-like
+// level set (300-667 MHz at 1.2-1.6 V, five points).
+func Crusoe() *Processor {
+	model, err := NewTableModel("crusoe", []Level{
+		{Speed: 300.0 / 667, Voltage: 1.2 / 1.6},
+		{Speed: 400.0 / 667, Voltage: 1.225 / 1.6},
+		{Speed: 500.0 / 667, Voltage: 1.35 / 1.6},
+		{Speed: 600.0 / 667, Voltage: 1.5 / 1.6},
+		{Speed: 1.0, Voltage: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	p, err := WithLevels(300.0/667, 400.0/667, 500.0/667, 600.0/667, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	p.Model = model
+	return p
+}
+
+// SA1100 returns a StrongARM SA-1100-like processor: continuously
+// variable clock between 59 and 206 MHz (normalized 0.287..1) with a
+// near-linear voltage range, modeled with the alpha-power law.
+func SA1100() *Processor {
+	p := Continuous(59.0 / 206)
+	p.Model = DefaultAlphaModel()
+	return p
+}
+
+// UniformLevels returns a discrete processor with n equally spaced
+// levels 1/n, 2/n, ..., 1 and the cubic power model, the synthetic
+// level set used by the discrete-speed sensitivity experiment.
+func UniformLevels(n int) *Processor {
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = float64(i+1) / float64(n)
+	}
+	p, err := WithLevels(speeds...)
+	if err != nil {
+		panic(err) // construction is valid for any n >= 1
+	}
+	return p
+}
+
+// Presets returns the named processor models used by the experiments.
+func Presets() map[string]*Processor {
+	return map[string]*Processor{
+		"continuous": Continuous(0.1),
+		"xscale":     XScale(),
+		"crusoe":     Crusoe(),
+		"sa1100":     SA1100(),
+		"uniform4":   UniformLevels(4),
+		"uniform8":   UniformLevels(8),
+	}
+}

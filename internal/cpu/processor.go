@@ -1,0 +1,253 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Processor describes the variable-voltage CPU a simulation runs on.
+//
+// The zero value is not useful; construct with Continuous,
+// WithLevels, or one of the named presets, then adjust the public
+// fields. All methods are safe for concurrent read-only use.
+type Processor struct {
+	// Model supplies the power/voltage curves. Defaults to
+	// CubicModel via the constructors.
+	Model PowerModel
+
+	// SMin is the lowest usable speed. Policies never request less;
+	// discrete processors additionally round requests up to a level.
+	SMin float64
+
+	// IdlePower is the normalized power drawn while the processor
+	// has no work (clock-gated but not off). The paper family
+	// typically uses a small constant, here defaulting to 0.05.
+	IdlePower float64
+
+	// SwitchTime is the wall-clock duration of one speed/voltage
+	// transition, during which no work is performed. Zero models
+	// the overhead-free case of the main experiments.
+	SwitchTime float64
+
+	// SwitchEnergyCoeff scales the transition energy
+	// E = coeff * |V1² - V2²| (the capacitive model of Burd's
+	// thesis). Zero disables transition energy.
+	SwitchEnergyCoeff float64
+
+	// LeakagePower is static power drawn whenever the processor is
+	// powered (busy at any speed, or idle but awake), on top of the
+	// dynamic model. Non-zero leakage creates a *critical speed*
+	// below which slowing down wastes energy; see CriticalSpeed.
+	LeakagePower float64
+
+	// SleepEnabled turns on the deep-sleep state: during an idle
+	// interval long enough to amortize WakeEnergy (see
+	// BreakEvenIdle) the simulator powers down to SleepPower instead
+	// of idling awake. Off by default, preserving the paper's
+	// always-powered model.
+	SleepEnabled bool
+
+	// SleepPower is the power drawn in the deep-sleep state (no
+	// leakage, clocks off).
+	SleepPower float64
+
+	// WakeEnergy is the energy cost of one sleep/wake cycle.
+	WakeEnergy float64
+
+	// levels, when non-empty, lists the discrete operating speeds in
+	// increasing order; empty means continuously variable speed.
+	levels []float64
+}
+
+// Continuous returns a continuously variable processor with the given
+// minimum speed and the cubic power model.
+func Continuous(smin float64) *Processor {
+	return &Processor{Model: CubicModel{}, SMin: smin, IdlePower: DefaultIdlePower}
+}
+
+// DefaultIdlePower is the normalized idle power used by the
+// evaluation defaults.
+const DefaultIdlePower = 0.05
+
+// WithLevels returns a discrete processor restricted to the given
+// speeds (ascending or not; they are sorted and deduplicated). The
+// largest level must be 1. The cubic power model is used unless the
+// caller replaces Model.
+func WithLevels(speeds ...float64) (*Processor, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("cpu: WithLevels needs at least one speed")
+	}
+	s := append([]float64(nil), speeds...)
+	sort.Float64s(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	for _, v := range out {
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("cpu: level %v out of (0,1]", v)
+		}
+	}
+	if out[len(out)-1] != 1 {
+		return nil, fmt.Errorf("cpu: highest level must be 1, got %v", out[len(out)-1])
+	}
+	return &Processor{
+		Model:     CubicModel{},
+		SMin:      out[0],
+		IdlePower: DefaultIdlePower,
+		levels:    out,
+	}, nil
+}
+
+// Discrete reports whether the processor is restricted to a level set.
+func (p *Processor) Discrete() bool { return len(p.levels) > 0 }
+
+// Levels returns a copy of the discrete speed levels (nil for a
+// continuous processor).
+func (p *Processor) Levels() []float64 {
+	if len(p.levels) == 0 {
+		return nil
+	}
+	return append([]float64(nil), p.levels...)
+}
+
+// Clamp maps a requested speed to the nearest usable speed that is
+// *no slower* than requested: continuous processors clamp into
+// [SMin, 1]; discrete processors round up to the next level.
+// Rounding up (never down) is what preserves the hard deadline
+// guarantee of every policy in this library.
+func (p *Processor) Clamp(s float64) float64 {
+	if s < p.SMin {
+		s = p.SMin
+	}
+	if s > 1 {
+		s = 1
+	}
+	if len(p.levels) == 0 {
+		return s
+	}
+	i := sort.SearchFloat64s(p.levels, s)
+	if i == len(p.levels) {
+		return 1
+	}
+	return p.levels[i]
+}
+
+// Power returns the busy power at speed s using the configured model
+// (CubicModel when Model is nil).
+func (p *Processor) Power(s float64) float64 {
+	if p.Model == nil {
+		return CubicModel{}.Power(s)
+	}
+	return p.Model.Power(s)
+}
+
+// Voltage returns the supply voltage for speed s.
+func (p *Processor) Voltage(s float64) float64 {
+	if p.Model == nil {
+		return CubicModel{}.Voltage(s)
+	}
+	return p.Model.Voltage(s)
+}
+
+// BusyPower returns the total power while executing at speed s:
+// dynamic model power plus leakage.
+func (p *Processor) BusyPower(s float64) float64 { return p.Power(s) + p.LeakagePower }
+
+// AwakeIdlePower returns the power drawn while idle but not asleep.
+func (p *Processor) AwakeIdlePower() float64 { return p.IdlePower + p.LeakagePower }
+
+// CanSleep reports whether the deep-sleep state is enabled and
+// actually saves power over idling awake.
+func (p *Processor) CanSleep() bool {
+	return p.SleepEnabled && p.SleepPower < p.AwakeIdlePower()
+}
+
+// BreakEvenIdle returns the idle-interval length above which entering
+// deep sleep (paying WakeEnergy) beats idling awake:
+//
+//	WakeEnergy + SleepPower·t < AwakeIdlePower·t.
+//
+// +Inf when sleep never pays off.
+func (p *Processor) BreakEvenIdle() float64 {
+	saving := p.AwakeIdlePower() - p.SleepPower
+	if saving <= 0 {
+		return math.Inf(1)
+	}
+	return p.WakeEnergy / saving
+}
+
+// CriticalSpeed returns the energy-efficient minimum speed: the speed
+// minimizing energy per unit of work, (Power(s) + LeakagePower)/s,
+// over the usable range. Below it, stretching work further *costs*
+// energy (the leakage integrates over the longer runtime faster than
+// the dynamic term shrinks). With zero leakage this is simply the
+// lowest usable speed. The result is a usable speed (clamped, so a
+// discrete processor returns one of its levels).
+func (p *Processor) CriticalSpeed() float64 {
+	lo := p.Clamp(0)
+	if p.LeakagePower <= 0 {
+		return lo
+	}
+	// The objective is unimodal for the shipped (convex, increasing)
+	// models; sample densely and refine with the clamp.
+	best, bestCost := lo, math.Inf(1)
+	for s := lo; s <= 1.0001; s += 0.001 {
+		sp := p.Clamp(s)
+		if cost := p.BusyPower(sp) / sp; cost < bestCost-1e-15 {
+			best, bestCost = sp, cost
+		}
+	}
+	return best
+}
+
+// SwitchEnergy returns the energy cost of a transition between two
+// speeds: SwitchEnergyCoeff * |V(from)² - V(to)²|.
+func (p *Processor) SwitchEnergy(from, to float64) float64 {
+	if p.SwitchEnergyCoeff == 0 || from == to {
+		return 0
+	}
+	v1, v2 := p.Voltage(from), p.Voltage(to)
+	return p.SwitchEnergyCoeff * math.Abs(v1*v1-v2*v2)
+}
+
+// Validate reports configuration errors.
+func (p *Processor) Validate() error {
+	switch {
+	case p.SMin < 0 || p.SMin > 1:
+		return fmt.Errorf("cpu: SMin %v out of [0,1]", p.SMin)
+	case p.IdlePower < 0:
+		return fmt.Errorf("cpu: negative idle power %v", p.IdlePower)
+	case p.SwitchTime < 0:
+		return fmt.Errorf("cpu: negative switch time %v", p.SwitchTime)
+	case p.SwitchEnergyCoeff < 0:
+		return fmt.Errorf("cpu: negative switch energy coefficient %v", p.SwitchEnergyCoeff)
+	case p.LeakagePower < 0:
+		return fmt.Errorf("cpu: negative leakage power %v", p.LeakagePower)
+	case p.SleepPower < 0:
+		return fmt.Errorf("cpu: negative sleep power %v", p.SleepPower)
+	case p.WakeEnergy < 0:
+		return fmt.Errorf("cpu: negative wake energy %v", p.WakeEnergy)
+	}
+	for _, l := range p.levels {
+		if l < p.SMin-1e-12 {
+			return fmt.Errorf("cpu: level %v below SMin %v", l, p.SMin)
+		}
+	}
+	return nil
+}
+
+// Name returns a short description for reports.
+func (p *Processor) Name() string {
+	model := "cubic"
+	if p.Model != nil {
+		model = p.Model.Name()
+	}
+	if p.Discrete() {
+		return fmt.Sprintf("discrete(%d levels, %s)", len(p.levels), model)
+	}
+	return fmt.Sprintf("continuous(smin=%g, %s)", p.SMin, model)
+}

@@ -1,0 +1,61 @@
+package dvs
+
+import (
+	"math"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// Bound computes the clairvoyant static lower bound on energy used by
+// the paper family as the "theoretical" reference curve: an oracle
+// that knows every actual execution time in advance runs the whole
+// workload at the constant actual-utilization speed
+//
+//	s* = clamp( Σᵢ mean(AETᵢ)/Tᵢ ),
+//
+// which is energy-optimal for a convex power curve when deadline
+// constraints are ignored (Jensen's inequality: any speed schedule
+// performing the same work over the same span at varying speed costs
+// at least the constant-speed schedule). Real policies cannot reach
+// it because the workload is revealed online and deadlines constrain
+// the smoothing window; the gap to this bound is the headroom metric
+// reported in EXPERIMENTS.md.
+//
+// The returned value is total energy over [0, horizon): busy energy
+// at s* for work/s* time plus idle energy for the remainder.
+func Bound(ts *rtm.TaskSet, proc *cpu.Processor, gen workload.Generator, horizon float64) float64 {
+	return BoundWindow(ts, proc, gen, horizon, horizon)
+}
+
+// BoundWindow is Bound with separate release cutoff and energy
+// window: jobs released in [0, release) are counted, and their work
+// is smoothed over [0, span). A simulation whose horizon cuts a
+// hyperperiod lets late releases complete *after* the horizon, so a
+// fair bound must smooth over the same extended span (span =
+// Result.Time of the compared run).
+func BoundWindow(ts *rtm.TaskSet, proc *cpu.Processor, gen workload.Generator, release, span float64) float64 {
+	if gen == nil {
+		gen = workload.WorstCase{}
+	}
+	if span < release {
+		span = release
+	}
+	// Exact actual work over the release window.
+	var work float64
+	for i, t := range ts.Tasks {
+		for k := 0; float64(k)*t.Period < release; k++ {
+			work += gen.AET(i, k, t.WCET)
+		}
+	}
+	if work <= 0 || span <= 0 {
+		return proc.IdlePower * math.Max(span, 0)
+	}
+	s := proc.Clamp(work / span)
+	busyTime := work / s
+	if busyTime > span {
+		busyTime = span
+	}
+	return proc.Power(s)*busyTime + proc.IdlePower*(span-busyTime)
+}

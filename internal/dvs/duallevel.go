@@ -1,0 +1,149 @@
+package dvs
+
+import (
+	"math"
+	"sort"
+
+	"dvsslack/internal/sim"
+)
+
+// DualLevel emulates a continuous-speed policy on a discrete-level
+// processor with the two-voltage technique of Ishihara and Yasuura
+// (ISLPED 1998): a requested speed s strictly between two adjacent
+// levels l < s < h is realized by running *h first* for exactly the
+// time x with
+//
+//	x·h + (T−x)·l = w,  T = w/s,  x = w·(s−l) / (s·(h−l)),
+//
+// then dropping to l, so the job occupies the identical wall-clock
+// window the inner policy planned while doing the same work — at
+// lower energy than rounding the whole job up to h whenever the power
+// curve is convex.
+//
+// Running the higher level first keeps the job *ahead* of the inner
+// policy's plan at every instant, so every deadline argument of the
+// inner policy carries over verbatim. (The lower-level-first order of
+// the original paper is energy-equivalent under this model but falls
+// transiently behind the plan, which would not compose safely with
+// preemptions.)
+//
+// The mid-job switch is injected through the sim.Repacer hook. The
+// wrapper assumes negligible transition overhead (the extra switch
+// per job is not budgeted against the slack analysis); use it with
+// SwitchTime == 0 processors, or accept that the inner policy's
+// native overhead reserve covers only its own transitions.
+type DualLevel struct {
+	// Inner supplies the continuous speed request (required).
+	Inner sim.Policy
+
+	sys    sim.System
+	levels []float64
+
+	// Current plan: drop to `low` at switchAt while job runs.
+	// planSeq pins the plan to the release count at plan time: any
+	// later release invalidates the commitment and the inner policy
+	// is consulted afresh (between external events nothing the
+	// inner policy could react to changes, so committing is sound;
+	// re-consulting it at the planned switch would re-split
+	// high-first forever for pace-shaped inner policies).
+	job      *sim.JobState
+	switchAt float64
+	low      float64
+	planSeq  uint64
+
+	releaseSeq uint64
+}
+
+// NewDualLevel wraps inner. The wrapped policy only differs from
+// inner on processors with discrete levels.
+func NewDualLevel(inner sim.Policy) *DualLevel { return &DualLevel{Inner: inner} }
+
+// Name implements sim.Policy.
+func (p *DualLevel) Name() string { return p.Inner.Name() + "+dual" }
+
+// Reset implements sim.Policy.
+func (p *DualLevel) Reset(sys sim.System) {
+	p.sys = sys
+	p.levels = sys.Processor().Levels()
+	sort.Float64s(p.levels)
+	p.job = nil
+	p.Inner.Reset(sys)
+}
+
+// OnRelease implements sim.Policy.
+func (p *DualLevel) OnRelease(j *sim.JobState) {
+	p.releaseSeq++
+	p.Inner.OnRelease(j)
+}
+
+// OnComplete implements sim.Policy.
+func (p *DualLevel) OnComplete(j *sim.JobState) {
+	if p.job == j {
+		p.job = nil
+	}
+	p.Inner.OnComplete(j)
+}
+
+// OnAdvance implements sim.Policy.
+func (p *DualLevel) OnAdvance(dt float64) { p.Inner.OnAdvance(dt) }
+
+// SelectSpeed implements sim.Policy.
+func (p *DualLevel) SelectSpeed(j *sim.JobState) float64 {
+	if p.job == j && p.planSeq == p.releaseSeq && p.sys.Now() >= p.switchAt-sim.Eps {
+		// Our own planned switch point, with no external event since
+		// the plan was made: enter the committed low phase.
+		return p.low
+	}
+	s := p.Inner.SelectSpeed(j)
+	if s > 1 {
+		s = 1
+	}
+	p.job = nil // invalidate any previous plan
+	if len(p.levels) == 0 {
+		return s // continuous processor: pass through
+	}
+	// Locate adjacent levels around the request.
+	i := sort.SearchFloat64s(p.levels, s)
+	if i == 0 || i >= len(p.levels) {
+		// At or below the lowest level, or above the top: a single
+		// level (the processor clamp) is already exact or forced.
+		return s
+	}
+	h := p.levels[i]
+	l := p.levels[i-1]
+	if s == h {
+		return s // exact level
+	}
+	w := j.RemainingWCET()
+	if w <= 0 || s <= 0 {
+		return s
+	}
+	// Split the plan window T = w/s: high phase of length x, then
+	// low. The engine will call back via NextCheck at the boundary.
+	x := w * (s - l) / (s * (h - l))
+	if x <= sim.Eps {
+		return l // the request is essentially the lower level
+	}
+	now := p.sys.Now()
+	p.job = j
+	p.switchAt = now + x
+	p.low = l
+	p.planSeq = p.releaseSeq
+	return h
+}
+
+// NextCheck implements sim.Repacer.
+func (p *DualLevel) NextCheck(j *sim.JobState) float64 {
+	if p.job != j || p.planSeq != p.releaseSeq || p.sys.Now() >= p.switchAt-sim.Eps {
+		return math.Inf(1)
+	}
+	return p.switchAt
+}
+
+// Counters implements sim.Instrumented when the inner policy does.
+func (p *DualLevel) Counters() map[string]float64 {
+	if inst, ok := p.Inner.(sim.Instrumented); ok {
+		return inst.Counters()
+	}
+	return nil
+}

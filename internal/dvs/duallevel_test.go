@@ -1,0 +1,155 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// fixedRequest always asks for one continuous speed.
+type fixedRequest struct {
+	sim.NopHooks
+	s float64
+}
+
+func (p fixedRequest) Name() string                      { return "fixed" }
+func (p fixedRequest) Reset(sim.System)                  {}
+func (p fixedRequest) SelectSpeed(*sim.JobState) float64 { return p.s }
+
+func TestDualLevelSplitsBetweenAdjacentLevels(t *testing.T) {
+	// One job: C=3, T=10, worst case. Inner requests 0.375 on a
+	// {0.25, 0.5, 0.75, 1} processor.
+	//
+	// Plan: T = 3/0.375 = 8; x = 3*(0.375-0.25)/(0.375*0.25) = 4.
+	// High phase: 4 time units at 0.5 (2 work), low phase: 4 at
+	// 0.25 (1 work). Busy energy = 4*0.125 + 4*0.015625 = 0.5625.
+	// Quantize-up instead: 3/0.5 = 6 units at 0.125 = 0.75.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 3, Period: 10})
+	proc, err := cpu.WithLevels(0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		TaskSet:         ts,
+		Processor:       proc,
+		Policy:          NewDualLevel(fixedRequest{s: 0.375}),
+		Horizon:         10,
+		StrictDeadlines: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BusyEnergy-0.5625) > 1e-9 {
+		t.Errorf("dual-level busy energy = %v, want 0.5625", res.BusyEnergy)
+	}
+	// Exactly one extra switch (0.5 -> 0.25) beyond the initial
+	// setting per job.
+	if res.SpeedSwitches != 1 {
+		t.Errorf("switches = %d, want 1", res.SpeedSwitches)
+	}
+
+	up, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    fixedRequest{s: 0.375}, // clamp rounds up to 0.5
+		Horizon:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up.BusyEnergy-0.75) > 1e-9 {
+		t.Errorf("quantize-up busy energy = %v, want 0.75", up.BusyEnergy)
+	}
+	if res.BusyEnergy >= up.BusyEnergy {
+		t.Error("dual-level emulation should beat quantize-up")
+	}
+}
+
+func TestDualLevelPassThroughContinuous(t *testing.T) {
+	ts := rtm.Quickstart()
+	gen := workload.Uniform{Lo: 0.4, Hi: 1, Seed: 9}
+	proc := cpu.Continuous(0.1)
+	plain, err := sim.Run(sim.Config{TaskSet: ts, Processor: proc, Policy: &CCEDF{}, Workload: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := sim.Run(sim.Config{TaskSet: ts, Processor: proc, Policy: NewDualLevel(&CCEDF{}), Workload: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Energy-dual.Energy) > 1e-9 {
+		t.Errorf("continuous pass-through changed energy: %v vs %v", plain.Energy, dual.Energy)
+	}
+}
+
+func TestDualLevelExactLevelNoSplit(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 2, Period: 8})
+	proc, err := cpu.WithLevels(0.25, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    NewDualLevel(fixedRequest{s: 0.25}),
+		Horizon:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedSwitches != 0 {
+		t.Errorf("exact level request caused %d switches, want 0", res.SpeedSwitches)
+	}
+}
+
+// TestDualLevelDeadlineSafeFuzz: wrapping the slack-analysis policy
+// with dual-level emulation preserves the hard guarantee and never
+// costs more energy than quantize-up, across random discrete
+// configurations.
+func TestDualLevelDeadlineSafeFuzz(t *testing.T) {
+	procs := []func() *cpu.Processor{
+		func() *cpu.Processor { return cpu.UniformLevels(4) },
+		func() *cpu.Processor { return cpu.UniformLevels(8) },
+		func() *cpu.Processor { return cpu.XScale() },
+	}
+	f := func(seed uint64, nRaw, uRaw, pRaw uint8) bool {
+		n := 1 + int(nRaw)%8
+		u := 0.2 + 0.8*float64(uRaw)/255
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		gen := workload.Uniform{Lo: 0.3, Hi: 1, Seed: seed}
+		proc := procs[int(pRaw)%len(procs)]()
+		dual, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: proc,
+			Policy:   NewDualLevel(&CCEDF{}),
+			Workload: gen, StrictDeadlines: true,
+		})
+		if err != nil || dual.DeadlineMisses != 0 {
+			t.Logf("dual: seed=%d err=%v misses=%d", seed, err, dual.DeadlineMisses)
+			return false
+		}
+		up, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: proc,
+			Policy:   &CCEDF{},
+			Workload: gen,
+		})
+		if err != nil {
+			return false
+		}
+		if dual.Energy > up.Energy*1.0001 {
+			t.Logf("dual %v > quantize-up %v (seed %d)", dual.Energy, up.Energy, seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package dvs implements the inter-task DVS-EDF baseline algorithms
+// the paper evaluates against, plus the non-DVS reference and the
+// clairvoyant static lower bound:
+//
+//   - NonDVS: always full speed (the normalization reference).
+//   - StaticEDF: the optimal constant speed assuming worst-case
+//     workloads, s = U (Pillai & Shin's "static EDF").
+//   - LppsEDF: low-power priority scheduling (Shin, Choi, Sakurai):
+//     stretch a job only when it is alone in the ready queue, up to
+//     min(its deadline, the next arrival).
+//   - CCEDF: cycle-conserving EDF (Pillai & Shin): track per-task
+//     utilization with actual usage until the next release.
+//   - LAEDF: look-ahead EDF (Pillai & Shin): defer work maximally
+//     toward each task's deadline and run at the speed the earliest
+//     deadline then requires.
+//   - DRA: dynamic reclaiming (Aydin, Melhem, Mossé, Mejía-Alvarez):
+//     pass the earliness of completed jobs to equal-or-later-deadline
+//     ready jobs via an alpha-queue of the canonical static schedule.
+//
+// All policies are deadline-safe for EDF-feasible task sets (U ≤ 1);
+// the property-based test suite fuzzes this for each of them.
+package dvs
+
+import (
+	"dvsslack/internal/analysis"
+	"dvsslack/internal/sim"
+)
+
+// NonDVS runs everything at full speed. Its energy is the
+// normalization reference of every experiment.
+type NonDVS struct{ sim.NopHooks }
+
+// Name implements sim.Policy.
+func (NonDVS) Name() string { return "nonDVS" }
+
+// Reset implements sim.Policy.
+func (*NonDVS) Reset(sim.System) {}
+
+// SelectSpeed implements sim.Policy.
+func (*NonDVS) SelectSpeed(*sim.JobState) float64 { return 1 }
+
+// StaticEDF runs at the constant worst-case utilization speed: the
+// slowest constant speed that keeps an implicit-deadline task set
+// EDF-schedulable when every job consumes its WCET.
+type StaticEDF struct {
+	sim.NopHooks
+	speed float64
+}
+
+// Name implements sim.Policy.
+func (*StaticEDF) Name() string { return "staticEDF" }
+
+// Reset implements sim.Policy.
+func (p *StaticEDF) Reset(sys sim.System) {
+	// For implicit deadlines this is the utilization; for
+	// constrained deadlines the demand-based minimum constant speed.
+	p.speed = analysis.MinConstantSpeed(sys.TaskSet())
+}
+
+// SelectSpeed implements sim.Policy.
+func (p *StaticEDF) SelectSpeed(*sim.JobState) float64 { return p.speed }

@@ -1,0 +1,66 @@
+package dvs
+
+import (
+	"dvsslack/internal/sim"
+)
+
+// EfficientFloor wraps a policy with the *critical speed* floor of
+// leakage-aware DVS (Jejurikar, Pereira, Gupta, DAC 2004): when the
+// processor draws static leakage power while busy, energy per unit
+// of work, (P(s)+P_leak)/s, is minimized at a speed s_crit strictly
+// above the slowest usable speed — stretching work below s_crit
+// integrates leakage over a longer runtime faster than the dynamic
+// term shrinks. The wrapper floors the inner policy's selection at
+// s_crit, converting over-stretching into idle time that a
+// sleep-capable processor can power down through.
+//
+// Raising a speed is always deadline-safe, so the inner policy's
+// guarantee is untouched. On a leakage-free processor s_crit equals
+// the minimum usable speed and the wrapper is an identity.
+type EfficientFloor struct {
+	// Inner is the wrapped policy (required).
+	Inner sim.Policy
+
+	floor float64
+}
+
+// NewEfficientFloor wraps inner with the processor's critical speed
+// (computed at Reset).
+func NewEfficientFloor(inner sim.Policy) *EfficientFloor {
+	return &EfficientFloor{Inner: inner}
+}
+
+// Name implements sim.Policy.
+func (p *EfficientFloor) Name() string { return p.Inner.Name() + "+crit" }
+
+// Reset implements sim.Policy.
+func (p *EfficientFloor) Reset(sys sim.System) {
+	p.floor = sys.Processor().CriticalSpeed()
+	p.Inner.Reset(sys)
+}
+
+// OnRelease implements sim.Policy.
+func (p *EfficientFloor) OnRelease(j *sim.JobState) { p.Inner.OnRelease(j) }
+
+// OnComplete implements sim.Policy.
+func (p *EfficientFloor) OnComplete(j *sim.JobState) { p.Inner.OnComplete(j) }
+
+// OnAdvance implements sim.Policy.
+func (p *EfficientFloor) OnAdvance(dt float64) { p.Inner.OnAdvance(dt) }
+
+// SelectSpeed implements sim.Policy.
+func (p *EfficientFloor) SelectSpeed(j *sim.JobState) float64 {
+	s := p.Inner.SelectSpeed(j)
+	if s < p.floor {
+		return p.floor
+	}
+	return s
+}
+
+// Counters implements sim.Instrumented when the inner policy does.
+func (p *EfficientFloor) Counters() map[string]float64 {
+	if inst, ok := p.Inner.(sim.Instrumented); ok {
+		return inst.Counters()
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+func leakyProc(leak float64) *cpu.Processor {
+	p := cpu.Continuous(0.05)
+	p.LeakagePower = leak
+	p.SleepEnabled = true
+	p.SleepPower = 0.005
+	p.WakeEnergy = 0.2
+	return p
+}
+
+func TestEfficientFloorIdentityWithoutLeakage(t *testing.T) {
+	ts := rtm.Quickstart()
+	gen := workload.Uniform{Lo: 0.4, Hi: 1, Seed: 6}
+	proc := cpu.Continuous(0.1)
+	plain, err := sim.Run(sim.Config{TaskSet: ts, Processor: proc, Policy: core.NewLpSHE(), Workload: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floored, err := sim.Run(sim.Config{TaskSet: ts, Processor: proc, Policy: NewEfficientFloor(core.NewLpSHE()), Workload: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Energy-floored.Energy) > 1e-9 {
+		t.Errorf("floor changed a leakage-free run: %v vs %v", plain.Energy, floored.Energy)
+	}
+}
+
+func TestEfficientFloorWinsUnderHeavyLeakage(t *testing.T) {
+	ts := rtm.Quickstart()
+	gen := workload.Uniform{Lo: 0.4, Hi: 1, Seed: 6}
+	proc := leakyProc(0.4)
+	run := func(p sim.Policy) sim.Result {
+		res, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: proc, Policy: p,
+			Workload: gen, Horizon: 600, StrictDeadlines: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(core.NewLpSHE())
+	floored := run(NewEfficientFloor(core.NewLpSHE()))
+	if floored.Energy >= plain.Energy {
+		t.Errorf("critical-speed floor should save energy under heavy leakage: %v vs %v",
+			floored.Energy, plain.Energy)
+	}
+	if floored.DeadlineMisses != 0 {
+		t.Error("floor must not cause misses")
+	}
+	// The floor creates sleepable idle time.
+	if floored.Sleeps == 0 {
+		t.Error("expected deep-sleep intervals with the floor")
+	}
+}
+
+func TestSleepAccounting(t *testing.T) {
+	// One job then a long idle gap: the processor should sleep
+	// through it. C=1, T=100, full speed: busy [0,1], idle 99.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 1, Period: 100})
+	proc := leakyProc(0.1)
+	res, err := sim.Run(sim.Config{
+		TaskSet: ts, Processor: proc, Policy: &NonDVS{}, Horizon: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sleeps != 1 {
+		t.Fatalf("sleeps = %d, want 1", res.Sleeps)
+	}
+	if math.Abs(res.SleepTime-99) > 1e-9 {
+		t.Errorf("sleep time = %v, want 99", res.SleepTime)
+	}
+	// Busy: (1 + 0.1) * 1; idle: wake 0.2 + 99 * 0.005.
+	wantIdle := 0.2 + 99*0.005
+	if math.Abs(res.IdleEnergy-wantIdle) > 1e-9 {
+		t.Errorf("idle energy = %v, want %v", res.IdleEnergy, wantIdle)
+	}
+	if math.Abs(res.BusyEnergy-1.1) > 1e-9 {
+		t.Errorf("busy energy = %v, want 1.1", res.BusyEnergy)
+	}
+}
+
+func TestShortGapStaysAwake(t *testing.T) {
+	// Break-even for leakage 0.1: saving = 0.05+0.1-0.005 = 0.145;
+	// 0.2/0.145 ≈ 1.38. A 1-unit gap must stay awake.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 3, Period: 4})
+	proc := leakyProc(0.1)
+	res, err := sim.Run(sim.Config{
+		TaskSet: ts, Processor: proc, Policy: &NonDVS{}, Horizon: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sleeps != 0 {
+		t.Errorf("sleeps = %d, want 0 for sub-break-even gaps", res.Sleeps)
+	}
+}

@@ -1,0 +1,137 @@
+package dvs
+
+import (
+	"math"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/sim"
+)
+
+// FeedbackEDF reconstructs the feedback DVS-EDF scheme of Zhu and
+// Mueller (RTAS 2003) on this module's substrate: each task keeps an
+// exponentially-weighted prediction ĉ of its next actual execution
+// time, and every job is split into two virtual subtasks —
+//
+//   - TA: the predicted portion ĉ, run at the low speed
+//     sA = ĉ/(ĉ+L) where L is the analyzed system slack, and
+//   - TB: the rest of the worst case, run at full speed.
+//
+// If the prediction holds (the common case), the job finishes inside
+// TA at the low speed; if not, the intra-job power-management point
+// (sim.Repacer) switches to full speed so the worst case still fits.
+// Total occupancy is at most ĉ/sA + (w−ĉ) = w + L, the same budget
+// the greedy slack floor proves safe, so the hard guarantee is
+// independent of prediction quality.
+//
+// Compared to lpSHE this "bet low, sprint on miss" shape wins when
+// predictions are accurate and loses (convexity) when the workload
+// is erratic — exactly the trade-off the feedback-DVS literature
+// reports.
+type FeedbackEDF struct {
+	// Alpha is the EWMA weight of the newest observation (default
+	// 0.5 via NewFeedbackEDF).
+	Alpha float64
+
+	sys      sim.System
+	analyzer *core.Analyzer
+	pred     []float64 // ĉ per task
+
+	// split plan for the running job
+	job      *sim.JobState
+	sprintAt float64
+}
+
+// NewFeedbackEDF returns the policy with α = 0.5.
+func NewFeedbackEDF() *FeedbackEDF { return &FeedbackEDF{Alpha: 0.5} }
+
+// Name implements sim.Policy.
+func (p *FeedbackEDF) Name() string { return "fbEDF" }
+
+// Reset implements sim.Policy.
+func (p *FeedbackEDF) Reset(sys sim.System) {
+	p.sys = sys
+	p.analyzer = core.NewAnalyzer(sys.TaskSet())
+	p.pred = make([]float64, sys.TaskSet().N())
+	for i, t := range sys.TaskSet().Tasks {
+		p.pred[i] = t.WCET // no history yet: predict the worst case
+	}
+	p.job = nil
+}
+
+// OnRelease implements sim.Policy.
+func (p *FeedbackEDF) OnRelease(*sim.JobState) {}
+
+// OnComplete implements sim.Policy: feed the observed execution time
+// back into the predictor.
+func (p *FeedbackEDF) OnComplete(j *sim.JobState) {
+	a := p.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.5
+	}
+	i := j.TaskIndex
+	p.pred[i] = a*j.Executed + (1-a)*p.pred[i]
+	if p.job == j {
+		p.job = nil
+	}
+}
+
+// OnAdvance implements sim.Policy.
+func (p *FeedbackEDF) OnAdvance(float64) {}
+
+// SelectSpeed implements sim.Policy.
+func (p *FeedbackEDF) SelectSpeed(j *sim.JobState) float64 {
+	p.job = nil
+	w := j.RemainingWCET()
+	if w <= 0 {
+		return p.sys.Processor().SMin
+	}
+	now := p.sys.Now()
+	// Predicted work still outstanding for this job.
+	predRem := p.pred[j.TaskIndex] - j.Executed
+	if predRem <= 1e-9 {
+		// Past the prediction: sprint so the worst case fits.
+		return 1
+	}
+	if predRem > w {
+		predRem = w
+	}
+	slack, _ := p.analyzer.Analyze(now, p.sys.ActiveJobs(), p.sys.NextReleaseOf)
+	if slack <= 0 {
+		return 1
+	}
+	sA := predRem / (predRem + slack)
+	// Own-deadline floor: TA at sA plus TB at full speed must fit
+	// into the job's own window.
+	if win := j.AbsDeadline - now; win > 0 {
+		// occupancy = predRem/sA + (w − predRem) ≤ win
+		if budget := win - (w - predRem); budget > 0 {
+			if floor := predRem / budget; floor > sA {
+				sA = floor
+			}
+		} else {
+			return 1
+		}
+	}
+	if sA >= 1 {
+		return 1
+	}
+	p.job = j
+	p.sprintAt = now + predRem/sA
+	return sA
+}
+
+// NextCheck implements sim.Repacer: the TA→TB boundary.
+func (p *FeedbackEDF) NextCheck(j *sim.JobState) float64 {
+	if p.job != j {
+		return math.Inf(1)
+	}
+	return p.sprintAt
+}
+
+// Counters implements sim.Instrumented.
+func (p *FeedbackEDF) Counters() map[string]float64 {
+	if p.analyzer == nil {
+		return nil
+	}
+	return p.analyzer.Counters()
+}

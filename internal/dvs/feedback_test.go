@@ -1,0 +1,108 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+func TestFeedbackEDFPredictableWorkloadRunsSlow(t *testing.T) {
+	// Constant AET at 40% of WCET: after warm-up the predictor is
+	// exact and jobs complete entirely inside the low-speed portion.
+	// The horizon spans many periods so the warm-up job (which must
+	// assume the worst case) is amortized away.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 2, Period: 10})
+	gen := workload.Constant{Frac: 0.4}
+	runLong := func(p sim.Policy) sim.Result {
+		res, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: cpu.Continuous(0.1), Policy: p,
+			Workload: gen, Horizon: 200, StrictDeadlines: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := runLong(NewFeedbackEDF())
+	if res.DeadlineMisses != 0 {
+		t.Fatal("missed deadlines")
+	}
+	// With ĉ = 0.8 and L = 8 the jobs run at the floor speed, far
+	// below the static speed (0.2); require a clear improvement.
+	static := runLong(&StaticEDF{})
+	if res.Energy >= 0.8*static.Energy {
+		t.Errorf("fbEDF %v should clearly beat staticEDF %v on a predictable workload",
+			res.Energy, static.Energy)
+	}
+}
+
+func TestFeedbackEDFSprintsOnMissedPrediction(t *testing.T) {
+	// Alternating light/heavy jobs mislead the EWMA, forcing TB
+	// sprints — the guarantee must hold regardless.
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 3, Period: 8},
+		rtm.Task{WCET: 3, Period: 8},
+	)
+	gen := workload.Bimodal{LightFrac: 0.2, HeavyFrac: 1.0, PHeavy: 0.5, Seed: 3}
+	res := run(t, ts, NewFeedbackEDF(), gen)
+	if res.DeadlineMisses != 0 {
+		t.Fatal("missed deadlines under misprediction")
+	}
+	if res.SpeedSwitches == 0 {
+		t.Error("expected TA/TB speed switches")
+	}
+}
+
+func TestFeedbackEDFPredictorConverges(t *testing.T) {
+	p := NewFeedbackEDF()
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 4, Period: 10})
+	_, err := sim.Run(sim.Config{
+		TaskSet: ts, Processor: cpu.Continuous(0.1), Policy: p,
+		Workload: workload.Constant{Frac: 0.5}, Horizon: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EWMA with α=0.5 over 20 jobs: prediction within a hair of 2.
+	if math.Abs(p.pred[0]-2) > 0.01 {
+		t.Errorf("prediction = %v, want ≈ 2", p.pred[0])
+	}
+}
+
+func TestFeedbackEDFNeverMissesFuzz(t *testing.T) {
+	f := func(seed uint64, nRaw, uRaw, wRaw uint8) bool {
+		n := 1 + int(nRaw)%8
+		u := 0.15 + 0.85*float64(uRaw)/255
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		var gen workload.Generator
+		switch wRaw % 3 {
+		case 0:
+			gen = workload.Uniform{Lo: 0.05, Hi: 1, Seed: seed}
+		case 1:
+			gen = workload.Bimodal{LightFrac: 0.1, HeavyFrac: 1, PHeavy: 0.4, Seed: seed}
+		default:
+			gen = workload.WorstCase{}
+		}
+		res, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: cpu.Continuous(0.1),
+			Policy: NewFeedbackEDF(), Workload: gen, StrictDeadlines: true,
+		})
+		if err != nil || res.DeadlineMisses != 0 {
+			t.Logf("seed=%d n=%d u=%v gen=%s: err=%v misses=%d",
+				seed, n, u, gen.Name(), err, res.DeadlineMisses)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package dvs
+
+import (
+	"math"
+
+	"dvsslack/internal/sim"
+)
+
+// LppsEDF is the low-power priority scheduling heuristic of Shin,
+// Choi and Sakurai adapted to EDF (the "lppsEDF" baseline of the
+// SimDVS comparisons). Speed selection:
+//
+//   - If the dispatched job is the only active job, stretch it to
+//     finish at min(its deadline, the next task arrival):
+//     s = w / (min(d, nextArrival) − t). Nothing else is delayed, so
+//     the stretch is trivially deadline-safe.
+//   - Otherwise run at the static worst-case speed (never below the
+//     utilization speed, which keeps the backlog schedulable).
+//
+// This is the weakest reclaiming baseline: it exploits only the
+// idle-interval slack visible when the ready queue has drained.
+type LppsEDF struct {
+	sim.NopHooks
+	sys sim.System
+}
+
+// Name implements sim.Policy.
+func (*LppsEDF) Name() string { return "lppsEDF" }
+
+// Reset implements sim.Policy.
+func (p *LppsEDF) Reset(sys sim.System) { p.sys = sys }
+
+// SelectSpeed implements sim.Policy.
+func (p *LppsEDF) SelectSpeed(j *sim.JobState) float64 {
+	if len(p.sys.ActiveJobs()) != 1 {
+		return 1 // multiple ready jobs: full speed
+	}
+	t := p.sys.Now()
+	w := j.RemainingWCET()
+	limit := math.Min(j.AbsDeadline, p.sys.NextRelease())
+	window := limit - t
+	if window <= 0 || w <= 0 {
+		return 1
+	}
+	return w / window
+}

@@ -1,0 +1,75 @@
+package dvs
+
+import (
+	"dvsslack/internal/sim"
+)
+
+// OverheadGuard wraps a policy with switch hysteresis for processors
+// with expensive speed transitions: a requested slow-down that is
+// within Hysteresis of the current speed is suppressed and the
+// previous (faster) speed kept, cutting transitions whose stall and
+// transition energy would outweigh the small slow-down they buy.
+//
+// Only downward changes are suppressed — keeping a *faster* speed is
+// always deadline-safe, so the guard never weakens the wrapped
+// policy's guarantee. Speed-ups always pass through unchanged.
+//
+// Note that the shipped lpSHE policy is natively overhead-aware (it
+// reserves 2·SwitchTime of slack per decision); the guard composes
+// with it to additionally reduce the switch count.
+type OverheadGuard struct {
+	// Inner is the wrapped policy (required).
+	Inner sim.Policy
+	// Hysteresis is the largest slow-down to suppress (default 0.05
+	// via NewOverheadGuard; zero disables suppression).
+	Hysteresis float64
+
+	last float64
+	have bool
+}
+
+// NewOverheadGuard wraps inner with the default 5% hysteresis.
+func NewOverheadGuard(inner sim.Policy) *OverheadGuard {
+	return &OverheadGuard{Inner: inner, Hysteresis: 0.05}
+}
+
+// Name implements sim.Policy.
+func (p *OverheadGuard) Name() string { return p.Inner.Name() + "+guard" }
+
+// Reset implements sim.Policy.
+func (p *OverheadGuard) Reset(sys sim.System) {
+	p.last = 0
+	p.have = false
+	p.Inner.Reset(sys)
+}
+
+// OnRelease implements sim.Policy.
+func (p *OverheadGuard) OnRelease(j *sim.JobState) { p.Inner.OnRelease(j) }
+
+// OnComplete implements sim.Policy.
+func (p *OverheadGuard) OnComplete(j *sim.JobState) { p.Inner.OnComplete(j) }
+
+// OnAdvance implements sim.Policy.
+func (p *OverheadGuard) OnAdvance(dt float64) { p.Inner.OnAdvance(dt) }
+
+// SelectSpeed implements sim.Policy.
+func (p *OverheadGuard) SelectSpeed(j *sim.JobState) float64 {
+	s := p.Inner.SelectSpeed(j)
+	if s > 1 {
+		s = 1
+	}
+	if p.have && p.Hysteresis > 0 && p.last >= s && p.last-s <= p.Hysteresis {
+		return p.last // keep the (faster) current speed: no transition
+	}
+	p.last = s
+	p.have = true
+	return s
+}
+
+// Counters implements sim.Instrumented when the inner policy does.
+func (p *OverheadGuard) Counters() map[string]float64 {
+	if inst, ok := p.Inner.(sim.Instrumented); ok {
+		return inst.Counters()
+	}
+	return nil
+}

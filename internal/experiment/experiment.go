@@ -1,0 +1,234 @@
+// Package experiment implements the evaluation harness: the policy
+// suite under comparison, identical-workload measurement points,
+// parameter sweeps, and the table/figure reproductions indexed in
+// DESIGN.md §3. Each experiment returns a Report of deterministic
+// tables and ASCII charts; cmd/dvsexp prints them and bench_test.go
+// regenerates them under `go test -bench`.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/report"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/stats"
+	"dvsslack/internal/workload"
+)
+
+// PolicyFactory creates a fresh policy instance for one run.
+type PolicyFactory func() sim.Policy
+
+// Suite returns the ordered comparison suite of the evaluation: the
+// non-DVS reference, the prior inter-task DVS-EDF algorithms, and the
+// paper's lpSHE.
+func Suite() []PolicyFactory {
+	return []PolicyFactory{
+		func() sim.Policy { return &dvs.NonDVS{} },
+		func() sim.Policy { return &dvs.StaticEDF{} },
+		func() sim.Policy { return &dvs.LppsEDF{} },
+		func() sim.Policy { return &dvs.CCEDF{} },
+		func() sim.Policy { return &dvs.LAEDF{} },
+		func() sim.Policy { return &dvs.DRA{} },
+		func() sim.Policy { return dvs.NewFeedbackEDF() },
+		func() sim.Policy { return core.NewLpSHE() },
+	}
+}
+
+// SuiteNames returns the policy names of Suite, in order.
+func SuiteNames() []string {
+	var names []string
+	for _, f := range Suite() {
+		names = append(names, f().Name())
+	}
+	return names
+}
+
+// Options controls experiment scale.
+type Options struct {
+	// Seeds is the number of random task sets per measurement point
+	// (default 20; Quick reduces to 4).
+	Seeds int
+	// Seed0 offsets the pseudo-random streams.
+	Seed0 uint64
+	// Quick selects a reduced configuration for tests and benches.
+	Quick bool
+}
+
+// seeds returns the effective replication count.
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 4
+	}
+	return 20
+}
+
+// Report is the output of one experiment: deterministic tables and
+// charts plus a free-form summary map consumed by tests.
+type Report struct {
+	ID          string
+	Title       string
+	Description string
+	Tables      []*report.Table
+	Charts      []*report.Chart
+	// Values holds machine-readable results keyed by
+	// "series/xlabel" for assertions in tests and EXPERIMENTS.md
+	// generation.
+	Values map[string]float64
+}
+
+func newReport(id, title, description string) *Report {
+	return &Report{ID: id, Title: title, Description: description, Values: map[string]float64{}}
+}
+
+func (r *Report) set(key string, v float64) { r.Values[key] = v }
+
+// Point is one measurement configuration: every policy of the suite
+// runs on the *identical* task set, workload trace, and processor.
+type Point struct {
+	TaskSet   *rtm.TaskSet
+	Processor *cpu.Processor
+	Workload  workload.Generator
+	Horizon   float64 // zero = sim.DefaultHorizon
+}
+
+// PointResult carries the per-policy outcomes of one Point.
+type PointResult struct {
+	// Results maps policy name to its raw simulation result.
+	Results map[string]sim.Result
+	// Normalized maps policy name to energy normalized by the
+	// non-DVS run on the identical workload.
+	Normalized map[string]float64
+	// Bound is the clairvoyant static lower bound, normalized.
+	Bound float64
+	// Misses is the total deadline misses across all policies.
+	Misses int
+}
+
+// RunPoint executes the full suite (plus any extra factories) on one
+// point.
+func RunPoint(p Point, extra ...PolicyFactory) (PointResult, error) {
+	factories := append(Suite(), extra...)
+	return RunPointWith(p, factories)
+}
+
+// RunPointWith executes the given policy factories on one point. The
+// first factory must produce the normalization reference; by
+// convention it is NonDVS (callers composing custom suites must
+// include it first for Normalized to be meaningful).
+func RunPointWith(p Point, factories []PolicyFactory) (PointResult, error) {
+	horizon := p.Horizon
+	if horizon == 0 {
+		horizon = sim.DefaultHorizon(p.TaskSet)
+	}
+	pr := PointResult{
+		Results:    map[string]sim.Result{},
+		Normalized: map[string]float64{},
+	}
+	var ref sim.Result
+	for i, f := range factories {
+		pol := f()
+		res, err := sim.Run(sim.Config{
+			TaskSet:   p.TaskSet,
+			Processor: p.Processor,
+			Policy:    pol,
+			Workload:  p.Workload,
+			Horizon:   horizon,
+		})
+		if err != nil {
+			return pr, fmt.Errorf("experiment: point %s policy %s: %w", p.TaskSet.Name, pol.Name(), err)
+		}
+		pr.Results[res.Policy] = res
+		pr.Misses += res.DeadlineMisses
+		if i == 0 {
+			ref = res
+		}
+		pr.Normalized[res.Policy] = res.NormalizedTo(ref)
+	}
+	if ref.Energy > 0 {
+		pr.Bound = dvs.Bound(p.TaskSet, p.Processor, p.Workload, horizon) / ref.Energy
+	}
+	return pr, nil
+}
+
+// sweepPoint aggregates normalized energy across seeded replications
+// of a synthetic configuration.
+type sweepPoint struct {
+	norm   map[string]*stats.Sample
+	bound  *stats.Sample
+	misses int
+}
+
+func newSweepPoint(names []string) *sweepPoint {
+	sp := &sweepPoint{norm: map[string]*stats.Sample{}, bound: &stats.Sample{}}
+	for _, n := range names {
+		sp.norm[n] = &stats.Sample{}
+	}
+	return sp
+}
+
+// runSweepPoint measures one (n, u, gen, proc) configuration over
+// opts.seeds() random task sets.
+func runSweepPoint(n int, u float64, mkGen func(seed uint64) workload.Generator,
+	proc *cpu.Processor, opts Options, factories []PolicyFactory) (*sweepPoint, error) {
+	return runSweepPointDetail(n, u, mkGen, proc, opts, factories, nil)
+}
+
+// runSweepPointDetail is runSweepPoint with a per-replication hook
+// that receives the raw per-policy results (for counter aggregation).
+func runSweepPointDetail(n int, u float64, mkGen func(seed uint64) workload.Generator,
+	proc *cpu.Processor, opts Options, factories []PolicyFactory,
+	each func(map[string]sim.Result)) (*sweepPoint, error) {
+
+	names := factoryNames(factories)
+	sp := newSweepPoint(names)
+	for s := 0; s < opts.seeds(); s++ {
+		seed := opts.Seed0 + uint64(s)*0x9e37 + 17
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPointWith(Point{
+			TaskSet:   ts,
+			Processor: proc,
+			Workload:  mkGen(seed),
+		}, factories)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			sp.norm[name].Add(pr.Normalized[name])
+		}
+		sp.bound.Add(pr.Bound)
+		sp.misses += pr.Misses
+		if each != nil {
+			each(pr.Results)
+		}
+	}
+	return sp, nil
+}
+
+func factoryNames(factories []PolicyFactory) []string {
+	var names []string
+	for _, f := range factories {
+		names = append(names, f().Name())
+	}
+	return names
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(Options) (*Report, error)
+
+// Registry maps experiment IDs (DESIGN.md §3) to their
+// implementations.
+func Registry() map[string]Func {
+	return map[string]Func{
+		"t1":  Table1ProcessorModels,
+		"f3":  Fig3EnergyVsUtilization,
+		"f4":  Fig4EnergyVsBCETRatio,
+		"f5":  Fig5EnergyVsTaskCount,
+		"t2":  Table2Benchmarks,
+		"f6":  Fig6DiscreteLevels,
+		"f7":  Fig7TransitionOverhead,
+		"t3":  Table3Overheads,
+		"t4":  Table4DeadlineFuzz,
+		"f8":  Fig8Ablation,
+		"t5":  Table5OptimalityGap,
+		"f9":  Fig9JitterRobustness,
+		"f10": Fig10WorkloadShapes,
+		"f11": Fig11Leakage,
+	}
+}
+
+// IDs returns the experiment identifiers in presentation order: the
+// paper reproductions first (t1..f8), then the bound-tightness table
+// and the extension studies.
+func IDs() []string {
+	return []string{"t1", "f3", "f4", "f5", "t2", "f6", "f7", "t3", "t4", "f8", "t5", "f9", "f10", "f11"}
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Report, error) {
+	f, ok := Registry()[id]
+	if !ok {
+		var known []string
+		for k := range Registry() {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, known)
+	}
+	return f(opts)
+}
+
+// Print renders a report's tables and charts to w.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n%s\n\n", r.Title, r.Description)
+	for _, t := range r.Tables {
+		t.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	for _, c := range r.Charts {
+		c.Write(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintCSV renders a report's tables as CSV to w.
+func (r *Report) PrintCSV(w io.Writer) {
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+		t.WriteCSV(w)
+		fmt.Fprintln(w)
+	}
+}

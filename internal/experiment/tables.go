@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dvsslack/internal/analysis"
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/prng"
+	"dvsslack/internal/report"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// Table1ProcessorModels reproduces table T1: the operating points and
+// normalized power of the processor presets.
+func Table1ProcessorModels(opts Options) (*Report, error) {
+	r := newReport("t1", "T1: processor models",
+		"operating points of the discrete presets; power normalized to P(1)=1")
+	for _, name := range []string{"xscale", "crusoe", "uniform4", "uniform8"} {
+		proc := cpu.Presets()[name]
+		tbl := report.NewTable(fmt.Sprintf("T1: %s", name), "speed", "voltage", "power")
+		for _, s := range proc.Levels() {
+			tbl.AddRow(s, proc.Voltage(s), proc.Power(s))
+			r.set(fmt.Sprintf("%s/power/%.3f", name, s), proc.Power(s))
+		}
+		r.Tables = append(r.Tables, tbl)
+	}
+	// The continuous SA-1100-like model, tabulated at decile speeds.
+	sa := cpu.SA1100()
+	tbl := report.NewTable("T1: sa1100 (continuous, alpha-power law)", "speed", "voltage", "power")
+	for s := 0.3; s <= 1.0001; s += 0.1 {
+		tbl.AddRow(s, sa.Voltage(s), sa.Power(s))
+	}
+	r.Tables = append(r.Tables, tbl)
+	return r, nil
+}
+
+// Table2Benchmarks reproduces table T2: normalized energy of every
+// policy on the embedded benchmark task sets (CNC, avionics,
+// videophone), with the standard AET/WCET ~ U[0.5, 1] workload.
+func Table2Benchmarks(opts Options) (*Report, error) {
+	r := newReport("t2", "T2: embedded benchmark task sets",
+		"normalized energy per policy; AET/WCET ~ U[0.5,1], continuous speeds")
+	names := SuiteNames()
+	tbl := report.NewTable(r.Title,
+		append([]string{"benchmark", "n", "U"}, append(names, "bound")...)...)
+	for _, ts := range rtm.Benchmarks() {
+		pr, err := RunPoint(Point{
+			TaskSet:   ts,
+			Processor: defaultProcessor(),
+			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: opts.Seed0 + 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{ts.Name, ts.N(), ts.Utilization()}
+		for _, n := range names {
+			row = append(row, pr.Normalized[n])
+			r.set(fmt.Sprintf("%s/%s", ts.Name, n), pr.Normalized[n])
+		}
+		row = append(row, pr.Bound)
+		r.set(fmt.Sprintf("%s/bound", ts.Name), pr.Bound)
+		r.set(fmt.Sprintf("%s/misses", ts.Name), float64(pr.Misses))
+		tbl.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, tbl)
+	return r, nil
+}
+
+// Table3Overheads reproduces table T3: run-time cost of each policy —
+// speed switches, preemptions, scheduling decisions (all per job) and
+// the slack-analysis scan length where applicable.
+func Table3Overheads(opts Options) (*Report, error) {
+	r := newReport("t3", "T3: scheduling overhead per policy",
+		"n=8 tasks, U=0.7, AET/WCET ~ U[0.5,1]; counts per completed job")
+	factories := Suite()
+	tbl := report.NewTable(r.Title,
+		"policy", "switches/job", "preemptions/job", "decisions/job", "avg_scan_len")
+	type agg struct{ sw, pre, dec, scan, jobs float64 }
+	sums := map[string]*agg{}
+	var order []string
+	for _, f := range factories {
+		order = append(order, f().Name())
+	}
+	for _, name := range order {
+		sums[name] = &agg{}
+	}
+	for s := 0; s < opts.seeds(); s++ {
+		seed := opts.Seed0 + uint64(s)*7919 + 3
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(8, 0.7, seed))
+		if err != nil {
+			return nil, err
+		}
+		pr, err := RunPoint(Point{
+			TaskSet:   ts,
+			Processor: defaultProcessor(),
+			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for name, res := range pr.Results {
+			a := sums[name]
+			if a == nil {
+				continue
+			}
+			a.sw += float64(res.SpeedSwitches)
+			a.pre += float64(res.Preemptions)
+			a.dec += float64(res.Decisions)
+			a.jobs += float64(res.JobsCompleted)
+			if v, ok := res.PolicyCounters["slack_avg_scan_len"]; ok {
+				a.scan += v
+			}
+		}
+	}
+	for _, name := range order {
+		a := sums[name]
+		if a.jobs == 0 {
+			continue
+		}
+		scan := a.scan / float64(opts.seeds())
+		tbl.AddRow(name, a.sw/a.jobs, a.pre/a.jobs, a.dec/a.jobs, scan)
+		r.set(fmt.Sprintf("%s/switches_per_job", name), a.sw/a.jobs)
+		r.set(fmt.Sprintf("%s/decisions_per_job", name), a.dec/a.jobs)
+		r.set(fmt.Sprintf("%s/avg_scan_len", name), scan)
+	}
+	r.Tables = append(r.Tables, tbl)
+	return r, nil
+}
+
+// Table4DeadlineFuzz reproduces table T4: the hard real-time
+// guarantee. Random feasible configurations spanning task count,
+// utilization, workload shape, and processor model are simulated with
+// every policy; the table must report zero deadline misses
+// everywhere.
+func Table4DeadlineFuzz(opts Options) (*Report, error) {
+	r := newReport("t4", "T4: deadline-miss fuzz across the configuration space",
+		"random (n, U, workload, processor) configurations; all policies; misses must be zero")
+	runs := 200
+	if opts.Quick {
+		runs = 25
+	}
+	src := prng.New(opts.Seed0 + 0xfeed)
+	procs := []*cpu.Processor{
+		defaultProcessor(),
+		cpu.UniformLevels(4),
+		cpu.XScale(),
+	}
+	factories := append(Suite(),
+		func() sim.Policy { return core.NewLpSHEVariant(core.NoReclaim) },
+		func() sim.Policy { return core.NewLpSHEVariant(core.Horizon8) },
+	)
+	names := factoryNames(factories)
+	misses := map[string]int{}
+	jobs := map[string]int{}
+	infeasible := 0
+	for i := 0; i < runs; i++ {
+		n := 2 + src.Intn(10)
+		u := src.Range(0.2, 1.0)
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, src.Uint64()))
+		if err != nil {
+			return nil, err
+		}
+		if !analysis.EDFSchedulable(ts) {
+			infeasible++
+			continue
+		}
+		var gen workload.Generator
+		switch src.Intn(4) {
+		case 0:
+			lo := src.Range(0.05, 0.9)
+			gen = workload.Uniform{Lo: lo, Hi: 1, Seed: src.Uint64()}
+		case 1:
+			gen = workload.Bimodal{LightFrac: 0.2, HeavyFrac: 1.0, PHeavy: src.Range(0.05, 0.5), Seed: src.Uint64()}
+		case 2:
+			gen = workload.Sinusoidal{Mean: 0.6, Amp: 0.35, Jitter: 0.05, Seed: src.Uint64()}
+		default:
+			gen = workload.WorstCase{}
+		}
+		proc := procs[src.Intn(len(procs))]
+		pr, err := RunPointWith(Point{TaskSet: ts, Processor: proc, Workload: gen}, factories)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			res := pr.Results[name]
+			misses[name] += res.DeadlineMisses
+			jobs[name] += res.JobsCompleted
+		}
+	}
+	tbl := report.NewTable(r.Title, "policy", "configs", "jobs", "deadline_misses")
+	for _, name := range names {
+		tbl.AddRow(name, runs-infeasible, jobs[name], misses[name])
+		r.set(fmt.Sprintf("%s/misses", name), float64(misses[name]))
+		r.set(fmt.Sprintf("%s/jobs", name), float64(jobs[name]))
+	}
+	r.Tables = append(r.Tables, tbl)
+	return r, nil
+}

@@ -1,0 +1,269 @@
+// Package opt implements the clairvoyant offline-optimal speed
+// schedule of Yao, Demers and Shenker (FOCS 1995), known as YDS: for
+// a finite set of jobs with release times, deadlines, and (actual)
+// work, the minimum-energy preemptive speed schedule under any convex
+// power function runs each "critical interval" — the interval
+// maximizing intensity
+//
+//	g(I) = (work of jobs fully contained in I) / |I|
+//
+// at constant speed g(I), removes those jobs, compresses the
+// timeline, and recurses.
+//
+// The evaluation uses YDS on the *actual* execution times of a trace
+// as the true per-workload lower bound: no online policy (which
+// learns each AET only at job completion and provisions WCETs
+// elsewhere) can beat it, and the gap to YDS is the headroom metric
+// of EXPERIMENTS.md. The simpler constant-speed clairvoyant bound
+// (internal/dvs.Bound) ignores deadlines entirely and is therefore
+// looser than YDS whenever the workload is bursty.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// Job is one piece of work for the offline schedule.
+type Job struct {
+	Release  float64
+	Deadline float64
+	Work     float64 // execution requirement at full speed
+}
+
+// Segment is one constant-speed piece of the optimal schedule.
+type Segment struct {
+	Start, End float64
+	Speed      float64
+}
+
+// Schedule is the YDS result: the critical-interval speed assignment,
+// ordered by start time, covering every instant where work runs
+// (gaps between segments are idle).
+type Schedule struct {
+	Segments []Segment
+}
+
+// Compute runs the YDS algorithm on jobs. Jobs with non-positive
+// work are ignored; a job with Deadline <= Release is rejected.
+func Compute(jobs []Job) (*Schedule, error) {
+	var live []Job
+	for _, j := range jobs {
+		if j.Work <= 0 {
+			continue
+		}
+		if j.Deadline <= j.Release {
+			return nil, fmt.Errorf("opt: job has deadline %v <= release %v", j.Deadline, j.Release)
+		}
+		live = append(live, j)
+	}
+	sched := &Schedule{}
+	// Iteratively peel critical intervals. Each round removes every
+	// job contained in the critical interval (at least one), so the
+	// loop runs at most len(live) times; each round costs
+	// O(n^2 log n) via the per-start deadline sweep below. Segment
+	// coordinates of later rounds live in the compressed timeline;
+	// compression is a piecewise translation, so every segment's
+	// *width* (and hence the energy accounting) is exact, while
+	// Start/End are not real-time placements across rounds.
+	for len(live) > 0 {
+		i0, i1, speed := criticalInterval(live)
+		sched.Segments = append(sched.Segments, Segment{Start: i0, End: i1, Speed: speed})
+		live = compress(live, i0, i1)
+	}
+	sort.Slice(sched.Segments, func(a, b int) bool {
+		return sched.Segments[a].Speed > sched.Segments[b].Speed
+	})
+	return sched, nil
+}
+
+// criticalInterval finds the interval [i0, i1] maximizing the
+// intensity of fully-contained jobs. The optimum starts at some
+// job's release and ends at some job's deadline, so for each
+// candidate start the jobs releasing at or after it are swept in
+// deadline order with a running work prefix.
+func criticalInterval(jobs []Job) (i0, i1, speed float64) {
+	byDeadline := append([]Job(nil), jobs...)
+	sort.Slice(byDeadline, func(a, b int) bool {
+		return byDeadline[a].Deadline < byDeadline[b].Deadline
+	})
+	starts := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		starts = append(starts, j.Release)
+	}
+	sort.Float64s(starts)
+	starts = dedup(starts)
+
+	best := -1.0
+	for _, lo := range starts {
+		var work float64
+		for _, j := range byDeadline {
+			if j.Release < lo {
+				continue
+			}
+			work += j.Work
+			hi := j.Deadline
+			if hi <= lo || work <= 0 {
+				continue
+			}
+			// Within a deadline tie group intermediate evaluations
+			// see partial work — harmless: the last member sees the
+			// full sum, and partial sums never overstate intensity.
+			if g := work / (hi - lo); g > best {
+				best, i0, i1 = g, lo, hi
+			}
+		}
+	}
+	return i0, i1, best
+}
+
+func dedup(v []float64) []float64 {
+	if len(v) == 0 {
+		return v
+	}
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// compress removes jobs inside [i0, i1] and shrinks the timeline so
+// the interval has zero width: remaining jobs' times are mapped
+//
+//	t -> t                 for t <= i0
+//	t -> i0                for i0 < t < i1
+//	t -> t - (i1-i0)       for t >= i1
+//
+// which is the standard YDS reduction (remaining jobs may not run
+// inside the critical interval anyway: it is saturated).
+func compress(jobs []Job, i0, i1 float64) []Job {
+	width := i1 - i0
+	shift := func(t float64) float64 {
+		switch {
+		case t <= i0:
+			return t
+		case t >= i1:
+			return t - width
+		default:
+			return i0
+		}
+	}
+	var out []Job
+	for _, j := range jobs {
+		if j.Release >= i0 && j.Deadline <= i1 {
+			continue // scheduled in this round
+		}
+		out = append(out, Job{
+			Release:  shift(j.Release),
+			Deadline: shift(j.Deadline),
+			Work:     j.Work,
+		})
+	}
+	return out
+}
+
+// note: after compression, segment coordinates of later rounds live
+// in the compressed timeline. For energy computation only durations
+// and speeds matter, so Energy works directly on the segment list;
+// callers needing real-time placement should use Execute instead.
+
+// TotalWork returns the work covered by the schedule.
+func (s *Schedule) TotalWork() float64 {
+	var w float64
+	for _, seg := range s.Segments {
+		w += (seg.End - seg.Start) * seg.Speed
+	}
+	return w
+}
+
+// BusyTime returns the total non-idle duration of the schedule.
+func (s *Schedule) BusyTime() float64 {
+	var t float64
+	for _, seg := range s.Segments {
+		t += seg.End - seg.Start
+	}
+	return t
+}
+
+// MaxSpeed returns the highest speed the schedule uses. A value
+// above 1 means the job set is infeasible on the unit-speed
+// processor.
+func (s *Schedule) MaxSpeed() float64 {
+	var m float64
+	for _, seg := range s.Segments {
+		m = math.Max(m, seg.Speed)
+	}
+	return m
+}
+
+// Energy evaluates the schedule on a processor model over a horizon:
+// busy energy from each segment (speeds floored at the processor's
+// minimum usable speed, which shortens the busy time accordingly)
+// plus idle power for the remainder. The result is the offline
+// minimum for continuous speeds; on discrete processors it is still
+// a valid lower bound (level quantization can only cost more).
+func (s *Schedule) Energy(proc *cpu.Processor, horizon float64) float64 {
+	var busyEnergy, busyTime float64
+	for _, seg := range s.Segments {
+		dur := seg.End - seg.Start
+		speed := seg.Speed
+		if speed <= 0 {
+			continue
+		}
+		if min := proc.SMin; speed < min && min > 0 {
+			// The processor cannot run this slowly: do the same work
+			// at SMin in less time and idle the difference (charged
+			// below as idle power).
+			dur = dur * speed / min
+			speed = min
+		}
+		if speed > 1 {
+			speed = 1 // infeasible segment: cap (callers check MaxSpeed)
+		}
+		busyEnergy += proc.Power(speed) * dur
+		busyTime += dur
+	}
+	idle := horizon - busyTime
+	if idle < 0 {
+		idle = 0
+	}
+	return busyEnergy + proc.IdlePower*idle
+}
+
+// ForTrace builds the YDS job set for a task set's jobs released in
+// [0, release) with the actual execution times drawn from gen, and
+// returns the optimal clairvoyant energy on proc over the window
+// [0, span) (span ≥ release; idle power is charged for unused time).
+// This is the "oracle" series of the evaluation.
+func ForTrace(ts *rtm.TaskSet, proc *cpu.Processor, gen workload.Generator, release, span float64) (float64, error) {
+	if gen == nil {
+		gen = workload.WorstCase{}
+	}
+	if span < release {
+		span = release
+	}
+	var jobs []Job
+	for i, task := range ts.Tasks {
+		for k := 0; float64(k)*task.Period < release; k++ {
+			j := ts.JobOf(i, k)
+			jobs = append(jobs, Job{
+				Release:  j.Release,
+				Deadline: j.AbsDeadline,
+				Work:     gen.AET(i, k, task.WCET),
+			})
+		}
+	}
+	sched, err := Compute(jobs)
+	if err != nil {
+		return 0, err
+	}
+	return sched.Energy(proc, span), nil
+}

@@ -1,0 +1,227 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+func TestComputeSingleJob(t *testing.T) {
+	s, err := Compute([]Job{{Release: 0, Deadline: 10, Work: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(s.Segments))
+	}
+	seg := s.Segments[0]
+	if seg.Start != 0 || seg.End != 10 || math.Abs(seg.Speed-0.4) > 1e-12 {
+		t.Errorf("segment = %+v, want [0,10]@0.4", seg)
+	}
+}
+
+func TestComputeTwoDisjointJobs(t *testing.T) {
+	// Two jobs with disjoint windows and different intensities form
+	// two critical intervals.
+	s, err := Compute([]Job{
+		{Release: 0, Deadline: 4, Work: 3},   // intensity 0.75
+		{Release: 10, Deadline: 20, Work: 2}, // intensity 0.2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(s.Segments))
+	}
+	if math.Abs(s.Segments[0].Speed-0.75) > 1e-12 {
+		t.Errorf("first (fastest) segment speed = %v, want 0.75", s.Segments[0].Speed)
+	}
+	if math.Abs(s.Segments[1].Speed-0.2) > 1e-12 {
+		t.Errorf("second segment speed = %v, want 0.2", s.Segments[1].Speed)
+	}
+}
+
+func TestComputeNestedJobs(t *testing.T) {
+	// The classic YDS example: a tight job nested inside a loose
+	// one. Critical interval is the tight window; the loose job's
+	// remaining window shrinks by compression.
+	//
+	// Loose: [0, 10], work 2. Tight: [4, 6], work 2 (intensity 1).
+	s, err := Compute([]Job{
+		{Release: 0, Deadline: 10, Work: 2},
+		{Release: 4, Deadline: 6, Work: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(s.Segments))
+	}
+	if math.Abs(s.Segments[0].Speed-1.0) > 1e-12 {
+		t.Errorf("critical speed = %v, want 1.0", s.Segments[0].Speed)
+	}
+	// Loose job then has 8 time units (10 - 2) for 2 work: 0.25.
+	if math.Abs(s.Segments[1].Speed-0.25) > 1e-12 {
+		t.Errorf("residual speed = %v, want 0.25", s.Segments[1].Speed)
+	}
+}
+
+func TestComputeWorkConserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(4, 0.6, seed))
+		gen := workload.Uniform{Lo: 0.3, Hi: 1, Seed: seed}
+		var jobs []Job
+		var want float64
+		for i, task := range ts.Tasks {
+			for k := 0; k < 5; k++ {
+				j := ts.JobOf(i, k)
+				w := gen.AET(i, k, task.WCET)
+				jobs = append(jobs, Job{Release: j.Release, Deadline: j.AbsDeadline, Work: w})
+				want += w
+			}
+		}
+		s, err := Compute(jobs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.TotalWork()-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeSpeedsNonIncreasingRounds(t *testing.T) {
+	// YDS peels intervals in order of decreasing intensity.
+	jobs := []Job{
+		{Release: 0, Deadline: 2, Work: 1.8},
+		{Release: 0, Deadline: 8, Work: 1},
+		{Release: 3, Deadline: 12, Work: 2},
+		{Release: 5, Deadline: 30, Work: 1},
+	}
+	s, err := Compute(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, seg := range s.Segments {
+		if seg.Speed > prev+1e-12 {
+			t.Fatalf("segment speeds not non-increasing: %v", s.Segments)
+		}
+		prev = seg.Speed
+	}
+}
+
+func TestComputeRejectsBadJob(t *testing.T) {
+	if _, err := Compute([]Job{{Release: 5, Deadline: 5, Work: 1}}); err == nil {
+		t.Error("zero-width window should be rejected")
+	}
+	// Zero-work jobs are ignored, not errors.
+	s, err := Compute([]Job{{Release: 0, Deadline: 1, Work: 0}})
+	if err != nil || len(s.Segments) != 0 {
+		t.Errorf("zero-work job should yield empty schedule, got %v, %v", s.Segments, err)
+	}
+}
+
+func TestFeasibleSetsNeedAtMostUnitSpeed(t *testing.T) {
+	// For EDF-feasible worst-case traces, YDS never exceeds speed 1.
+	f := func(seed uint64, uRaw uint8) bool {
+		u := 0.2 + 0.8*float64(uRaw)/255
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(5, u, seed))
+		horizon := math.Min(sim.DefaultHorizon(ts), 500)
+		var jobs []Job
+		for i, task := range ts.Tasks {
+			for k := 0; float64(k)*task.Period < horizon; k++ {
+				j := ts.JobOf(i, k)
+				jobs = append(jobs, Job{Release: j.Release, Deadline: j.AbsDeadline, Work: task.WCET})
+			}
+		}
+		s, err := Compute(jobs)
+		if err != nil {
+			return false
+		}
+		return s.MaxSpeed() <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestYDSLowerBoundsOnlinePolicies is the defining property: the
+// clairvoyant optimum never exceeds the energy of any online policy
+// on the identical trace.
+func TestYDSLowerBoundsOnlinePolicies(t *testing.T) {
+	policies := func() []sim.Policy {
+		return []sim.Policy{&dvs.NonDVS{}, &dvs.StaticEDF{}, &dvs.CCEDF{}, &dvs.DRA{}}
+	}
+	f := func(seed uint64, uRaw uint8) bool {
+		u := 0.25 + 0.7*float64(uRaw)/255
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(4, u, seed))
+		horizon := math.Min(sim.DefaultHorizon(ts), 400)
+		gen := workload.Uniform{Lo: 0.4, Hi: 1, Seed: seed}
+		proc := cpu.Continuous(0.1)
+		bound, err := ForTrace(ts, proc, gen, horizon, horizon)
+		if err != nil {
+			return false
+		}
+		for _, p := range policies() {
+			res, err := sim.Run(sim.Config{
+				TaskSet: ts, Processor: proc, Policy: p,
+				Workload: gen, Horizon: horizon,
+			})
+			if err != nil {
+				return false
+			}
+			if bound > res.Energy*1.001 {
+				t.Logf("YDS bound %v above %s energy %v (seed %d u %v)",
+					bound, p.Name(), res.Energy, seed, u)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestYDSTightensConstantBound: on bursty traces YDS must be at
+// least as high as... rather, the constant-speed bound ignores
+// deadlines and is <= YDS when feasibility binds, but may exceed it
+// never; both are lower bounds and YDS is the tighter (larger) one
+// whenever deadlines force speed variation.
+func TestYDSTightensConstantBound(t *testing.T) {
+	ts := rtm.NewTaskSet("bursty",
+		rtm.Task{WCET: 4, Period: 10, Deadline: 5},
+		rtm.Task{WCET: 1, Period: 100},
+	)
+	proc := cpu.Continuous(0.05)
+	horizon := 100.0
+	ydsE, err := ForTrace(ts, proc, workload.WorstCase{}, horizon, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := dvs.Bound(ts, proc, workload.WorstCase{}, horizon)
+	if ydsE < flat-1e-9 {
+		t.Errorf("YDS %v below constant bound %v: YDS must dominate it", ydsE, flat)
+	}
+	if ydsE <= flat+1e-9 {
+		t.Errorf("tight deadlines should force YDS (%v) strictly above the flat bound (%v)", ydsE, flat)
+	}
+}
+
+func TestEnergyRespectsSMin(t *testing.T) {
+	s := &Schedule{Segments: []Segment{{Start: 0, End: 10, Speed: 0.01}}}
+	proc := cpu.Continuous(0.1)
+	// Work 0.1 executed at SMin 0.1 takes 1 unit; 9 units idle.
+	want := proc.Power(0.1)*1 + proc.IdlePower*9
+	if got := s.Energy(proc, 10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}

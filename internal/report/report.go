@@ -1,0 +1,221 @@
+// Package report renders experiment output: aligned text tables,
+// CSV, markdown, and ASCII line charts for the figure
+// reproductions. Output is deterministic so EXPERIMENTS.md can embed
+// it verbatim.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row, formatting each cell with %v (floats with
+// four significant digits).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}
+
+// WriteCSV renders the table as CSV (cells are simple numerics and
+// identifiers, so no quoting is required).
+func (t *Table) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of a Chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is an ASCII line chart over a shared X axis, used to render
+// the figure reproductions in terminal output.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Height int // rows of the plot area (default 16)
+	Width  int // columns of the plot area (default 72)
+}
+
+// markers assigns one rune per series, in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~', '&', '$'}
+
+// Write renders the chart.
+func (c *Chart) Write(w io.Writer) {
+	height, width := c.Height, c.Width
+	if height <= 0 {
+		height = 16
+	}
+	if width <= 0 {
+		width = 72
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom keeps extreme points off the border.
+	span := ymax - ymin
+	ymin -= 0.02 * span
+	ymax += 0.02 * span
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	n := len(c.X)
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i, y := range s.Y {
+			if i >= n || math.IsNaN(y) {
+				continue
+			}
+			col := 0
+			if n > 1 {
+				col = i * (width - 1) / (n - 1)
+			}
+			row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for r := 0; r < height; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		label := ""
+		if r == 0 || r == height-1 || r == height/2 {
+			label = fmt.Sprintf("%.3f", yv)
+		}
+		fmt.Fprintf(w, "%8s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(w, "%8s +%s+\n", "", strings.Repeat("-", width))
+	if len(c.X) > 0 {
+		lo := fmt.Sprintf("%g", c.X[0])
+		hi := fmt.Sprintf("%g", c.X[len(c.X)-1])
+		gap := width - len(lo) - len(hi)
+		if gap < 1 {
+			gap = 1
+		}
+		fmt.Fprintf(w, "%8s  %s%s%s  (%s)\n", "", lo, strings.Repeat(" ", gap), hi, c.XLabel)
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%8s  legend: %s\n", "", strings.Join(legend, "   "))
+	if c.YLabel != "" {
+		fmt.Fprintf(w, "%8s  y: %s\n", "", c.YLabel)
+	}
+}

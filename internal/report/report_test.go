@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	tbl := NewTable("demo", "name", "value", "count")
+	tbl.AddRow("alpha", 0.12345, 3)
+	tbl.AddRow("beta", 2.0, 10)
+	return tbl
+}
+
+func TestTableText(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "0.1235") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Integral floats print without decimals.
+	if !strings.Contains(out, " 2 ") && !strings.Contains(out, " 2\n") && !strings.Contains(out, "2  ") {
+		t.Errorf("integral float not compact:\n%s", out)
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().WriteMarkdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "| name | value | count |") {
+		t.Errorf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("bad separator:\n%s", out)
+	}
+	if !strings.Contains(out, "| alpha | 0.1235 | 3 |") {
+		t.Errorf("bad row:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().WriteCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "name,value,count" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "alpha,0.1235,3" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{1, 2, 3, 4},
+		Series: []Series{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+		Height: 8,
+		Width:  40,
+	}
+	var buf bytes.Buffer
+	c.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing data markers")
+	}
+	if !strings.Contains(out, "(x)") {
+		t.Error("missing x label")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	(&Chart{X: []float64{1}, Series: []Series{{Name: "e"}}}).Write(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("empty chart should render nothing, got %q", buf.String())
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	c.Write(&buf) // must not divide by zero
+	if buf.Len() == 0 {
+		t.Error("constant series should still render")
+	}
+}

@@ -1,0 +1,124 @@
+package rtm
+
+import (
+	"fmt"
+	"math"
+
+	"dvsslack/internal/prng"
+)
+
+// GenConfig controls synthetic task-set generation for the
+// evaluation. The defaults (via DefaultGenConfig) match the
+// experimental setup used throughout EXPERIMENTS.md.
+type GenConfig struct {
+	// N is the number of tasks (required, > 0).
+	N int
+	// Utilization is the target worst-case utilization sum(Ci/Ti),
+	// split across tasks with UUniFast. Must be in (0, 1].
+	Utilization float64
+	// Periods is the pool of candidate periods; each task draws one
+	// uniformly (with replacement). If empty, DefaultPeriods is
+	// used. Integer-valued periods keep hyperperiods computable.
+	Periods []float64
+	// MinWCET floors each generated WCET so no task degenerates to
+	// zero work (default 0.01 time units).
+	MinWCET float64
+	// Seed selects the pseudo-random stream.
+	Seed uint64
+}
+
+// DefaultPeriods is the period pool used by the evaluation: one
+// decade of integer periods with several common divisors, keeping
+// hyperperiods small enough for exact slack analysis.
+var DefaultPeriods = []float64{10, 20, 25, 40, 50, 80, 100, 125, 200, 250, 400, 500, 800, 1000}
+
+// DefaultGenConfig returns the standard generator configuration of
+// the evaluation harness.
+func DefaultGenConfig(n int, u float64, seed uint64) GenConfig {
+	return GenConfig{N: n, Utilization: u, Seed: seed}
+}
+
+// Generate produces a random periodic task set with the requested
+// total worst-case utilization. Utilizations are split with UUniFast
+// (Bini & Buttazzo), which samples uniformly from the simplex of
+// utilization vectors, and periods are drawn from the configured pool.
+func Generate(cfg GenConfig) (*TaskSet, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("rtm: Generate: N must be positive, got %d", cfg.N)
+	}
+	if !(cfg.Utilization > 0) || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("rtm: Generate: utilization must be in (0,1], got %v", cfg.Utilization)
+	}
+	periods := cfg.Periods
+	if len(periods) == 0 {
+		periods = DefaultPeriods
+	}
+	minWCET := cfg.MinWCET
+	if minWCET == 0 {
+		minWCET = 0.01
+	}
+	src := prng.New(cfg.Seed)
+
+	// UUniFast: generate n-1 ordered uniform breakpoints on the
+	// simplex by successive Beta sampling.
+	utils := uunifast(cfg.N, cfg.Utilization, src)
+
+	ts := &TaskSet{Name: fmt.Sprintf("gen(n=%d,u=%.2f,seed=%d)", cfg.N, cfg.Utilization, cfg.Seed)}
+	for i := 0; i < cfg.N; i++ {
+		p := periods[src.Intn(len(periods))]
+		c := utils[i] * p
+		if c < minWCET {
+			c = minWCET
+		}
+		if c > p {
+			c = p // cap so a single task never exceeds full utilization
+		}
+		ts.Tasks = append(ts.Tasks, Task{Name: fmt.Sprintf("T%d", i+1), WCET: c, Period: p})
+	}
+	// Flooring can drift total utilization a little; rescale to hit
+	// the target exactly (keeping the floor only when it does not
+	// break feasibility).
+	if got := ts.Utilization(); got > 0 && math.Abs(got-cfg.Utilization) > 1e-12 {
+		scaled := ts.ScaleToUtilization(cfg.Utilization)
+		ok := true
+		for _, t := range scaled.Tasks {
+			if t.WCET > t.Period {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			scaled.Name = ts.Name
+			ts = scaled
+		}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// MustGenerate is Generate that panics on error, for tests and
+// examples with known-good configurations.
+func MustGenerate(cfg GenConfig) *TaskSet {
+	ts, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// uunifast splits total utilization u across n tasks uniformly at
+// random over the simplex (Bini & Buttazzo, "Measuring the
+// performance of schedulability tests", 2005).
+func uunifast(n int, u float64, src *prng.Source) []float64 {
+	utils := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(src.Float64(), 1/float64(n-1-i))
+		utils[i] = sum - next
+		sum = next
+	}
+	utils[n-1] = sum
+	return utils
+}

@@ -1,0 +1,163 @@
+package rtm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/prng"
+)
+
+func TestGenerateHitsUtilization(t *testing.T) {
+	for _, u := range []float64{0.1, 0.5, 0.9, 1.0} {
+		for seed := uint64(0); seed < 10; seed++ {
+			ts, err := Generate(DefaultGenConfig(8, u, seed))
+			if err != nil {
+				t.Fatalf("u=%v seed=%d: %v", u, seed, err)
+			}
+			got := ts.Utilization()
+			// The MinWCET floor can force a small overshoot at tiny
+			// utilizations; allow 2%.
+			if math.Abs(got-u) > 0.02*u+1e-9 {
+				t.Errorf("u=%v seed=%d: generated utilization %v", u, seed, got)
+			}
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(GenConfig{N: 0, Utilization: 0.5}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, err := Generate(GenConfig{N: 4, Utilization: 0}); err == nil {
+		t.Error("U=0 should fail")
+	}
+	if _, err := Generate(GenConfig{N: 4, Utilization: 1.5}); err == nil {
+		t.Error("U>1 should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultGenConfig(6, 0.7, 99))
+	b := MustGenerate(DefaultGenConfig(6, 0.7, 99))
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("same seed, task %d differs: %v vs %v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	c := MustGenerate(DefaultGenConfig(6, 0.7, 100))
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != c.Tasks[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical task sets")
+	}
+}
+
+func TestGeneratePeriodsFromPool(t *testing.T) {
+	pool := []float64{7, 13}
+	ts := MustGenerate(GenConfig{N: 20, Utilization: 0.5, Periods: pool, Seed: 1})
+	for _, task := range ts.Tasks {
+		if task.Period != 7 && task.Period != 13 {
+			t.Errorf("period %v not from pool", task.Period)
+		}
+	}
+}
+
+func TestGenerateTasksFeasible(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, uRaw uint16) bool {
+		n := 1 + int(nRaw)%16
+		u := 0.05 + 0.95*float64(uRaw)/65535
+		ts, err := Generate(DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		if ts.Utilization() > 1+1e-9 {
+			return false
+		}
+		for _, task := range ts.Tasks {
+			if task.WCET <= 0 || task.WCET > task.Period {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUUniFastSumsAndUniformity(t *testing.T) {
+	src := prng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		u := uunifast(5, 0.8, src)
+		var sum float64
+		for _, v := range u {
+			if v < 0 {
+				t.Fatalf("negative utilization share %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-0.8) > 1e-9 {
+			t.Fatalf("shares sum to %v, want 0.8", sum)
+		}
+	}
+	// Marginal mean of each share should be u/n.
+	const trials = 20000
+	means := make([]float64, 4)
+	for trial := 0; trial < trials; trial++ {
+		u := uunifast(4, 1.0, src)
+		for i, v := range u {
+			means[i] += v
+		}
+	}
+	for i := range means {
+		means[i] /= trials
+		if math.Abs(means[i]-0.25) > 0.01 {
+			t.Errorf("share %d mean %v, want 0.25", i, means[i])
+		}
+	}
+}
+
+func TestBenchmarkTaskSets(t *testing.T) {
+	for _, ts := range Benchmarks() {
+		if err := ts.Validate(); err != nil {
+			t.Errorf("%s: %v", ts.Name, err)
+		}
+		if u := ts.Utilization(); u <= 0 || u > 1 {
+			t.Errorf("%s: utilization %v out of (0,1]", ts.Name, u)
+		}
+		if _, ok := ts.Hyperperiod(); !ok {
+			t.Errorf("%s: hyperperiod not computable", ts.Name)
+		}
+	}
+	if CNC().N() != 8 {
+		t.Errorf("CNC should have 8 tasks, has %d", CNC().N())
+	}
+	if Avionics().N() != 17 {
+		t.Errorf("avionics should have 17 tasks, has %d", Avionics().N())
+	}
+	if Videophone().N() != 4 {
+		t.Errorf("videophone should have 4 tasks, has %d", Videophone().N())
+	}
+}
+
+func TestQuickstartTaskSet(t *testing.T) {
+	ts := Quickstart()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := ts.Hyperperiod()
+	if !ok || h != 120 {
+		t.Errorf("quickstart hyperperiod = %v (ok=%v), want 120", h, ok)
+	}
+	if u := ts.Utilization(); math.Abs(u-0.75) > 1e-9 {
+		t.Errorf("quickstart utilization = %v, want 0.75", u)
+	}
+}

@@ -1,0 +1,72 @@
+package rtm
+
+import "fmt"
+
+// Job is one released instance of a periodic task.
+type Job struct {
+	// TaskIndex is the position of the owning task in its TaskSet.
+	TaskIndex int
+	// Index is the zero-based release count: job k of task i is
+	// released at k*Period.
+	Index int
+	// Release is the absolute release time.
+	Release float64
+	// AbsDeadline is the absolute deadline (Release + relative
+	// deadline).
+	AbsDeadline float64
+	// WCET is the worst-case work of the job at full speed.
+	WCET float64
+	// AET is the actual work the job performs this activation,
+	// 0 < AET <= WCET. The scheduler does not know AET in advance;
+	// it is consumed by the simulator to decide when the job
+	// actually completes.
+	AET float64
+}
+
+// ID returns a compact stable identifier such as "T3#17".
+func (j Job) ID() string { return fmt.Sprintf("T%d#%d", j.TaskIndex+1, j.Index) }
+
+// JobOf materializes job k of task i in the set, with AET left equal
+// to the WCET (callers typically overwrite AET from a workload
+// generator).
+func (ts *TaskSet) JobOf(task, k int) Job {
+	t := ts.Tasks[task]
+	r := float64(k) * t.Period
+	return Job{
+		TaskIndex:   task,
+		Index:       k,
+		Release:     r,
+		AbsDeadline: r + t.RelDeadline(),
+		WCET:        t.WCET,
+		AET:         t.WCET,
+	}
+}
+
+// JobsBefore returns every job of every task with release time
+// strictly before horizon, in release order (ties broken by task
+// index). AETs are set to the WCET.
+func (ts *TaskSet) JobsBefore(horizon float64) []Job {
+	var jobs []Job
+	for i, t := range ts.Tasks {
+		for k := 0; float64(k)*t.Period < horizon; k++ {
+			jobs = append(jobs, ts.JobOf(i, k))
+		}
+	}
+	sortJobsByRelease(jobs)
+	return jobs
+}
+
+func sortJobsByRelease(jobs []Job) {
+	// Insertion sort keeps the common nearly-sorted case cheap and
+	// avoids pulling in sort for a two-key comparison.
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
+		k := i - 1
+		for k >= 0 && (jobs[k].Release > j.Release ||
+			(jobs[k].Release == j.Release && jobs[k].TaskIndex > j.TaskIndex)) {
+			jobs[k+1] = jobs[k]
+			k--
+		}
+		jobs[k+1] = j
+	}
+}

@@ -1,0 +1,78 @@
+package rtm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJobOf(t *testing.T) {
+	ts := NewTaskSet("x", Task{WCET: 2, Period: 10, Deadline: 7})
+	j := ts.JobOf(0, 3)
+	if j.Release != 30 || j.AbsDeadline != 37 || j.WCET != 2 || j.AET != 2 {
+		t.Errorf("JobOf = %+v", j)
+	}
+	if j.ID() != "T1#3" {
+		t.Errorf("ID = %q", j.ID())
+	}
+}
+
+func TestJobsBefore(t *testing.T) {
+	ts := NewTaskSet("x",
+		Task{WCET: 1, Period: 4},
+		Task{WCET: 1, Period: 6},
+	)
+	jobs := ts.JobsBefore(12)
+	// Task 0 releases at 0,4,8 and task 1 at 0,6: five jobs.
+	if len(jobs) != 5 {
+		t.Fatalf("got %d jobs, want 5", len(jobs))
+	}
+	// Release-ordered, ties by task index.
+	var prev float64 = -1
+	for i, j := range jobs {
+		if j.Release < prev {
+			t.Errorf("job %d out of order", i)
+		}
+		prev = j.Release
+	}
+	if jobs[0].TaskIndex != 0 || jobs[1].TaskIndex != 1 {
+		t.Error("tie at t=0 should order by task index")
+	}
+	if len(ts.JobsBefore(0)) != 0 {
+		t.Error("zero horizon should yield no jobs")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts := NewTaskSet("roundtrip",
+		Task{Name: "a", WCET: 1.5, Period: 10},
+		Task{Name: "b", WCET: 2, Period: 20, Deadline: 15},
+	)
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ts.Name || len(got.Tasks) != len(ts.Tasks) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range ts.Tasks {
+		if got.Tasks[i] != ts.Tasks[i] {
+			t.Errorf("task %d mismatch: %+v vs %+v", i, got.Tasks[i], ts.Tasks[i])
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"tasks":[{"wcet":5,"period":2}]}`))
+	if err == nil {
+		t.Error("decoding an infeasible task should fail validation")
+	}
+	_, err = ReadJSON(strings.NewReader(`not json`))
+	if err == nil {
+		t.Error("garbage input should fail")
+	}
+}

@@ -1,0 +1,61 @@
+package rtm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// taskSetJSON is the on-disk representation of a TaskSet.
+type taskSetJSON struct {
+	Name  string     `json:"name,omitempty"`
+	Tasks []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	Name     string  `json:"name,omitempty"`
+	WCET     float64 `json:"wcet"`
+	Period   float64 `json:"period"`
+	Deadline float64 `json:"deadline,omitempty"`
+	Jitter   float64 `json:"jitter,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ts *TaskSet) MarshalJSON() ([]byte, error) {
+	out := taskSetJSON{Name: ts.Name}
+	for _, t := range ts.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON(t))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// set.
+func (ts *TaskSet) UnmarshalJSON(data []byte) error {
+	var in taskSetJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("rtm: decoding task set: %w", err)
+	}
+	ts.Name = in.Name
+	ts.Tasks = ts.Tasks[:0]
+	for _, t := range in.Tasks {
+		ts.Tasks = append(ts.Tasks, Task(t))
+	}
+	return ts.Validate()
+}
+
+// WriteJSON writes the task set as indented JSON.
+func (ts *TaskSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
+}
+
+// ReadJSON decodes and validates a task set from r.
+func ReadJSON(r io.Reader) (*TaskSet, error) {
+	var ts TaskSet
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}

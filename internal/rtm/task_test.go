@@ -1,0 +1,196 @@
+package rtm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		ok   bool
+	}{
+		{"valid implicit", Task{WCET: 1, Period: 10}, true},
+		{"valid constrained", Task{WCET: 1, Period: 10, Deadline: 5}, true},
+		{"deadline equals wcet", Task{WCET: 5, Period: 10, Deadline: 5}, true},
+		{"zero wcet", Task{WCET: 0, Period: 10}, false},
+		{"negative wcet", Task{WCET: -1, Period: 10}, false},
+		{"zero period", Task{WCET: 1, Period: 0}, false},
+		{"wcet over period", Task{WCET: 11, Period: 10}, false},
+		{"wcet over deadline", Task{WCET: 6, Period: 10, Deadline: 5}, false},
+		{"deadline over period", Task{WCET: 1, Period: 10, Deadline: 11}, false},
+		{"negative deadline", Task{WCET: 1, Period: 10, Deadline: -1}, false},
+		{"inf wcet", Task{WCET: math.Inf(1), Period: 10}, false},
+		{"nan period", Task{WCET: 1, Period: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.task.Validate()
+			if c.ok && err != nil {
+				t.Errorf("want valid, got %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("want error, got none")
+			}
+		})
+	}
+}
+
+func TestRelDeadlineDefaults(t *testing.T) {
+	if d := (Task{WCET: 1, Period: 8}).RelDeadline(); d != 8 {
+		t.Errorf("implicit deadline = %v, want 8", d)
+	}
+	if d := (Task{WCET: 1, Period: 8, Deadline: 5}).RelDeadline(); d != 5 {
+		t.Errorf("constrained deadline = %v, want 5", d)
+	}
+}
+
+func TestUtilizationAndDensity(t *testing.T) {
+	ts := NewTaskSet("x",
+		Task{WCET: 1, Period: 4},
+		Task{WCET: 2, Period: 8, Deadline: 4},
+	)
+	if u := ts.Utilization(); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if d := ts.Density(); math.Abs(d-0.75) > 1e-12 {
+		t.Errorf("density = %v, want 0.75", d)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	cases := []struct {
+		periods []float64
+		want    float64
+	}{
+		{[]float64{4, 12, 15, 30, 40}, 120},
+		{[]float64{10, 20, 25}, 100},
+		{[]float64{2.4, 4.8, 9.6, 38.4, 76.8}, 76.8},
+		{[]float64{66, 24}, 264},
+		{[]float64{1}, 1},
+	}
+	for _, c := range cases {
+		ts := &TaskSet{}
+		for _, p := range c.periods {
+			ts.Tasks = append(ts.Tasks, Task{WCET: p / 10, Period: p})
+		}
+		h, ok := ts.Hyperperiod()
+		if !ok {
+			t.Errorf("periods %v: hyperperiod not computable", c.periods)
+			continue
+		}
+		if math.Abs(h-c.want) > 1e-9 {
+			t.Errorf("periods %v: hyperperiod = %v, want %v", c.periods, h, c.want)
+		}
+	}
+}
+
+func TestHyperperiodIrrational(t *testing.T) {
+	ts := NewTaskSet("x", Task{WCET: 0.1, Period: math.Pi})
+	if _, ok := ts.Hyperperiod(); ok {
+		t.Error("hyperperiod of an irrational period should be unknown")
+	}
+}
+
+func TestHyperperiodOverflow(t *testing.T) {
+	// Mutually prime large periods overflow int64 LCM.
+	ts := NewTaskSet("x",
+		Task{WCET: 1, Period: 1e9 + 7},
+		Task{WCET: 1, Period: 1e9 + 9},
+		Task{WCET: 1, Period: 1e9 + 21},
+		Task{WCET: 1, Period: 1e9 + 33},
+	)
+	if h, ok := ts.Hyperperiod(); ok && h < 1e18 {
+		t.Errorf("expected overflow or huge hyperperiod, got %v ok=%v", h, ok)
+	}
+}
+
+func TestHyperperiodDividesAllPeriods(t *testing.T) {
+	f := func(seed uint64) bool {
+		ts := MustGenerate(DefaultGenConfig(1+int(seed%8), 0.5, seed))
+		h, ok := ts.Hyperperiod()
+		if !ok {
+			return false
+		}
+		for _, task := range ts.Tasks {
+			ratio := h / task.Period
+			if math.Abs(ratio-math.Round(ratio)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleToUtilization(t *testing.T) {
+	ts := NewTaskSet("x", Task{WCET: 1, Period: 10}, Task{WCET: 3, Period: 20})
+	got := ts.ScaleToUtilization(0.8)
+	if u := got.Utilization(); math.Abs(u-0.8) > 1e-12 {
+		t.Errorf("scaled utilization = %v, want 0.8", u)
+	}
+	// Periods unchanged; original untouched.
+	if got.Tasks[0].Period != 10 || got.Tasks[1].Period != 20 {
+		t.Error("scaling must not change periods")
+	}
+	if ts.Tasks[0].WCET != 1 {
+		t.Error("ScaleToUtilization must not mutate the receiver")
+	}
+}
+
+func TestSortedByPeriod(t *testing.T) {
+	ts := NewTaskSet("x",
+		Task{Name: "c", WCET: 1, Period: 30},
+		Task{Name: "a", WCET: 1, Period: 10},
+		Task{Name: "b", WCET: 1, Period: 20},
+	)
+	got := ts.SortedByPeriod()
+	if got.Tasks[0].Name != "a" || got.Tasks[1].Name != "b" || got.Tasks[2].Name != "c" {
+		t.Errorf("sort order wrong: %v", got.Tasks)
+	}
+	if ts.Tasks[0].Name != "c" {
+		t.Error("SortedByPeriod must not mutate the receiver")
+	}
+}
+
+func TestTaskSetValidateEmpty(t *testing.T) {
+	if err := (&TaskSet{}).Validate(); err == nil {
+		t.Error("empty task set should not validate")
+	}
+}
+
+func TestMinMaxPeriod(t *testing.T) {
+	ts := NewTaskSet("x", Task{WCET: 1, Period: 5}, Task{WCET: 1, Period: 50})
+	if ts.MinPeriod() != 5 || ts.MaxPeriod() != 50 {
+		t.Errorf("min/max period = %v/%v, want 5/50", ts.MinPeriod(), ts.MaxPeriod())
+	}
+	empty := &TaskSet{}
+	if empty.MinPeriod() != 0 || empty.MaxPeriod() != 0 {
+		t.Error("empty set min/max period should be 0")
+	}
+}
+
+func TestNewTaskSetNamesTasks(t *testing.T) {
+	ts := NewTaskSet("x", Task{WCET: 1, Period: 2}, Task{Name: "keep", WCET: 1, Period: 2})
+	if ts.Tasks[0].Name != "T1" {
+		t.Errorf("anonymous task name = %q, want T1", ts.Tasks[0].Name)
+	}
+	if ts.Tasks[1].Name != "keep" {
+		t.Errorf("named task renamed to %q", ts.Tasks[1].Name)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	s := Task{Name: "a", WCET: 1, Period: 4}.String()
+	if s != "a(C=1,T=4)" {
+		t.Errorf("String() = %q", s)
+	}
+	s = Task{Name: "a", WCET: 1, Period: 4, Deadline: 3}.String()
+	if s != "a(C=1,T=4,D=3)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/prng"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// TaskSet is the periodic task set to schedule (required).
+	TaskSet *rtm.TaskSet
+	// Processor is the CPU model (required; its SMin or lowest
+	// level must be positive).
+	Processor *cpu.Processor
+	// Policy selects execution speeds (required).
+	Policy Policy
+	// Workload generates per-job actual execution times. Nil means
+	// every job runs to its WCET.
+	Workload workload.Generator
+	// Horizon is the release horizon: jobs released strictly before
+	// it are simulated to completion. Zero selects DefaultHorizon.
+	Horizon float64
+	// StrictDeadlines makes Run return an error on the first
+	// deadline miss instead of counting it.
+	StrictDeadlines bool
+	// Observer, when non-nil, receives fine-grained events.
+	Observer Observer
+	// JitterSeed selects the pseudo-random stream for release
+	// jitter (tasks with a positive Jitter field). The stream is a
+	// pure function of (JitterSeed, task, job index), so runs are
+	// reproducible and identical across policies.
+	JitterSeed uint64
+	// FixedPriorities, when non-empty, switches dispatching from
+	// EDF to preemptive fixed-priority scheduling: entry i is task
+	// i's priority (lower = more urgent; see
+	// analysis.RateMonotonicPriorities). Length must equal the task
+	// count. The shipped DVS policies assume EDF — use fixed
+	// priorities only with NonDVS/constant-speed policies or
+	// schedulability studies.
+	FixedPriorities []int
+}
+
+// DefaultHorizon returns the standard simulation length for a task
+// set: one hyperperiod when it is exactly computable and of
+// reasonable size, otherwise 32 times the largest period.
+func DefaultHorizon(ts *rtm.TaskSet) float64 {
+	const maxHyper = 1e7
+	if h, ok := ts.Hyperperiod(); ok && h <= maxHyper {
+		return h
+	}
+	return 32 * ts.MaxPeriod()
+}
+
+// Run executes one simulation and returns its aggregate Result.
+func Run(cfg Config) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run()
+}
+
+// engine is the mutable simulation state.
+type engine struct {
+	cfg     Config
+	horizon float64
+
+	t          float64
+	active     jobHeap
+	nextIdx    []int     // next job index per task
+	nomNext    []float64 // nominal next release (index * period)
+	actualNext []float64 // jittered next release (>= nominal)
+
+	curSpeed float64
+	speedSet bool
+	running  *JobState
+
+	res Result
+	err error
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if cfg.TaskSet == nil {
+		return nil, errors.New("sim: Config.TaskSet is required")
+	}
+	if err := cfg.TaskSet.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Processor == nil {
+		return nil, errors.New("sim: Config.Processor is required")
+	}
+	if err := cfg.Processor.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Processor.Clamp(0) <= 0 {
+		return nil, errors.New("sim: processor minimum speed must be positive")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("sim: Config.Policy is required")
+	}
+	if cfg.Workload == nil {
+		cfg.Workload = workload.WorstCase{}
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = DefaultHorizon(cfg.TaskSet)
+	}
+	if horizon <= 0 || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("sim: invalid horizon %v", horizon)
+	}
+	n := cfg.TaskSet.N()
+	if len(cfg.FixedPriorities) != 0 && len(cfg.FixedPriorities) != n {
+		return nil, fmt.Errorf("sim: FixedPriorities has %d entries for %d tasks",
+			len(cfg.FixedPriorities), n)
+	}
+	e := &engine{
+		cfg:        cfg,
+		horizon:    horizon,
+		nextIdx:    make([]int, n),
+		nomNext:    make([]float64, n),
+		actualNext: make([]float64, n),
+	}
+	e.active.byPriority = len(cfg.FixedPriorities) != 0
+	for i := range cfg.TaskSet.Tasks {
+		e.actualNext[i] = e.jitteredRelease(i, 0)
+	}
+	e.res.Policy = cfg.Policy.Name()
+	return e, nil
+}
+
+// jitteredRelease returns the actual release time of job k of task i:
+// the nominal k·Period plus a deterministic draw from [0, Jitter].
+func (e *engine) jitteredRelease(task, k int) float64 {
+	t := e.cfg.TaskSet.Tasks[task]
+	nominal := float64(k) * t.Period
+	if t.Jitter == 0 {
+		return nominal
+	}
+	u := prng.Float64(prng.Hash3(e.cfg.JitterSeed^0x6a5d39e1, task, k))
+	return nominal + t.Jitter*u
+}
+
+// --- System interface (the policy-facing read-only view) ---
+
+func (e *engine) TaskSet() *rtm.TaskSet { return e.cfg.TaskSet }
+
+func (e *engine) Processor() *cpu.Processor { return e.cfg.Processor }
+
+func (e *engine) Now() float64 { return e.t }
+
+func (e *engine) ActiveJobs() []*JobState { return e.active.jobs }
+
+func (e *engine) NextRelease() float64 {
+	nr := infinity
+	for i := range e.nomNext {
+		if r := e.NextReleaseOf(i); r < nr {
+			nr = r
+		}
+	}
+	return nr
+}
+
+func (e *engine) NextReleaseOf(task int) float64 {
+	// Earliest *possible* next release from the scheduler's point of
+	// view: the nominal instant, or "right now" if the nominal
+	// instant has passed but the jittered arrival is still pending.
+	// Policies must never observe the drawn arrival time itself —
+	// a real scheduler would not know it either.
+	if nom := e.nomNext[task]; nom > e.t {
+		return nom
+	}
+	return e.t
+}
+
+func (e *engine) NextDecisionBound() float64 {
+	// Latest instant by which a release (and hence a scheduling
+	// decision) is guaranteed, given pending releases within the
+	// horizon: nominal + jitter bounds the drawn arrival.
+	bound := infinity
+	for i, task := range e.cfg.TaskSet.Tasks {
+		if e.nomNext[i] >= e.horizon {
+			continue
+		}
+		if b := e.nomNext[i] + task.Jitter; b < bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// nextReleaseEvent returns the earliest actual (jittered) release the
+// engine will perform, or +Inf if releases have ended.
+func (e *engine) nextReleaseEvent() float64 {
+	nr := infinity
+	for i := range e.actualNext {
+		if e.nomNext[i] >= e.horizon {
+			continue
+		}
+		if e.actualNext[i] < nr {
+			nr = e.actualNext[i]
+		}
+	}
+	return nr
+}
+
+// --- engine body ---
+
+func (e *engine) run() (Result, error) {
+	e.cfg.Policy.Reset(e)
+	e.releaseDue()
+	for e.err == nil {
+		if len(e.active.jobs) == 0 {
+			nr := e.nextReleaseEvent()
+			if math.IsInf(nr, 1) {
+				// All work done; idle out the remaining horizon so
+				// every run covers the same wall-clock span.
+				if e.t < e.horizon {
+					e.advanceIdle(e.horizon - e.t)
+				}
+				break
+			}
+			e.advanceIdle(nr - e.t)
+			e.releaseDue()
+			continue
+		}
+
+		j := e.active.jobs[0]
+		e.res.Decisions++
+		s := e.cfg.Processor.Clamp(e.cfg.Policy.SelectSpeed(j))
+		if !(s > 0) {
+			e.err = fmt.Errorf("sim: policy %s selected non-positive speed %v at t=%v",
+				e.cfg.Policy.Name(), s, e.t)
+			break
+		}
+		if stalled := e.setSpeed(s); stalled {
+			// The transition consumed wall-clock time. If a release
+			// landed inside the stall, loop back for a fresh
+			// decision: the policies' deadline arguments rely on a
+			// scheduling decision at *every* release, including
+			// those hidden by the stall. Without a release the
+			// chosen speed stands (re-deciding unconditionally would
+			// let a pathological policy flip speeds forever without
+			// executing anything).
+			if e.releaseDue() {
+				continue
+			}
+		}
+		e.dispatch(j, s)
+
+		finish := e.t + j.remainingActual()/s
+		next := e.nextReleaseEvent()
+		// Intra-job power-management point: a Repacer policy may
+		// request an additional mid-job decision.
+		if rp, ok := e.cfg.Policy.(Repacer); ok {
+			if at := rp.NextCheck(j); at > e.t+1e-12 && at < next {
+				next = at
+			}
+		}
+		if finish <= next {
+			e.advanceBusy(finish-e.t, s)
+			e.complete(j)
+			// A release can coincide with the completion instant.
+			e.releaseDue()
+			continue
+		}
+		e.advanceBusy(next-e.t, s)
+		if j.remainingActual() <= 1e-12 {
+			// The job's actual work ran out exactly at the event
+			// boundary: complete it now, before admitting arrivals,
+			// so its finish time is not deferred past this instant.
+			e.complete(j)
+		}
+		e.releaseDue()
+	}
+	e.res.Time = math.Max(e.t, e.horizon)
+	e.res.Energy = e.res.BusyEnergy + e.res.IdleEnergy + e.res.SwitchEnergy
+	if inst, ok := e.cfg.Policy.(Instrumented); ok {
+		e.res.PolicyCounters = inst.Counters()
+	}
+	return e.res, e.err
+}
+
+// releaseDue materializes every job whose (jittered) release time has
+// arrived and reports whether any job was released. The horizon cuts
+// off on nominal release times so the released job population is
+// identical across jitter seeds.
+func (e *engine) releaseDue() bool {
+	ts := e.cfg.TaskSet
+	released := false
+	for i := range ts.Tasks {
+		for e.actualNext[i] <= e.t && e.nomNext[i] < e.horizon {
+			j := e.newJob(i, e.nextIdx[i], e.actualNext[i])
+			e.nextIdx[i]++
+			e.nomNext[i] = float64(e.nextIdx[i]) * ts.Tasks[i].Period
+			e.actualNext[i] = e.jitteredRelease(i, e.nextIdx[i])
+			heap.Push(&e.active, j)
+			e.res.JobsReleased++
+			released = true
+			e.cfg.Policy.OnRelease(j)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.ObserveRelease(e.t, j)
+			}
+		}
+	}
+	return released
+}
+
+func (e *engine) newJob(task, idx int, release float64) *JobState {
+	job := e.cfg.TaskSet.JobOf(task, idx)
+	// Jitter shifts the actual release and the absolute deadline
+	// with it; WCET and relative deadline are unchanged.
+	job.AbsDeadline += release - job.Release
+	job.Release = release
+	aet := e.cfg.Workload.AET(task, idx, job.WCET)
+	if aet > job.WCET {
+		aet = job.WCET
+	}
+	if aet < 1e-9 {
+		aet = 1e-9
+	}
+	job.AET = aet
+	js := &JobState{Job: job, heapIndex: -1}
+	if len(e.cfg.FixedPriorities) > 0 {
+		js.Priority = float64(e.cfg.FixedPriorities[task])
+	}
+	return js
+}
+
+// setSpeed applies a speed setting, accounting for switch count,
+// transition energy, and (when configured) the transition stall. It
+// reports whether a stall consumed time.
+func (e *engine) setSpeed(s float64) bool {
+	if e.speedSet && nearlyEqual(s, e.curSpeed) {
+		return false
+	}
+	if !e.speedSet {
+		// The initial setting at t=0 is not a transition.
+		e.speedSet = true
+		e.curSpeed = s
+		return false
+	}
+	from := e.curSpeed
+	e.curSpeed = s
+	e.res.SpeedSwitches++
+	e.res.SwitchEnergy += e.cfg.Processor.SwitchEnergy(from, s)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.ObserveSwitch(e.t, from, s)
+	}
+	if st := e.cfg.Processor.SwitchTime; st > 0 {
+		// The PLL/regulator settles for SwitchTime; no work is
+		// performed. Power during the stall is charged at the
+		// higher of the two operating points (conservative).
+		p := math.Max(e.cfg.Processor.BusyPower(from), e.cfg.Processor.BusyPower(s))
+		e.res.SwitchEnergy += p * st
+		e.t += st
+		e.cfg.Policy.OnAdvance(st)
+		return true
+	}
+	return false
+}
+
+func (e *engine) dispatch(j *JobState, s float64) {
+	if e.running != nil && e.running != j && !e.running.Done && e.running.Started {
+		e.res.Preemptions++
+	}
+	j.Speed = s
+	j.Started = true
+	e.running = j
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.ObserveDispatch(e.t, j, s)
+	}
+}
+
+func (e *engine) advanceBusy(dt, s float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	j := e.active.jobs[0]
+	j.Executed += dt * s
+	if j.Executed > j.AET && j.Executed-j.AET < 1e-9 {
+		j.Executed = j.AET // absorb rounding at completion
+	}
+	e.t += dt
+	e.res.BusyEnergy += e.cfg.Processor.BusyPower(s) * dt
+	e.res.WorkDone += dt * s
+	e.res.SpeedTimeIntegral += dt * s
+	e.cfg.Policy.OnAdvance(dt)
+}
+
+func (e *engine) advanceIdle(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	t0 := e.t
+	e.t += dt
+	proc := e.cfg.Processor
+	if proc.CanSleep() && dt >= proc.BreakEvenIdle() {
+		// The whole gap until the next release is known, so the
+		// sleep decision is exact (a real kernel would use a
+		// timeout; the difference is the sub-break-even tail).
+		e.res.IdleEnergy += proc.WakeEnergy + proc.SleepPower*dt
+		e.res.Sleeps++
+		e.res.SleepTime += dt
+	} else {
+		e.res.IdleEnergy += proc.AwakeIdlePower() * dt
+	}
+	e.res.IdleTime += dt
+	e.cfg.Policy.OnAdvance(dt)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.ObserveIdle(t0, e.t)
+	}
+}
+
+func (e *engine) complete(j *JobState) {
+	heap.Remove(&e.active, j.heapIndex)
+	j.Done = true
+	j.Finish = e.t
+	if e.running == j {
+		e.running = nil
+	}
+	missed := e.t > j.AbsDeadline+Eps
+	if missed {
+		e.res.DeadlineMisses++
+		if e.cfg.StrictDeadlines {
+			e.err = fmt.Errorf("sim: policy %s: job %s missed deadline %v (finished %v)",
+				e.cfg.Policy.Name(), j.ID(), j.AbsDeadline, e.t)
+		}
+	}
+	e.res.JobsCompleted++
+	e.cfg.Policy.OnComplete(j)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.ObserveComplete(e.t, j, missed)
+	}
+}
+
+// nearlyEqual compares speeds with a tight relative tolerance so that
+// repeated selections of the "same" speed do not count as switches.
+func nearlyEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

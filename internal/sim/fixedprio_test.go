@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/analysis"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+)
+
+func TestFixedPriorityDispatchOrder(t *testing.T) {
+	// Under RM the short-period task preempts; under EDF the same
+	// pair would run by deadline. Construct a case where the orders
+	// differ: T1 = (2, 10) released at 0 with deadline 10,
+	// T2 = (2, 4). RM gives T2 priority; EDF also picks T2 (deadline
+	// 4 < 10) — instead invert: priorities making the LONG task more
+	// urgent shows fixed priorities are honored even against EDF
+	// order.
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{Name: "long", WCET: 2, Period: 10},
+		rtm.Task{Name: "short", WCET: 1, Period: 4},
+	)
+	var first string
+	obs := &funcObserver{dispatch: func(_ float64, j *JobState, _ float64) {
+		if first == "" {
+			first = ts.Tasks[j.TaskIndex].Name
+		}
+	}}
+	_, err := Run(Config{
+		TaskSet:         ts,
+		Processor:       cpu.Continuous(0.1),
+		Policy:          fixedSpeed{s: 1},
+		Horizon:         20,
+		Observer:        obs,
+		FixedPriorities: []int{0, 1}, // long task is highest priority
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != "long" {
+		t.Errorf("first dispatch = %q, want the high-priority long task", first)
+	}
+}
+
+func TestFixedPriorityValidation(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 1, Period: 4})
+	_, err := Run(Config{
+		TaskSet:         ts,
+		Processor:       cpu.Continuous(0.1),
+		Policy:          fixedSpeed{s: 1},
+		FixedPriorities: []int{0, 1}, // wrong length
+	})
+	if err == nil {
+		t.Error("mismatched FixedPriorities length should fail")
+	}
+}
+
+// TestRTAMatchesSimulation is the cross-validation between the
+// analytical substrate and the engine: RTA-schedulable sets never
+// miss under RM at full speed, and the simulated worst-case response
+// time never exceeds the analytical one.
+func TestRTAMatchesSimulation(t *testing.T) {
+	f := func(seed uint64, nRaw, uRaw uint8) bool {
+		n := 1 + int(nRaw)%6
+		u := 0.2 + 0.75*float64(uRaw)/255
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		prios := analysis.RateMonotonicPriorities(ts)
+		resp, ok := analysis.ResponseTimes(ts, prios)
+		if !ok {
+			return true // analysis rejects: nothing to check (RTA is exact but sim tie-breaks may differ marginally)
+		}
+		worst := make([]float64, ts.N())
+		obs := &responseObserver{worst: worst}
+		res, err := Run(Config{
+			TaskSet:         ts,
+			Processor:       cpu.Continuous(0.1),
+			Policy:          fixedSpeed{s: 1},
+			Observer:        obs,
+			FixedPriorities: prios,
+		})
+		if err != nil || res.DeadlineMisses != 0 {
+			t.Logf("seed=%d: err=%v misses=%d", seed, err, res.DeadlineMisses)
+			return false
+		}
+		for i := range worst {
+			if worst[i] > resp[i]+Eps {
+				t.Logf("seed=%d task %d: simulated response %v > analytical %v",
+					seed, i, worst[i], resp[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// responseObserver tracks per-task worst-case observed response time.
+type responseObserver struct {
+	worst []float64
+}
+
+func (o *responseObserver) ObserveRelease(float64, *JobState)           {}
+func (o *responseObserver) ObserveDispatch(float64, *JobState, float64) {}
+func (o *responseObserver) ObserveComplete(t float64, j *JobState, _ bool) {
+	if r := t - j.Release; r > o.worst[j.TaskIndex] {
+		o.worst[j.TaskIndex] = r
+	}
+}
+func (o *responseObserver) ObserveIdle(float64, float64)  {}
+func (o *responseObserver) ObserveSwitch(_, _, _ float64) {}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+)
+
+func TestJitterValidation(t *testing.T) {
+	bad := rtm.Task{WCET: 1, Period: 4, Jitter: 5}
+	if err := bad.Validate(); err == nil {
+		t.Error("jitter beyond the period should fail validation")
+	}
+	good := rtm.Task{WCET: 1, Period: 4, Jitter: 2}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterShiftsReleasesDeterministically(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 1, Period: 10, Jitter: 5})
+	releases := func(seed uint64) []float64 {
+		var out []float64
+		obs := &funcObserver{}
+		obsRel := &releaseObserver{inner: obs, out: &out}
+		_, err := Run(Config{
+			TaskSet:    ts,
+			Processor:  cpu.Continuous(0.1),
+			Policy:     fixedSpeed{s: 1},
+			Horizon:    50,
+			Observer:   obsRel,
+			JitterSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := releases(1)
+	b := releases(1)
+	c := releases(2)
+	if len(a) != 5 {
+		t.Fatalf("releases = %d, want 5", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("same seed, different release %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		nominal := float64(i) * 10
+		if a[i] < nominal-Eps || a[i] > nominal+5+Eps {
+			t.Errorf("release %d at %v outside [%v, %v]", i, a[i], nominal, nominal+5)
+		}
+	}
+	if same {
+		t.Error("different jitter seeds gave identical releases")
+	}
+}
+
+// releaseObserver records release times.
+type releaseObserver struct {
+	inner Observer
+	out   *[]float64
+}
+
+func (o *releaseObserver) ObserveRelease(t float64, j *JobState) {
+	*o.out = append(*o.out, t)
+	if j.Release != t {
+		panic("release event time disagrees with job release")
+	}
+	if math.Abs(j.AbsDeadline-(t+10)) > Eps {
+		panic("jittered deadline must follow the actual release")
+	}
+}
+func (o *releaseObserver) ObserveDispatch(t float64, j *JobState, s float64) {}
+func (o *releaseObserver) ObserveComplete(t float64, j *JobState, m bool)    {}
+func (o *releaseObserver) ObserveIdle(t0, t1 float64)                        {}
+func (o *releaseObserver) ObserveSwitch(t, from, to float64)                 {}
+
+func TestJitterFreeBehaviorUnchanged(t *testing.T) {
+	// With zero jitter the seed must not matter.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 2, Period: 5})
+	run := func(seed uint64) Result {
+		res, err := Run(Config{
+			TaskSet: ts, Processor: cpu.Continuous(0.1),
+			Policy: fixedSpeed{s: 1}, Horizon: 20, JitterSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if run(1).Energy != run(99).Energy {
+		t.Error("jitter seed changed a jitter-free run")
+	}
+}
+
+func TestNextDecisionBoundCoversJitter(t *testing.T) {
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{WCET: 1, Period: 10, Jitter: 3},
+		rtm.Task{WCET: 1, Period: 20},
+	)
+	var sawBound bool
+	probe := &boundProbe{t: t, saw: &sawBound}
+	if _, err := Run(Config{
+		TaskSet: ts, Processor: cpu.Continuous(0.1),
+		Policy: probe, Horizon: 40,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBound {
+		t.Error("probe never ran")
+	}
+}
+
+// boundProbe checks System invariants at every decision.
+type boundProbe struct {
+	NopHooks
+	t   *testing.T
+	sys System
+	saw *bool
+}
+
+func (p *boundProbe) Name() string     { return "probe" }
+func (p *boundProbe) Reset(sys System) { p.sys = sys }
+func (p *boundProbe) SelectSpeed(j *JobState) float64 {
+	*p.saw = true
+	now := p.sys.Now()
+	if nr := p.sys.NextRelease(); nr < now-Eps {
+		p.t.Errorf("NextRelease %v before now %v", nr, now)
+	}
+	if b := p.sys.NextDecisionBound(); !math.IsInf(b, 1) {
+		if b < now-Eps {
+			p.t.Errorf("NextDecisionBound %v before now %v", b, now)
+		}
+		if b+Eps < p.sys.NextRelease() {
+			p.t.Errorf("decision bound %v below earliest release %v", b, p.sys.NextRelease())
+		}
+	}
+	return 1
+}

@@ -1,0 +1,136 @@
+// Package sim implements the discrete-event simulator for
+// EDF-scheduled periodic tasks on a variable-voltage processor.
+//
+// The engine models job releases, preemptive earliest-deadline-first
+// dispatching, per-dispatch speed selection by a pluggable DVS
+// policy, actual-execution-time early completion, idle intervals, and
+// optional speed-transition overhead (stall time and transition
+// energy). Energy is integrated from the processor's power model.
+//
+// Time is continuous (float64). Between two consecutive events
+// (release, completion, or transition stall) the processor state is
+// constant, so integration is exact. All comparisons use a small
+// absolute tolerance (Eps) to absorb floating-point drift.
+package sim
+
+import (
+	"math"
+
+	"dvsslack/internal/rtm"
+)
+
+// Eps is the absolute time tolerance used for event ordering and
+// deadline checks. Task parameters in this library are O(1)-O(1000)
+// time units, and simulations run for at most millions of events, so
+// accumulated float64 drift stays far below this value.
+const Eps = 1e-6
+
+// JobState is a released job plus its execution progress. Policies
+// receive *JobState at hook and dispatch points; they must treat the
+// embedded Job as read-only and may not mutate Executed or Speed
+// (those belong to the engine).
+type JobState struct {
+	rtm.Job
+
+	// Executed is the work completed so far, in full-speed units
+	// (cycles normalized like WCET). The job completes when
+	// Executed reaches AET.
+	Executed float64
+
+	// Speed is the most recently assigned execution speed.
+	Speed float64
+
+	// Started reports whether the job has ever run.
+	Started bool
+
+	// Finish is the completion time, valid once Done.
+	Finish float64
+
+	// Done reports whether the job has completed.
+	Done bool
+
+	// Priority is the dispatch key under fixed-priority scheduling
+	// (lower value = more urgent); unused under EDF.
+	Priority float64
+
+	heapIndex int
+}
+
+// RemainingWCET returns the worst-case work still outstanding, the
+// quantity every deadline-safe policy budgets for (the scheduler
+// never knows the actual execution time in advance).
+func (j *JobState) RemainingWCET() float64 {
+	r := j.WCET - j.Executed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// remainingActual returns the work that will actually be performed
+// before the job completes. Engine-internal: policies must not
+// observe AET-derived quantities before completion.
+func (j *JobState) remainingActual() float64 {
+	r := j.AET - j.Executed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Laxity returns AbsDeadline - now - RemainingWCET: the wall-clock
+// slack the job itself has at full speed.
+func (j *JobState) Laxity(now float64) float64 {
+	return j.AbsDeadline - now - j.RemainingWCET()
+}
+
+// jobHeap orders active jobs by dispatch urgency. Under EDF (the
+// default, and the paper's model) the key is the absolute deadline;
+// under fixed-priority scheduling it is the job's Priority value.
+// Ties break by release time then task index so schedules are
+// deterministic.
+type jobHeap struct {
+	jobs       []*JobState
+	byPriority bool
+}
+
+func (h *jobHeap) Len() int { return len(h.jobs) }
+
+func (h *jobHeap) Less(a, b int) bool {
+	x, y := h.jobs[a], h.jobs[b]
+	if h.byPriority {
+		if x.Priority != y.Priority {
+			return x.Priority < y.Priority
+		}
+	} else if x.AbsDeadline != y.AbsDeadline {
+		return x.AbsDeadline < y.AbsDeadline
+	}
+	if x.Release != y.Release {
+		return x.Release < y.Release
+	}
+	return x.TaskIndex < y.TaskIndex
+}
+
+func (h *jobHeap) Swap(a, b int) {
+	h.jobs[a], h.jobs[b] = h.jobs[b], h.jobs[a]
+	h.jobs[a].heapIndex = a
+	h.jobs[b].heapIndex = b
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*JobState)
+	j.heapIndex = len(h.jobs)
+	h.jobs = append(h.jobs, j)
+}
+
+func (h *jobHeap) Pop() any {
+	n := len(h.jobs)
+	j := h.jobs[n-1]
+	h.jobs[n-1] = nil
+	j.heapIndex = -1
+	h.jobs = h.jobs[:n-1]
+	return j
+}
+
+// infinity is a convenience alias for +Inf release sentinels.
+var infinity = math.Inf(1)

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// twoPhase runs the first half of each job fast and the second half
+// slow, switching at a self-scheduled power-management point.
+type twoPhase struct {
+	NopHooks
+	sys      System
+	job      *JobState
+	switchAt float64
+}
+
+func (p *twoPhase) Name() string     { return "two-phase" }
+func (p *twoPhase) Reset(sys System) { p.sys = sys; p.job = nil }
+
+func (p *twoPhase) SelectSpeed(j *JobState) float64 {
+	if p.job == j && p.sys.Now() >= p.switchAt-Eps {
+		return 0.5 // second phase
+	}
+	// First phase: half the remaining worst case at full speed.
+	p.job = j
+	p.switchAt = p.sys.Now() + j.RemainingWCET()/2
+	return 1
+}
+
+func (p *twoPhase) NextCheck(j *JobState) float64 {
+	if p.job != j || p.sys.Now() >= p.switchAt-Eps {
+		return math.Inf(1)
+	}
+	return p.switchAt
+}
+
+func TestRepacerMidJobSwitch(t *testing.T) {
+	// One job, WCET 4, worst case: phase one runs 2 work in 2 time
+	// at speed 1, phase two 2 work in 4 time at 0.5: finish at 6.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 4, Period: 10})
+	res, err := Run(Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    &twoPhase{},
+		Horizon:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatal("missed deadline")
+	}
+	if res.SpeedSwitches != 1 {
+		t.Errorf("switches = %d, want exactly 1 mid-job switch", res.SpeedSwitches)
+	}
+	// Busy energy: 2·P(1) + 4·P(0.5) = 2 + 0.5 = 2.5.
+	if math.Abs(res.BusyEnergy-2.5) > 1e-9 {
+		t.Errorf("busy energy = %v, want 2.5", res.BusyEnergy)
+	}
+	// Idle 4 time units.
+	if math.Abs(res.IdleTime-4) > 1e-9 {
+		t.Errorf("idle = %v, want 4", res.IdleTime)
+	}
+}
+
+func TestRepacerPastCheckIgnored(t *testing.T) {
+	// A Repacer returning times at or before "now" must not stall
+	// progress: the engine ignores them.
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 2, Period: 8})
+	res, err := Run(Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    &stuckRepacer{},
+		Horizon:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != 1 {
+		t.Errorf("completed %d jobs, want 1", res.JobsCompleted)
+	}
+}
+
+type stuckRepacer struct {
+	NopHooks
+	sys System
+}
+
+func (p *stuckRepacer) Name() string                  { return "stuck" }
+func (p *stuckRepacer) Reset(sys System)              { p.sys = sys }
+func (p *stuckRepacer) SelectSpeed(*JobState) float64 { return 1 }
+func (p *stuckRepacer) NextCheck(*JobState) float64   { return p.sys.Now() } // always "now"
+
+func TestEngineDeterminism(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(6, 0.8, 9))
+	run := func() Result {
+		res, err := Run(Config{
+			TaskSet:   ts,
+			Processor: cpu.Continuous(0.1),
+			Policy:    fixedSpeed{s: 0.9},
+			Workload:  workload.Uniform{Lo: 0.3, Hi: 1, Seed: 9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Energy != b.Energy || a.JobsCompleted != b.JobsCompleted ||
+		a.SpeedSwitches != b.SpeedSwitches || a.Preemptions != b.Preemptions {
+		t.Errorf("engine not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Policy is the name of the policy that produced the run.
+	Policy string
+
+	// Time is the simulated duration (the configured horizon, or
+	// the last completion time if a job overran it).
+	Time float64
+
+	// Energy is the total energy consumed: Busy + Idle + Switch.
+	Energy float64
+	// BusyEnergy is the energy spent executing jobs.
+	BusyEnergy float64
+	// IdleEnergy is the energy spent while no job was ready.
+	IdleEnergy float64
+	// SwitchEnergy is the energy spent in speed/voltage transitions.
+	SwitchEnergy float64
+
+	// JobsReleased and JobsCompleted count jobs over the run.
+	JobsReleased  int
+	JobsCompleted int
+
+	// DeadlineMisses counts jobs that completed after their
+	// absolute deadline (beyond tolerance). Any non-zero value
+	// violates the hard real-time contract of the shipped policies.
+	DeadlineMisses int
+
+	// SpeedSwitches counts changes of the processor speed setting.
+	SpeedSwitches int
+	// Preemptions counts the times a started job was displaced by
+	// an earlier-deadline arrival.
+	Preemptions int
+	// Decisions counts policy SelectSpeed invocations (the number
+	// of scheduling points).
+	Decisions int
+
+	// IdleTime is the total duration with no ready job.
+	IdleTime float64
+	// Sleeps counts deep-sleep entries (sleep-enabled processors).
+	Sleeps int
+	// SleepTime is the idle time spent in deep sleep.
+	SleepTime float64
+	// WorkDone is the total executed work in full-speed units.
+	WorkDone float64
+	// SpeedTimeIntegral is ∫ s dt over busy intervals; equals
+	// WorkDone and is kept separately as an internal consistency
+	// check.
+	SpeedTimeIntegral float64
+
+	// PolicyCounters carries Instrumented policy counters, if any.
+	PolicyCounters map[string]float64
+}
+
+// NormalizedTo returns this run's energy divided by the reference
+// energy (conventionally the non-DVS run on the identical workload).
+func (r Result) NormalizedTo(ref Result) float64 {
+	if ref.Energy == 0 {
+		return 0
+	}
+	return r.Energy / ref.Energy
+}
+
+// AvgSpeed returns the average busy speed WorkDone / busy time.
+func (r Result) AvgSpeed() float64 {
+	busy := r.Time - r.IdleTime
+	if busy <= 0 {
+		return 0
+	}
+	return r.WorkDone / busy
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: E=%.4f (busy %.4f, idle %.4f, switch %.4f) jobs=%d misses=%d switches=%d",
+		r.Policy, r.Energy, r.BusyEnergy, r.IdleEnergy, r.SwitchEnergy,
+		r.JobsCompleted, r.DeadlineMisses, r.SpeedSwitches)
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit the
+// experiment harness needs: streaming moments, confidence intervals,
+// and fixed-bin histograms. Everything is plain float64 arithmetic;
+// no external dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations with Welford's online algorithm,
+// so mean and variance stay numerically stable for long runs.
+type Sample struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the sample.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddAll folds a slice of observations.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (zero for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (zero for an empty sample).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (zero for an empty sample).
+func (s *Sample) Max() float64 { return s.max }
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval of the mean.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String implements fmt.Stringer.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.3g [%.4g,%.4g]",
+		s.n, s.mean, s.CI95(), s.StdDev(), s.min, s.max)
+}
+
+// Mean returns the arithmetic mean of xs (zero for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation on the sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	v := append([]float64(nil), xs...)
+	sort.Float64s(v)
+	if q <= 0 {
+		return v[0]
+	}
+	if q >= 1 {
+		return v[len(v)-1]
+	}
+	pos := q * float64(len(v)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(v) {
+		return v[len(v)-1]
+	}
+	return v[lo]*(1-frac) + v[lo+1]*frac
+}
+
+// Histogram counts observations into nbins equal bins over [lo, hi);
+// out-of-range values clamp to the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Bin returns the [lo, hi) range of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive for n > 1")
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Error("empty sample should be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-observation sample wrong")
+	}
+}
+
+// Property: Welford mean matches the naive mean.
+func TestSampleMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Sample
+		s.AddAll(clean)
+		want := Mean(clean)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(s.Mean()-want) < 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("quantile of empty should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total != 7 {
+		t.Errorf("total = %d", h.Total)
+	}
+	// Bin 0: 0, 1.9, and clamped -3.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	// Bin 4: 9.9 and clamped 42.
+	if h.Counts[4] != 2 {
+		t.Errorf("bin 4 = %d, want 2", h.Counts[4])
+	}
+	lo, hi := h.Bin(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("bin 1 = [%v, %v), want [2, 4)", lo, hi)
+	}
+}
+
+func TestNewHistogramDefaultBins(t *testing.T) {
+	h := NewHistogram(0, 1, 0)
+	if len(h.Counts) != 10 {
+		t.Errorf("default bins = %d, want 10", len(h.Counts))
+	}
+}

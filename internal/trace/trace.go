@@ -1,0 +1,263 @@
+// Package trace records fine-grained simulation events for
+// validation, debugging, and the Gantt-style text rendering used by
+// the example programs. A Recorder plugs into sim.Config.Observer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"dvsslack/internal/sim"
+)
+
+// EventKind labels a recorded event.
+type EventKind int
+
+// Event kinds.
+const (
+	Release EventKind = iota
+	Dispatch
+	Complete
+	Idle
+	Switch
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Release:
+		return "release"
+	case Dispatch:
+		return "dispatch"
+	case Complete:
+		return "complete"
+	case Idle:
+		return "idle"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded simulation event.
+type Event struct {
+	Kind EventKind
+	// T is the event time (start time for Idle).
+	T float64
+	// T2 is the end time for Idle events.
+	T2 float64
+	// Job identifies the job for job events (task, index).
+	Task, Index int
+	// Speed is the dispatch speed, or the new speed for Switch.
+	Speed float64
+	// From is the previous speed for Switch events.
+	From float64
+	// Missed marks Complete events past the deadline.
+	Missed bool
+}
+
+// JobRecord summarizes one completed job.
+type JobRecord struct {
+	Task, Index       int
+	Release, Deadline float64
+	Finish            float64
+	Executed          float64
+	WCET              float64
+	Missed            bool
+}
+
+// Segment is a maximal interval during which one job ran at one
+// speed (or the processor idled, Task == -1).
+type Segment struct {
+	T0, T1      float64
+	Task, Index int
+	Speed       float64
+}
+
+// Recorder implements sim.Observer, accumulating events, per-job
+// records, and execution segments.
+type Recorder struct {
+	Events   []Event
+	Jobs     []JobRecord
+	Segments []Segment
+
+	// MaxEvents bounds memory for long runs; zero means unlimited.
+	// Once exceeded, events stop accumulating but Jobs/Segments
+	// tracking continues.
+	MaxEvents int
+
+	cur       int // index into Segments of the open segment, -1 if none
+	lastSpeed float64
+}
+
+// NewRecorder returns an empty recorder with a 1M event cap.
+func NewRecorder() *Recorder { return &Recorder{MaxEvents: 1 << 20, cur: -1} }
+
+func (r *Recorder) addEvent(e Event) {
+	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// ObserveRelease implements sim.Observer.
+func (r *Recorder) ObserveRelease(t float64, j *sim.JobState) {
+	r.addEvent(Event{Kind: Release, T: t, Task: j.TaskIndex, Index: j.Index})
+}
+
+// ObserveDispatch implements sim.Observer.
+func (r *Recorder) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	r.addEvent(Event{Kind: Dispatch, T: t, Task: j.TaskIndex, Index: j.Index, Speed: speed})
+	r.extendSegment(t, j.TaskIndex, j.Index, speed)
+}
+
+// ObserveComplete implements sim.Observer.
+func (r *Recorder) ObserveComplete(t float64, j *sim.JobState, missed bool) {
+	r.addEvent(Event{Kind: Complete, T: t, Task: j.TaskIndex, Index: j.Index, Missed: missed})
+	r.closeSegment(t)
+	r.Jobs = append(r.Jobs, JobRecord{
+		Task: j.TaskIndex, Index: j.Index,
+		Release: j.Release, Deadline: j.AbsDeadline,
+		Finish: t, Executed: j.Executed, WCET: j.WCET,
+		Missed: missed,
+	})
+}
+
+// ObserveIdle implements sim.Observer.
+func (r *Recorder) ObserveIdle(t0, t1 float64) {
+	r.addEvent(Event{Kind: Idle, T: t0, T2: t1})
+	r.closeSegment(t0)
+	r.Segments = append(r.Segments, Segment{T0: t0, T1: t1, Task: -1})
+}
+
+// ObserveSwitch implements sim.Observer.
+func (r *Recorder) ObserveSwitch(t, from, to float64) {
+	r.addEvent(Event{Kind: Switch, T: t, From: from, Speed: to})
+	r.lastSpeed = to
+}
+
+func (r *Recorder) extendSegment(t float64, task, index int, speed float64) {
+	if r.cur >= 0 {
+		c := &r.Segments[r.cur]
+		if c.Task == task && c.Index == index && c.Speed == speed {
+			return // same job, same speed: segment continues
+		}
+	}
+	r.closeSegment(t)
+	r.Segments = append(r.Segments, Segment{T0: t, T1: math.NaN(), Task: task, Index: index, Speed: speed})
+	r.cur = len(r.Segments) - 1
+}
+
+func (r *Recorder) closeSegment(t float64) {
+	if r.cur >= 0 {
+		r.Segments[r.cur].T1 = t
+		r.cur = -1
+	}
+}
+
+// Misses returns the records of jobs that missed their deadline.
+func (r *Recorder) Misses() []JobRecord {
+	var out []JobRecord
+	for _, j := range r.Jobs {
+		if j.Missed {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Validate cross-checks the recorded trace for internal consistency
+// and returns the violations found (empty means clean):
+//
+//   - no job starts before its release or is recorded twice,
+//   - execution never exceeds the WCET (beyond tolerance),
+//   - segments are disjoint and time-ordered,
+//   - speeds lie in (0, 1].
+func (r *Recorder) Validate() []string {
+	var errs []string
+	seen := make(map[[2]int]bool)
+	for _, j := range r.Jobs {
+		key := [2]int{j.Task, j.Index}
+		if seen[key] {
+			errs = append(errs, fmt.Sprintf("job T%d#%d completed twice", j.Task+1, j.Index))
+		}
+		seen[key] = true
+		if j.Finish < j.Release-sim.Eps {
+			errs = append(errs, fmt.Sprintf("job T%d#%d finished before release", j.Task+1, j.Index))
+		}
+		if j.Executed > j.WCET+sim.Eps {
+			errs = append(errs, fmt.Sprintf("job T%d#%d executed %v > WCET %v", j.Task+1, j.Index, j.Executed, j.WCET))
+		}
+	}
+	segs := append([]Segment(nil), r.Segments...)
+	sort.Slice(segs, func(a, b int) bool { return segs[a].T0 < segs[b].T0 })
+	prevEnd := math.Inf(-1)
+	for _, s := range segs {
+		if !math.IsNaN(s.T1) && s.T1 < s.T0-sim.Eps {
+			errs = append(errs, fmt.Sprintf("segment at %v ends before it starts", s.T0))
+		}
+		if s.T0 < prevEnd-sim.Eps {
+			errs = append(errs, fmt.Sprintf("segment at %v overlaps previous", s.T0))
+		}
+		if !math.IsNaN(s.T1) {
+			prevEnd = s.T1
+		}
+		if s.Task >= 0 && (s.Speed <= 0 || s.Speed > 1+sim.Eps) {
+			errs = append(errs, fmt.Sprintf("segment at %v has speed %v out of (0,1]", s.T0, s.Speed))
+		}
+	}
+	return errs
+}
+
+// Gantt renders the segment list as a text chart: one row per task
+// plus an idle row, cols time quantized to width columns over
+// [0, horizon]. Digits 1-9 encode the execution speed in tenths
+// (rounded up); '.' is idle.
+func (r *Recorder) Gantt(w io.Writer, taskNames []string, horizon float64, width int) {
+	if width <= 0 {
+		width = 80
+	}
+	if horizon <= 0 {
+		for _, s := range r.Segments {
+			if !math.IsNaN(s.T1) && s.T1 > horizon {
+				horizon = s.T1
+			}
+		}
+	}
+	if horizon <= 0 {
+		return
+	}
+	rows := make([][]byte, len(taskNames))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range r.Segments {
+		if s.Task < 0 || s.Task >= len(rows) || math.IsNaN(s.T1) {
+			continue
+		}
+		c0 := int(s.T0 / horizon * float64(width))
+		c1 := int(math.Ceil(s.T1 / horizon * float64(width)))
+		if c1 > width {
+			c1 = width
+		}
+		digit := byte('0' + int(math.Min(9, math.Ceil(s.Speed*10-1e-9))))
+		for c := c0; c < c1; c++ {
+			rows[s.Task][c] = digit
+		}
+	}
+	nameW := 0
+	for _, n := range taskNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	fmt.Fprintf(w, "%*s  0%s%g\n", nameW, "", strings.Repeat("-", width-len(fmt.Sprint(horizon))-1), horizon)
+	for i, n := range taskNames {
+		fmt.Fprintf(w, "%*s |%s|\n", nameW, n, rows[i])
+	}
+	fmt.Fprintf(w, "%*s  (digits: speed in tenths, rounded up; blank: not running)\n", nameW, "")
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// constSpeed is a minimal policy for driving the recorder.
+type constSpeed struct {
+	sim.NopHooks
+	s float64
+}
+
+func (p constSpeed) Name() string                      { return "const" }
+func (p constSpeed) Reset(sim.System)                  {}
+func (p constSpeed) SelectSpeed(*sim.JobState) float64 { return p.s }
+
+func record(t *testing.T, ts *rtm.TaskSet, speed float64) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    constSpeed{s: speed},
+		Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: 4},
+		Observer:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCollectsEvents(t *testing.T) {
+	rec := record(t, rtm.Quickstart(), 1)
+	var releases, dispatches, completes int
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case Release:
+			releases++
+		case Dispatch:
+			dispatches++
+		case Complete:
+			completes++
+		}
+	}
+	if releases == 0 || dispatches == 0 || completes == 0 {
+		t.Fatalf("missing events: r=%d d=%d c=%d", releases, dispatches, completes)
+	}
+	if releases != completes {
+		t.Errorf("releases %d != completes %d", releases, completes)
+	}
+	if len(rec.Jobs) != completes {
+		t.Errorf("job records %d != completes %d", len(rec.Jobs), completes)
+	}
+}
+
+func TestRecorderValidateCleanTrace(t *testing.T) {
+	rec := record(t, rtm.Quickstart(), 1)
+	if errs := rec.Validate(); len(errs) != 0 {
+		t.Errorf("clean trace reported violations: %v", errs)
+	}
+	if len(rec.Misses()) != 0 {
+		t.Errorf("unexpected misses: %v", rec.Misses())
+	}
+}
+
+func TestRecorderDetectsMisses(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 4, Period: 4})
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    constSpeed{s: 0.5},
+		Observer:  rec,
+		Horizon:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Misses()) == 0 {
+		t.Error("recorder should capture deadline misses")
+	}
+}
+
+func TestRecorderSegmentsCoverWork(t *testing.T) {
+	rec := record(t, rtm.Quickstart(), 1)
+	var busy float64
+	for _, s := range rec.Segments {
+		if s.Task >= 0 && !isNaN(s.T1) {
+			busy += s.T1 - s.T0
+		}
+	}
+	var work float64
+	for _, j := range rec.Jobs {
+		work += j.Executed
+	}
+	// At speed 1 busy time equals executed work.
+	if diff := busy - work; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("segment busy time %v != work %v", busy, work)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		Release: "release", Dispatch: "dispatch", Complete: "complete",
+		Idle: "idle", Switch: "switch", EventKind(42): "kind(42)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("String() = %q, want %q", k.String(), want)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	ts := rtm.NewTaskSet("x",
+		rtm.Task{Name: "a", WCET: 1, Period: 4},
+		rtm.Task{Name: "b", WCET: 1, Period: 8},
+	)
+	rec := record(t, ts, 0.5)
+	var buf bytes.Buffer
+	names := []string{"a", "b"}
+	rec.Gantt(&buf, names, 8, 40)
+	out := buf.String()
+	if !strings.Contains(out, "a |") || !strings.Contains(out, "b |") {
+		t.Errorf("gantt missing rows:\n%s", out)
+	}
+	// Speed 0.5 renders as digit 5.
+	if !strings.Contains(out, "5") {
+		t.Errorf("gantt missing speed digits:\n%s", out)
+	}
+}
+
+func TestGanttEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	NewRecorder().Gantt(&buf, []string{"a"}, 0, 10)
+	// No horizon inferable: no output, no panic.
+	if buf.Len() != 0 {
+		t.Errorf("expected empty output, got %q", buf.String())
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	rec := NewRecorder()
+	rec.MaxEvents = 5
+	for i := 0; i < 10; i++ {
+		rec.ObserveRelease(float64(i), &sim.JobState{})
+	}
+	if len(rec.Events) != 5 {
+		t.Errorf("events = %d, want capped 5", len(rec.Events))
+	}
+}

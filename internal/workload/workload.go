@@ -1,0 +1,177 @@
+// Package workload generates the actual execution times (AETs) of
+// jobs. In the dynamic-workload setting of the paper, jobs usually
+// finish well before their worst-case execution time; the
+// distribution of AET/WCET — and how it varies over a task's
+// successive jobs — is the knob the evaluation sweeps.
+//
+// Every generator is a pure function of (seed, task, job index), so a
+// given configuration denotes one fixed workload trace: running two
+// policies against the same generator measures them on identical
+// inputs, which is what makes the normalized-energy comparisons of
+// the benchmark harness meaningful.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dvsslack/internal/prng"
+)
+
+// Generator produces the actual execution time of job index of a
+// task, as a value in (0, wcet]. Implementations must be
+// deterministic in (task, index) for a fixed generator value.
+type Generator interface {
+	// AET returns the actual work of job 'index' of task 'task'
+	// whose worst-case work is wcet. The result is clamped by the
+	// caller contract to (0, wcet].
+	AET(task, index int, wcet float64) float64
+	// Name identifies the generator in reports.
+	Name() string
+}
+
+// clampFrac bounds a sampled AET fraction into (0, 1], using a small
+// positive floor so no job degenerates to zero work.
+func clampFrac(f float64) float64 {
+	const floor = 1e-3
+	if f < floor {
+		return floor
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Uniform draws AET/WCET uniformly from [Lo, Hi] independently per
+// job. This is the standard workload of the paper family's
+// experiments; the mean ratio (Lo+Hi)/2 is the "BCET/WCET" knob of
+// figure F4 when Hi = 1.
+type Uniform struct {
+	Lo, Hi float64 // fraction bounds, 0 <= Lo <= Hi <= 1
+	Seed   uint64
+}
+
+// AET implements Generator.
+func (g Uniform) AET(task, index int, wcet float64) float64 {
+	u := prng.Float64(prng.Hash3(g.Seed, task, index))
+	return clampFrac(g.Lo+(g.Hi-g.Lo)*u) * wcet
+}
+
+// Name implements Generator.
+func (g Uniform) Name() string { return fmt.Sprintf("uniform[%g,%g]", g.Lo, g.Hi) }
+
+// Constant fixes AET/WCET to a constant fraction for every job: the
+// fully predictable workload where slack comes only from utilization
+// and early completion is deterministic.
+type Constant struct {
+	Frac float64
+}
+
+// AET implements Generator.
+func (g Constant) AET(task, index int, wcet float64) float64 {
+	return clampFrac(g.Frac) * wcet
+}
+
+// Name implements Generator.
+func (g Constant) Name() string { return fmt.Sprintf("constant[%g]", g.Frac) }
+
+// Normal draws AET/WCET from a normal distribution truncated to
+// (0, 1], modeling workloads that cluster around a typical case.
+type Normal struct {
+	Mean, StdDev float64 // of the fraction
+	Seed         uint64
+}
+
+// AET implements Generator.
+func (g Normal) AET(task, index int, wcet float64) float64 {
+	// Two independent hashes feed Box-Muller deterministically.
+	u1 := prng.Float64(prng.Hash3(g.Seed, task, 2*index))
+	u2 := prng.Float64(prng.Hash3(g.Seed, task, 2*index+1))
+	for u1 == 0 {
+		u1 = 0.5
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return clampFrac(g.Mean+g.StdDev*z) * wcet
+}
+
+// Name implements Generator.
+func (g Normal) Name() string { return fmt.Sprintf("normal[m=%g,sd=%g]", g.Mean, g.StdDev) }
+
+// Bimodal models tasks with a fast common path and a rare slow path:
+// with probability PHeavy the job runs at HeavyFrac of WCET, otherwise
+// at LightFrac.
+type Bimodal struct {
+	LightFrac, HeavyFrac float64
+	PHeavy               float64
+	Seed                 uint64
+}
+
+// AET implements Generator.
+func (g Bimodal) AET(task, index int, wcet float64) float64 {
+	u := prng.Float64(prng.Hash3(g.Seed, task, index))
+	if u < g.PHeavy {
+		return clampFrac(g.HeavyFrac) * wcet
+	}
+	return clampFrac(g.LightFrac) * wcet
+}
+
+// Name implements Generator.
+func (g Bimodal) Name() string {
+	return fmt.Sprintf("bimodal[%g/%g,p=%g]", g.LightFrac, g.HeavyFrac, g.PHeavy)
+}
+
+// Sinusoidal varies the AET fraction smoothly over a task's job
+// sequence, AET/WCET = Mean + Amp·sin(2π·index/PeriodJobs + phase(task)),
+// modeling slowly drifting workloads (e.g. scene complexity in video).
+// Optional per-job uniform jitter of ±Jitter is superimposed.
+type Sinusoidal struct {
+	Mean, Amp  float64
+	PeriodJobs float64 // jobs per full cycle; <= 0 means 32
+	Jitter     float64
+	Seed       uint64
+}
+
+// AET implements Generator.
+func (g Sinusoidal) AET(task, index int, wcet float64) float64 {
+	period := g.PeriodJobs
+	if period <= 0 {
+		period = 32
+	}
+	phase := 2 * math.Pi * prng.Float64(prng.Hash3(g.Seed, task, -1))
+	f := g.Mean + g.Amp*math.Sin(2*math.Pi*float64(index)/period+phase)
+	if g.Jitter > 0 {
+		u := prng.Float64(prng.Hash3(g.Seed, task, index))
+		f += g.Jitter * (2*u - 1)
+	}
+	return clampFrac(f) * wcet
+}
+
+// Name implements Generator.
+func (g Sinusoidal) Name() string { return fmt.Sprintf("sin[m=%g,a=%g]", g.Mean, g.Amp) }
+
+// WorstCase makes every job consume its full WCET: the degenerate
+// workload with no dynamic slack at all.
+type WorstCase struct{}
+
+// AET implements Generator.
+func (WorstCase) AET(task, index int, wcet float64) float64 { return wcet }
+
+// Name implements Generator.
+func (WorstCase) Name() string { return "worst-case" }
+
+// MeanFraction estimates the expected AET/WCET of a generator by
+// averaging over the first n jobs of k synthetic tasks; used by the
+// clairvoyant bound and by reports.
+func MeanFraction(g Generator, tasks, jobs int) float64 {
+	if tasks <= 0 || jobs <= 0 {
+		return 1
+	}
+	var sum float64
+	for t := 0; t < tasks; t++ {
+		for j := 0; j < jobs; j++ {
+			sum += g.AET(t, j, 1)
+		}
+	}
+	return sum / float64(tasks*jobs)
+}

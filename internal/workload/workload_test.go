@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// allGenerators returns one configured instance of every generator.
+func allGenerators() []Generator {
+	return []Generator{
+		Uniform{Lo: 0.3, Hi: 0.9, Seed: 1},
+		Constant{Frac: 0.5},
+		Normal{Mean: 0.6, StdDev: 0.15, Seed: 2},
+		Bimodal{LightFrac: 0.2, HeavyFrac: 0.95, PHeavy: 0.1, Seed: 3},
+		Sinusoidal{Mean: 0.5, Amp: 0.3, Jitter: 0.05, Seed: 4},
+		WorstCase{},
+	}
+}
+
+// Property: every generator returns AET in (0, wcet] and is
+// deterministic in (task, index).
+func TestGeneratorsBoundedAndDeterministic(t *testing.T) {
+	gens := allGenerators()
+	f := func(task uint8, index uint16, wcetRaw uint16) bool {
+		wcet := 0.1 + float64(wcetRaw)/100
+		for _, g := range gens {
+			a := g.AET(int(task), int(index), wcet)
+			b := g.AET(int(task), int(index), wcet)
+			if a != b {
+				return false
+			}
+			if a <= 0 || a > wcet+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorsHaveNames(t *testing.T) {
+	for _, g := range allGenerators() {
+		if g.Name() == "" {
+			t.Errorf("%T has empty name", g)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := Uniform{Lo: 0.4, Hi: 0.6, Seed: 7}
+	for i := 0; i < 2000; i++ {
+		f := g.AET(3, i, 1)
+		if f < 0.4-1e-12 || f > 0.6+1e-12 {
+			t.Fatalf("job %d: fraction %v out of [0.4, 0.6]", i, f)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	g := Uniform{Lo: 0.2, Hi: 0.8, Seed: 11}
+	m := MeanFraction(g, 10, 2000)
+	if math.Abs(m-0.5) > 0.01 {
+		t.Errorf("mean fraction %v, want ~0.5", m)
+	}
+}
+
+func TestUniformOrderIndependence(t *testing.T) {
+	// AETs must not depend on query order: simulate different
+	// policies querying in different orders.
+	g := Uniform{Lo: 0.1, Hi: 1, Seed: 5}
+	forward := make([]float64, 100)
+	for i := range forward {
+		forward[i] = g.AET(2, i, 3)
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if g.AET(2, i, 3) != forward[i] {
+			t.Fatalf("job %d AET changed with query order", i)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	g := Constant{Frac: 0.37}
+	if got := g.AET(0, 0, 10); math.Abs(got-3.7) > 1e-12 {
+		t.Errorf("AET = %v, want 3.7", got)
+	}
+	// Clamped to (0, 1].
+	if got := (Constant{Frac: 2}).AET(0, 0, 10); got != 10 {
+		t.Errorf("over-unity fraction should clamp to WCET, got %v", got)
+	}
+	if got := (Constant{Frac: -1}).AET(0, 0, 10); got <= 0 {
+		t.Errorf("negative fraction should clamp positive, got %v", got)
+	}
+}
+
+func TestNormalClusters(t *testing.T) {
+	g := Normal{Mean: 0.5, StdDev: 0.1, Seed: 9}
+	var within int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		f := g.AET(0, i, 1)
+		if f > 0.3 && f < 0.7 {
+			within++
+		}
+	}
+	// ~95% should be within two standard deviations.
+	if within < n*90/100 {
+		t.Errorf("only %d/%d within 2 sd", within, n)
+	}
+}
+
+func TestBimodalProportions(t *testing.T) {
+	g := Bimodal{LightFrac: 0.2, HeavyFrac: 1.0, PHeavy: 0.25, Seed: 13}
+	var heavy int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.AET(0, i, 1) > 0.5 {
+			heavy++
+		}
+	}
+	p := float64(heavy) / n
+	if math.Abs(p-0.25) > 0.02 {
+		t.Errorf("heavy fraction %v, want ~0.25", p)
+	}
+}
+
+func TestSinusoidalDrifts(t *testing.T) {
+	g := Sinusoidal{Mean: 0.5, Amp: 0.4, PeriodJobs: 64, Seed: 17}
+	// Successive jobs change slowly (no jitter configured beyond
+	// default zero), unlike the uniform generator.
+	var maxStep float64
+	prev := g.AET(0, 0, 1)
+	for i := 1; i < 128; i++ {
+		cur := g.AET(0, i, 1)
+		maxStep = math.Max(maxStep, math.Abs(cur-prev))
+		prev = cur
+	}
+	if maxStep > 0.1 {
+		t.Errorf("sinusoidal pattern jumps by %v between jobs", maxStep)
+	}
+	// Different tasks get different phases.
+	if g.AET(0, 0, 1) == g.AET(1, 0, 1) {
+		t.Error("per-task phases should differ")
+	}
+}
+
+func TestWorstCase(t *testing.T) {
+	if got := (WorstCase{}).AET(5, 9, 2.5); got != 2.5 {
+		t.Errorf("AET = %v, want WCET", got)
+	}
+}
+
+func TestMeanFractionDegenerate(t *testing.T) {
+	if m := MeanFraction(WorstCase{}, 0, 10); m != 1 {
+		t.Errorf("MeanFraction with no tasks = %v, want 1", m)
+	}
+	if m := MeanFraction(Constant{Frac: 0.4}, 3, 5); math.Abs(m-0.4) > 1e-12 {
+		t.Errorf("MeanFraction of constant = %v, want 0.4", m)
+	}
+}

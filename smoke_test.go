@@ -1,0 +1,46 @@
+package dvsslack
+
+import (
+	"testing"
+)
+
+// TestSmoke runs every shipped policy on the quickstart task set and
+// checks the fundamental contract: no deadline misses and no more
+// energy than the non-DVS reference.
+func TestSmoke(t *testing.T) {
+	ts := NewTaskSet("smoke",
+		NewTask("sensor", 1, 4),
+		NewTask("control", 2, 12),
+		NewTask("telemetry", 2, 15),
+		NewTask("logging", 3, 30),
+		NewTask("housekeeping", 4, 40),
+	)
+	policies := []Policy{
+		NewNonDVS(), NewStaticEDF(), NewLppsEDF(),
+		NewCCEDF(), NewLAEDF(), NewDRA(), NewLpSHE(),
+	}
+	var ref Result
+	for i, p := range policies {
+		res, err := Simulate(Config{
+			TaskSet:   ts,
+			Processor: ContinuousProcessor(0.1),
+			Policy:    p,
+			Workload:  UniformWorkload(0.4, 1, 7),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Errorf("%s: %d deadline misses", p.Name(), res.DeadlineMisses)
+		}
+		if res.JobsCompleted == 0 {
+			t.Errorf("%s: no jobs completed", p.Name())
+		}
+		if i == 0 {
+			ref = res
+		} else if res.Energy > ref.Energy*1.0001 {
+			t.Errorf("%s: energy %.4f exceeds non-DVS %.4f", p.Name(), res.Energy, ref.Energy)
+		}
+		t.Logf("%v (normalized %.3f)", res, res.NormalizedTo(ref))
+	}
+}
