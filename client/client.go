@@ -1,0 +1,264 @@
+// Package client is the Go client for dvsd, the simulation daemon
+// (internal/server, cmd/dvsd). It wraps the HTTP/JSON wire protocol
+// — synchronous single runs, async batch jobs, metrics — behind typed
+// calls, and is what cmd/dvsexp uses to farm experiment replications
+// out to a daemon.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"dvsslack/internal/server"
+)
+
+// Client talks to one dvsd instance. The zero value is not usable;
+// construct with New. Client is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at addr (host:port or a full
+// http:// URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// WithHTTPClient replaces the underlying *http.Client (e.g. to set
+// timeouts or transports) and returns the client for chaining.
+func (c *Client) WithHTTPClient(h *http.Client) *Client {
+	c.http = h
+	return c
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dvsd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// do round-trips one JSON request. A nil in sends no body; a nil out
+// discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb server.ErrorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthy reports whether the daemon answers /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Simulate runs one simulation synchronously.
+func (c *Client) Simulate(ctx context.Context, req server.SimRequest) (server.SimResult, error) {
+	var res server.SimResult
+	err := c.do(ctx, http.MethodPost, "/v1/simulate", &req, &res)
+	return res, err
+}
+
+// CreateJob submits a batch and returns its initial status.
+func (c *Client) CreateJob(ctx context.Context, batch server.BatchRequest) (server.JobInfo, error) {
+	var info server.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", &batch, &info)
+	return info, err
+}
+
+// Job fetches a job's status; withResults includes per-run outcomes.
+func (c *Client) Job(ctx context.Context, id string, withResults bool) (server.JobInfo, error) {
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if withResults {
+		path += "?results=1"
+	}
+	var info server.JobInfo
+	err := c.do(ctx, http.MethodGet, path, nil, &info)
+	return info, err
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs(ctx context.Context) ([]server.JobInfo, error) {
+	var out []server.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// CancelJob aborts a job's remaining runs.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}
+
+// WaitJob polls until the job reaches a terminal state (or ctx
+// expires) and returns its final status with results.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (server.JobInfo, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(ctx, id, true)
+		if err != nil {
+			return info, err
+		}
+		switch info.State {
+		case server.JobDone, server.JobFailed, server.JobCancelled:
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
+	var m server.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// StreamEvents subscribes to a job's SSE progress stream, invoking fn
+// for every event until the terminal "end" event, stream close, or
+// ctx cancellation. fn returning a non-nil error stops the stream.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(server.JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb server.ErrorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	dec := newSSEDecoder(resp.Body)
+	for {
+		ev, err := dec.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Type == "end" {
+			return nil
+		}
+	}
+}
+
+// sseDecoder parses the minimal SSE dialect the daemon emits.
+type sseDecoder struct {
+	r *bufReader
+}
+
+func newSSEDecoder(r io.Reader) *sseDecoder { return &sseDecoder{r: newBufReader(r)} }
+
+func (d *sseDecoder) next() (server.JobEvent, error) {
+	for {
+		line, err := d.r.line()
+		if err != nil {
+			return server.JobEvent{}, err
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var ev server.JobEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return server.JobEvent{}, fmt.Errorf("client: bad SSE payload %q: %w", line, err)
+			}
+			return ev, nil
+		}
+	}
+}
+
+// bufReader is a minimal line reader without bufio's buffer-size
+// pitfalls for long data lines.
+type bufReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func newBufReader(r io.Reader) *bufReader { return &bufReader{r: r} }
+
+func (b *bufReader) line() (string, error) {
+	for {
+		if i := bytes.IndexByte(b.buf, '\n'); i >= 0 {
+			line := strings.TrimRight(string(b.buf[:i]), "\r")
+			b.buf = b.buf[i+1:]
+			return line, nil
+		}
+		chunk := make([]byte, 4096)
+		n, err := b.r.Read(chunk)
+		if n > 0 {
+			b.buf = append(b.buf, chunk[:n]...)
+			continue
+		}
+		if err != nil {
+			if len(b.buf) > 0 {
+				line := strings.TrimRight(string(b.buf), "\r")
+				b.buf = nil
+				return line, nil
+			}
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+	"dvsslack/internal/sim"
+)
+
+func newPair(t *testing.T) (*Client, *server.Server) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 4})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return New(hs.URL), s
+}
+
+func testRequest(policy string, seed uint64) server.SimRequest {
+	return server.SimRequest{
+		TaskSet:  rtm.Quickstart(),
+		Policy:   policy,
+		Workload: server.WorkloadSpec{Kind: "uniform", Lo: 0.5, Hi: 1, Seed: seed},
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	req := testRequest("lpshe", 3)
+	res, err := c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != want.Energy {
+		t.Fatalf("remote energy %v != local %v", res.Energy, want.Energy)
+	}
+}
+
+func TestSimulateError(t *testing.T) {
+	c, _ := newPair(t)
+	_, err := c.Simulate(context.Background(), server.SimRequest{Policy: "lpshe"})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", apiErr.StatusCode)
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	var batch server.BatchRequest
+	for i := 0; i < 5; i++ {
+		batch.Runs = append(batch.Runs, testRequest("cc", uint64(i)))
+	}
+	info, err := c.CreateJob(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, info.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.JobDone || len(final.Results) != 5 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != info.ID {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SimsRun == 0 {
+		t.Fatal("metrics report zero sims after a finished job")
+	}
+}
+
+func TestStreamEvents(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	var batch server.BatchRequest
+	for i := 0; i < 4; i++ {
+		batch.Runs = append(batch.Runs, testRequest("lpshe", uint64(50+i)))
+	}
+	info, err := c.CreateJob(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last server.JobEvent
+	err = c.StreamEvents(ctx, info.ID, func(ev server.JobEvent) error {
+		last = ev
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "end" || last.State != server.JobDone || last.Done != 4 {
+		t.Fatalf("last event = %+v", last)
+	}
+}

@@ -1,0 +1,91 @@
+// Command dvsd is the simulation daemon: an HTTP/JSON service that
+// runs DVS-EDF simulations on a bounded worker pool, with an async
+// batch-job API, an LRU result cache, and a /metrics endpoint.
+//
+// Usage:
+//
+//	dvsd                                  # listen on :8080, NumCPU workers
+//	dvsd -addr 127.0.0.1:9090 -workers 8
+//	dvsd -addr 127.0.0.1:0                # pick a free port (logged)
+//
+// Endpoints (see docs/api.md):
+//
+//	POST /v1/simulate            one run, synchronous
+//	POST /v1/jobs                batch run/sweep, async
+//	GET  /v1/jobs                job listing
+//	GET  /v1/jobs/{id}           job status (+ ?results=1)
+//	GET  /v1/jobs/{id}/events    SSE progress stream
+//	DELETE /v1/jobs/{id}         cancel
+//	GET  /v1/policies            policy registry
+//	GET  /metrics                JSON metrics snapshot
+//	GET  /healthz                liveness
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, jobs
+// in flight get -drain-timeout to finish, then stragglers are
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dvsslack/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", 0, "simulation worker count (0 = NumCPU)")
+		queue     = flag.Int("queue", 0, "pending-run queue depth (0 = workers*64)")
+		cacheSize = flag.Int("cache", 4096, "result cache entries (0 disables)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	)
+	flag.Parse()
+
+	cs := *cacheSize
+	if cs == 0 {
+		cs = -1 // Config: 0 means default, -1 disables
+	}
+	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue, CacheSize: cs})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dvsd: listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("dvsd: listening on %s (%d workers)", ln.Addr(), srv.Workers())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("dvsd: %s received, draining (deadline %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("dvsd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the simulation backlog.
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dvsd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("dvsd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("dvsd: drained, bye")
+}

@@ -7,17 +7,22 @@
 //	dvsexp -exp all           # the whole evaluation
 //	dvsexp -exp t2 -csv       # CSV output for post-processing
 //	dvsexp -exp f3 -quick     # reduced replication for a fast look
+//	dvsexp -exp t2 -addr :8080  # farm runs out to a dvsd daemon
 //	dvsexp -list              # list experiment IDs
 //
 // Experiment IDs: t1 f3 f4 f5 t2 f6 f7 t3 t4 f8.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"dvsslack/client"
 	"dvsslack/internal/experiment"
+	"dvsslack/internal/server"
+	"dvsslack/internal/sim"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 		seed0 = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
 		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		addr  = flag.String("addr", "", "dvsd daemon address; runs execute remotely (and hit its result cache) instead of in-process")
 	)
 	flag.Parse()
 
@@ -42,6 +48,14 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiment.Options{Quick: *quick, Seeds: *seeds, Seed0: *seed0}
+	if *addr != "" {
+		c := client.New(*addr)
+		if err := c.Healthy(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "dvsexp: daemon at %s unreachable: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		opts.Exec = remoteExec(c)
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiment.IDs()
@@ -57,5 +71,23 @@ func main() {
 		} else {
 			r.Print(os.Stdout)
 		}
+	}
+}
+
+// remoteExec returns an experiment executor that ships each run to the
+// daemon. Configurations without a wire form (custom policies,
+// observers) fall back to in-process execution, so every experiment
+// works unchanged with -addr.
+func remoteExec(c *client.Client) experiment.Exec {
+	return func(cfg sim.Config) (sim.Result, error) {
+		req, err := server.RequestFromConfig(cfg)
+		if err != nil {
+			return sim.Run(cfg)
+		}
+		res, err := c.Simulate(context.Background(), req)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("dvsexp: remote run: %w", err)
+		}
+		return res.Sim(), nil
 	}
 }

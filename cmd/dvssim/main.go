@@ -7,101 +7,156 @@
 //	dvssim -policy all -taskset cnc -gantt
 //	dvssim -policy dra -file tasks.json -levels "0.25,0.5,0.75,1"
 //	dvssim -policy lpshe -u 0.9 -switch-time 0.1
+//	dvssim -policy lpshe -taskset cnc -json   # machine-readable output
 //
 // Built-in task sets: cnc, avionics, videophone, quickstart; -n/-u
 // generate a random set instead; -file loads JSON (see cmd/taskgen).
+//
+// With -json, output is a JSON array of result objects in the same
+// schema dvsd serves from /v1/simulate (see docs/api.md), so CLI runs
+// and daemon responses are interchangeable inputs for downstream
+// tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"dvsslack/internal/core"
 	"dvsslack/internal/cpu"
 	"dvsslack/internal/dvs"
+	"dvsslack/internal/policies"
 	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
 	"dvsslack/internal/sim"
 	"dvsslack/internal/trace"
 	"dvsslack/internal/workload"
 )
 
+// options collects the parsed command line; run consumes it.
+type options struct {
+	Policy  string
+	TaskSet string
+	File    string
+	N       int
+	U       float64
+	Ratio   float64
+	Seed    uint64
+	SMin    float64
+	Levels  string
+	SwTime  float64
+	SwCoef  float64
+	Horizon float64
+	Gantt   bool
+	Strict  bool
+	JSON    bool
+}
+
 func main() {
-	var (
-		policy  = flag.String("policy", "lpshe", "policy: nondvs, static, lpps, cc, la, dra, lpshe, greedy, or 'all'")
-		name    = flag.String("taskset", "", "built-in task set: cnc, avionics, videophone, quickstart")
-		file    = flag.String("file", "", "task-set JSON file (overrides -taskset)")
-		n       = flag.Int("n", 8, "number of tasks for random generation")
-		u       = flag.Float64("u", 0.7, "worst-case utilization for random generation")
-		ratio   = flag.Float64("ratio", 0.5, "BCET/WCET ratio: AET ~ U[ratio,1]*WCET")
-		seed    = flag.Uint64("seed", 1, "random seed (task set and workload)")
-		smin    = flag.Float64("smin", 0.1, "minimum processor speed")
-		levels  = flag.String("levels", "", "comma-separated discrete speed levels (last must be 1)")
-		swTime  = flag.Float64("switch-time", 0, "speed transition stall time")
-		swCoef  = flag.Float64("switch-energy", 0, "transition energy coefficient")
-		horizon = flag.Float64("horizon", 0, "simulation length (0 = one hyperperiod)")
-		gantt   = flag.Bool("gantt", false, "print a Gantt chart of the schedule")
-		strict  = flag.Bool("strict", true, "fail on the first deadline miss")
-	)
+	var o options
+	flag.StringVar(&o.Policy, "policy", "lpshe", "policy spec (see internal/policies; e.g. nondvs, cc, lpshe, lpshe+dual) or 'all'")
+	flag.StringVar(&o.TaskSet, "taskset", "", "built-in task set: cnc, avionics, videophone, quickstart")
+	flag.StringVar(&o.File, "file", "", "task-set JSON file (overrides -taskset)")
+	flag.IntVar(&o.N, "n", 8, "number of tasks for random generation")
+	flag.Float64Var(&o.U, "u", 0.7, "worst-case utilization for random generation")
+	flag.Float64Var(&o.Ratio, "ratio", 0.5, "BCET/WCET ratio: AET ~ U[ratio,1]*WCET")
+	flag.Uint64Var(&o.Seed, "seed", 1, "random seed (task set and workload)")
+	flag.Float64Var(&o.SMin, "smin", 0.1, "minimum processor speed")
+	flag.StringVar(&o.Levels, "levels", "", "comma-separated discrete speed levels (last must be 1)")
+	flag.Float64Var(&o.SwTime, "switch-time", 0, "speed transition stall time")
+	flag.Float64Var(&o.SwCoef, "switch-energy", 0, "transition energy coefficient")
+	flag.Float64Var(&o.Horizon, "horizon", 0, "simulation length (0 = one hyperperiod)")
+	flag.BoolVar(&o.Gantt, "gantt", false, "print a Gantt chart of the schedule")
+	flag.BoolVar(&o.Strict, "strict", true, "fail on the first deadline miss")
+	flag.BoolVar(&o.JSON, "json", false, "emit results as JSON (the dvsd /v1/simulate schema)")
 	flag.Parse()
 
-	ts, err := loadTaskSet(*file, *name, *n, *u, *seed)
-	if err != nil {
-		fail(err)
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dvssim: %v\n", err)
+		os.Exit(1)
 	}
-	proc, err := buildProcessor(*smin, *levels)
-	if err != nil {
-		fail(err)
-	}
-	proc.SwitchTime = *swTime
-	proc.SwitchEnergyCoeff = *swCoef
+}
 
-	gen := workload.Uniform{Lo: *ratio, Hi: 1, Seed: *seed}
-	fmt.Printf("task set %s: %d tasks, U=%.3f, hyperperiod=%s\n",
-		ts.Name, ts.N(), ts.Utilization(), hyperStr(ts))
-	fmt.Printf("processor: %s  workload: %s\n\n", proc.Name(), gen.Name())
-
-	pols, err := policies(*policy)
+// run executes the simulations o describes and writes the report to w.
+func run(o options, w io.Writer) error {
+	ts, err := loadTaskSet(o.File, o.TaskSet, o.N, o.U, o.Seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
+	proc, err := buildProcessor(o.SMin, o.Levels)
+	if err != nil {
+		return err
+	}
+	proc.SwitchTime = o.SwTime
+	proc.SwitchEnergyCoeff = o.SwCoef
+
+	gen := workload.Uniform{Lo: o.Ratio, Hi: 1, Seed: o.Seed}
+	pols, err := buildPolicies(o.Policy)
+	if err != nil {
+		return err
+	}
+
+	if !o.JSON {
+		fmt.Fprintf(w, "task set %s: %d tasks, U=%.3f, hyperperiod=%s\n",
+			ts.Name, ts.N(), ts.Utilization(), hyperStr(ts))
+		fmt.Fprintf(w, "processor: %s  workload: %s\n\n", proc.Name(), gen.Name())
+	}
+
 	var ref sim.Result
+	var jsonOut []server.SimResult
 	for i, p := range pols {
-		rec := trace.NewRecorder()
+		var rec *trace.Recorder
+		var obs sim.Observer
+		if o.Gantt && !o.JSON {
+			rec = trace.NewRecorder()
+			obs = rec
+		}
 		res, err := sim.Run(sim.Config{
 			TaskSet:         ts,
 			Processor:       proc,
 			Policy:          p,
 			Workload:        gen,
-			Horizon:         *horizon,
-			StrictDeadlines: *strict,
-			Observer:        rec,
+			Horizon:         o.Horizon,
+			StrictDeadlines: o.Strict,
+			Observer:        obs,
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if i == 0 {
 			ref = res
 		}
-		fmt.Printf("%-12s energy=%10.4f (busy %9.4f idle %8.4f switch %8.4f)"+
+		if o.JSON {
+			jsonOut = append(jsonOut, server.ResultFromSim(res))
+			continue
+		}
+		fmt.Fprintf(w, "%-12s energy=%10.4f (busy %9.4f idle %8.4f switch %8.4f)"+
 			" norm=%6.4f misses=%d switches=%d preempt=%d\n",
 			res.Policy, res.Energy, res.BusyEnergy, res.IdleEnergy, res.SwitchEnergy,
 			res.NormalizedTo(ref), res.DeadlineMisses, res.SpeedSwitches, res.Preemptions)
-		if *gantt {
+		if rec != nil {
 			var names []string
 			for _, t := range ts.Tasks {
 				names = append(names, t.Name)
 			}
-			rec.Gantt(os.Stdout, names, res.Time, 96)
-			fmt.Println()
+			rec.Gantt(w, names, res.Time, 96)
+			fmt.Fprintln(w)
 		}
 	}
-	bound := dvs.Bound(ts, proc, gen, pickHorizon(*horizon, ts))
-	if ref.Energy > 0 {
-		fmt.Printf("\nclairvoyant static bound: %.4f (normalized %.4f)\n", bound, bound/ref.Energy)
+	if o.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
 	}
+	bound := dvs.Bound(ts, proc, gen, pickHorizon(o.Horizon, ts))
+	if ref.Energy > 0 {
+		fmt.Fprintf(w, "\nclairvoyant static bound: %.4f (normalized %.4f)\n", bound, bound/ref.Energy)
+	}
+	return nil
 }
 
 func pickHorizon(h float64, ts *rtm.TaskSet) float64 {
@@ -158,38 +213,32 @@ func buildProcessor(smin float64, levels string) (*cpu.Processor, error) {
 	return cpu.WithLevels(speeds...)
 }
 
-func policies(spec string) ([]sim.Policy, error) {
-	mk := map[string]func() sim.Policy{
-		"nondvs": func() sim.Policy { return &dvs.NonDVS{} },
-		"static": func() sim.Policy { return &dvs.StaticEDF{} },
-		"lpps":   func() sim.Policy { return &dvs.LppsEDF{} },
-		"cc":     func() sim.Policy { return &dvs.CCEDF{} },
-		"la":     func() sim.Policy { return &dvs.LAEDF{} },
-		"dra":    func() sim.Policy { return &dvs.DRA{} },
-		"lpshe":  func() sim.Policy { return core.NewLpSHE() },
-		"greedy": func() sim.Policy { return core.NewLpSHEVariant(core.Greedy) },
-	}
+// buildPolicies resolves -policy through the central registry. The
+// normalization reference (nonDVS) always runs first; 'all' selects
+// the standard comparison suite.
+func buildPolicies(spec string) ([]sim.Policy, error) {
 	if spec == "all" {
-		order := []string{"nondvs", "static", "lpps", "cc", "la", "dra", "lpshe"}
 		var out []sim.Policy
-		for _, k := range order {
-			out = append(out, mk[k]())
+		for _, s := range []string{"nondvs", "static", "lpps", "cc", "la", "dra", "lpshe"} {
+			p, err := policies.New(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
 		}
 		return out, nil
 	}
-	var out []sim.Policy
-	out = append(out, mk["nondvs"]()) // normalization reference first
+	ref, err := policies.New("nondvs")
+	if err != nil {
+		return nil, err
+	}
+	out := []sim.Policy{ref}
 	if spec != "nondvs" {
-		f, ok := mk[spec]
-		if !ok {
-			return nil, fmt.Errorf("unknown policy %q", spec)
+		p, err := policies.New(spec)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, f())
+		out = append(out, p)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "dvssim: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvsslack/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// jsonOptions is the fixed configuration of the golden test: fully
+// deterministic (built-in task set, fixed seed, no wall-clock fields
+// in the schema).
+func jsonOptions() options {
+	return options{
+		Policy:  "all",
+		TaskSet: "quickstart",
+		Ratio:   0.5,
+		Seed:    1,
+		SMin:    0.1,
+		Strict:  true,
+		JSON:    true,
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(jsonOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "quickstart_all.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/dvssim -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestJSONSchemaMatchesDaemon(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(jsonOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must decode losslessly into the daemon's wire type.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var results []server.SimResult
+	if err := dec.Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d results, want 7 (the 'all' suite)", len(results))
+	}
+	if results[0].Policy != "nonDVS" {
+		t.Errorf("first result %q, want the nonDVS reference", results[0].Policy)
+	}
+	for _, r := range results {
+		if r.Energy <= 0 || r.JobsCompleted == 0 {
+			t.Errorf("%s: degenerate result %+v", r.Policy, r)
+		}
+		if r.DeadlineMisses != 0 {
+			t.Errorf("%s: %d deadline misses on the quickstart set", r.Policy, r.DeadlineMisses)
+		}
+	}
+}
+
+func TestRunHumanOutput(t *testing.T) {
+	o := jsonOptions()
+	o.JSON = false
+	o.Policy = "lpshe"
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"task set quickstart", "nonDVS", "lpSHE", "clairvoyant static bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	o := jsonOptions()
+	o.Policy = "no-such-policy"
+	if err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -23,6 +23,12 @@ import (
 // PolicyFactory creates a fresh policy instance for one run.
 type PolicyFactory func() sim.Policy
 
+// Exec executes one configured simulation and returns its result. A
+// nil Exec means in-process sim.Run; cmd/dvsexp -addr substitutes an
+// executor that farms the run out to a dvsd daemon (falling back to
+// sim.Run for configurations with no wire representation).
+type Exec func(sim.Config) (sim.Result, error)
+
 // Suite returns the ordered comparison suite of the evaluation: the
 // non-DVS reference, the prior inter-task DVS-EDF algorithms, and the
 // paper's lpSHE.
@@ -57,6 +63,9 @@ type Options struct {
 	Seed0 uint64
 	// Quick selects a reduced configuration for tests and benches.
 	Quick bool
+	// Exec, when non-nil, replaces in-process sim.Run for every
+	// measurement (e.g. remote execution against a dvsd daemon).
+	Exec Exec
 }
 
 // seeds returns the effective replication count.
@@ -124,6 +133,15 @@ func RunPoint(p Point, extra ...PolicyFactory) (PointResult, error) {
 // convention it is NonDVS (callers composing custom suites must
 // include it first for Normalized to be meaningful).
 func RunPointWith(p Point, factories []PolicyFactory) (PointResult, error) {
+	return RunPointExec(p, factories, nil)
+}
+
+// RunPointExec is RunPointWith with an explicit executor; a nil exec
+// runs in-process.
+func RunPointExec(p Point, factories []PolicyFactory, exec Exec) (PointResult, error) {
+	if exec == nil {
+		exec = sim.Run
+	}
 	horizon := p.Horizon
 	if horizon == 0 {
 		horizon = sim.DefaultHorizon(p.TaskSet)
@@ -135,7 +153,7 @@ func RunPointWith(p Point, factories []PolicyFactory) (PointResult, error) {
 	var ref sim.Result
 	for i, f := range factories {
 		pol := f()
-		res, err := sim.Run(sim.Config{
+		res, err := exec(sim.Config{
 			TaskSet:   p.TaskSet,
 			Processor: p.Processor,
 			Policy:    pol,
@@ -195,11 +213,11 @@ func runSweepPointDetail(n int, u float64, mkGen func(seed uint64) workload.Gene
 		if err != nil {
 			return nil, err
 		}
-		pr, err := RunPointWith(Point{
+		pr, err := RunPointExec(Point{
 			TaskSet:   ts,
 			Processor: proc,
 			Workload:  mkGen(seed),
-		}, factories)
+		}, factories, opts.Exec)
 		if err != nil {
 			return nil, err
 		}

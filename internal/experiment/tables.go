@@ -47,11 +47,11 @@ func Table2Benchmarks(opts Options) (*Report, error) {
 	tbl := report.NewTable(r.Title,
 		append([]string{"benchmark", "n", "U"}, append(names, "bound")...)...)
 	for _, ts := range rtm.Benchmarks() {
-		pr, err := RunPoint(Point{
+		pr, err := RunPointExec(Point{
 			TaskSet:   ts,
 			Processor: defaultProcessor(),
 			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: opts.Seed0 + 1},
-		})
+		}, Suite(), opts.Exec)
 		if err != nil {
 			return nil, err
 		}
@@ -93,11 +93,11 @@ func Table3Overheads(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pr, err := RunPoint(Point{
+		pr, err := RunPointExec(Point{
 			TaskSet:   ts,
 			Processor: defaultProcessor(),
 			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed},
-		})
+		}, Suite(), opts.Exec)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +180,7 @@ func Table4DeadlineFuzz(opts Options) (*Report, error) {
 			gen = workload.WorstCase{}
 		}
 		proc := procs[src.Intn(len(procs))]
-		pr, err := RunPointWith(Point{TaskSet: ts, Processor: proc, Workload: gen}, factories)
+		pr, err := RunPointExec(Point{TaskSet: ts, Processor: proc, Workload: gen}, factories, opts.Exec)
 		if err != nil {
 			return nil, err
 		}

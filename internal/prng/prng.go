@@ -42,6 +42,13 @@ func Float64(h uint64) float64 {
 //
 // The zero value is a valid generator seeded with zero; use New to
 // seed explicitly.
+//
+// A Source is mutable and NOT safe for concurrent use: every Uint64
+// advances its state. Code running simulations in parallel must give
+// each run its own Source — via New with an independent seed, Fork,
+// or Clone — and never share one across goroutines. (The workload
+// generators avoid the problem entirely: they sample through the
+// stateless Hash3/Float64 path and carry no Source.)
 type Source struct {
 	state uint64
 }
@@ -87,5 +94,12 @@ func (s *Source) Normal() float64 {
 }
 
 // Fork returns an independent substream derived from this source's
-// next output, useful for giving each replication its own seed.
+// next output, useful for giving each replication its own seed. Fork
+// advances the receiver.
 func (s *Source) Fork() *Source { return New(s.Uint64()) }
+
+// Clone returns a copy that continues the receiver's exact stream
+// without advancing it: both sources produce identical subsequent
+// outputs. Use Clone to replay a stream (e.g. re-running one
+// replication in isolation); use Fork for independent substreams.
+func (s *Source) Clone() *Source { return &Source{state: s.state} }

@@ -135,6 +135,24 @@ func TestForkIndependence(t *testing.T) {
 	}
 }
 
+func TestCloneContinuesStream(t *testing.T) {
+	s := New(42)
+	s.Uint64() // advance into the stream
+	c := s.Clone()
+	for i := 0; i < 16; i++ {
+		if a, b := s.Uint64(), c.Uint64(); a != b {
+			t.Fatalf("step %d: clone diverged: %x != %x", i, a, b)
+		}
+	}
+	// Cloning must not advance the receiver.
+	s2 := New(7)
+	want := New(7).Uint64()
+	s2.Clone()
+	if got := s2.Uint64(); got != want {
+		t.Errorf("Clone advanced the receiver: %x != %x", got, want)
+	}
+}
+
 func TestZeroValueSourceUsable(t *testing.T) {
 	var s Source
 	v := s.Float64()

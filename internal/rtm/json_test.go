@@ -1,0 +1,88 @@
+package rtm
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTaskSetJSONRoundTrip(t *testing.T) {
+	sets := append(Benchmarks(), Quickstart(),
+		NewTaskSet("edge",
+			Task{Name: "constrained", WCET: 1, Period: 10, Deadline: 4},
+			Task{Name: "jittery", WCET: 0.5, Period: 8, Jitter: 2},
+			Task{Name: "fractional", WCET: 0.125, Period: 2.5},
+		),
+	)
+	for _, ts := range sets {
+		t.Run(ts.Name, func(t *testing.T) {
+			b, err := json.Marshal(ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got TaskSet
+			if err := json.Unmarshal(b, &got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&got, ts) {
+				t.Errorf("round trip changed the set:\n got %+v\nwant %+v", &got, ts)
+			}
+		})
+	}
+}
+
+func TestWriteReadJSONRoundTrip(t *testing.T) {
+	ts := Quickstart()
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ts) {
+		t.Errorf("WriteJSON/ReadJSON round trip changed the set:\n got %+v\nwant %+v", got, ts)
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty set", `{"tasks": []}`},
+		{"zero wcet", `{"tasks": [{"wcet": 0, "period": 10}]}`},
+		{"wcet over period", `{"tasks": [{"wcet": 11, "period": 10}]}`},
+		{"deadline over period", `{"tasks": [{"wcet": 1, "period": 10, "deadline": 20}]}`},
+		{"negative jitter", `{"tasks": [{"wcet": 1, "period": 10, "jitter": -1}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ts TaskSet
+			if err := json.Unmarshal([]byte(c.in), &ts); err == nil {
+				t.Errorf("decoding %s should fail validation", c.in)
+			}
+		})
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("ReadJSON should reject non-JSON input")
+	}
+}
+
+func TestJSONOmitsDefaults(t *testing.T) {
+	b, err := json.Marshal(NewTaskSet("x", Task{WCET: 1, Period: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"deadline", "jitter"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Errorf("zero %s should be omitted, got %s", field, b)
+		}
+	}
+}

@@ -87,13 +87,15 @@ func (t Task) Validate() error {
 		return fmt.Errorf("rtm: task %q: WCET must be positive and finite, got %v", t.Name, t.WCET)
 	case !(t.Period > 0) || math.IsInf(t.Period, 0):
 		return fmt.Errorf("rtm: task %q: period must be positive and finite, got %v", t.Name, t.Period)
-	case t.Deadline < 0:
+	// NaN compares false against everything, so the range checks below
+	// would silently pass it — reject explicitly.
+	case math.IsNaN(t.Deadline), t.Deadline < 0:
 		return fmt.Errorf("rtm: task %q: deadline must be non-negative, got %v", t.Name, t.Deadline)
 	case t.Deadline != 0 && t.Deadline > t.Period:
 		return fmt.Errorf("rtm: task %q: deadline %v exceeds period %v (only constrained deadlines are supported)", t.Name, t.Deadline, t.Period)
 	case t.WCET > t.RelDeadline():
 		return fmt.Errorf("rtm: task %q: WCET %v exceeds deadline %v", t.Name, t.WCET, t.RelDeadline())
-	case t.Jitter < 0 || t.Jitter > t.Period:
+	case math.IsNaN(t.Jitter), t.Jitter < 0, t.Jitter > t.Period:
 		return fmt.Errorf("rtm: task %q: jitter %v out of [0, period]", t.Name, t.Jitter)
 	}
 	return nil

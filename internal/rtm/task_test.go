@@ -24,6 +24,16 @@ func TestTaskValidate(t *testing.T) {
 		{"negative deadline", Task{WCET: 1, Period: 10, Deadline: -1}, false},
 		{"inf wcet", Task{WCET: math.Inf(1), Period: 10}, false},
 		{"nan period", Task{WCET: 1, Period: math.NaN()}, false},
+		{"nan wcet", Task{WCET: math.NaN(), Period: 10}, false},
+		{"inf period", Task{WCET: 1, Period: math.Inf(1)}, false},
+		{"nan deadline", Task{WCET: 1, Period: 10, Deadline: math.NaN()}, false},
+		{"inf deadline", Task{WCET: 1, Period: 10, Deadline: math.Inf(1)}, false},
+		{"valid jitter", Task{WCET: 1, Period: 10, Jitter: 2}, true},
+		{"jitter equals period", Task{WCET: 1, Period: 10, Jitter: 10}, true},
+		{"negative jitter", Task{WCET: 1, Period: 10, Jitter: -1}, false},
+		{"jitter over period", Task{WCET: 1, Period: 10, Jitter: 11}, false},
+		{"nan jitter", Task{WCET: 1, Period: 10, Jitter: math.NaN()}, false},
+		{"inf jitter", Task{WCET: 1, Period: 10, Jitter: math.Inf(1)}, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

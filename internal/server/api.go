@@ -1,0 +1,576 @@
+// Package server implements dvsd, the simulation daemon: an HTTP/JSON
+// control plane over the discrete-event DVS simulator.
+//
+// The daemon accepts single simulation requests (answered
+// synchronously) and batch experiment requests (answered through an
+// async job API with SSE progress), executes them on a bounded worker
+// pool, memoizes results in an LRU cache keyed by a canonical request
+// hash, and exposes operational metrics. Everything is stdlib-only.
+//
+// See docs/api.md for the wire protocol.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/policies"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// SimRequest describes one simulation run in wire form. It is the
+// unit of work of both the synchronous /v1/simulate endpoint and the
+// async batch job API.
+type SimRequest struct {
+	// TaskSet is the periodic task set (required). The rtm wire
+	// format validates on decode, so a decoded request never carries
+	// a degenerate task set.
+	TaskSet *rtm.TaskSet `json:"task_set"`
+	// Policy is a policy spec accepted by internal/policies
+	// (required), e.g. "lpshe", "nondvs", "lpshe+dual".
+	Policy string `json:"policy"`
+	// Processor selects and tunes the CPU model. The zero value is a
+	// continuous processor with SMin 0.1.
+	Processor ProcessorSpec `json:"processor"`
+	// Workload selects the AET generator. The zero value is the
+	// worst-case workload.
+	Workload WorkloadSpec `json:"workload"`
+	// Horizon is the simulation length; zero picks the task set's
+	// default horizon (one hyperperiod when computable).
+	Horizon float64 `json:"horizon,omitempty"`
+	// JitterSeed selects the release-jitter stream for task sets
+	// with positive jitter.
+	JitterSeed uint64 `json:"jitter_seed,omitempty"`
+	// Strict makes the run fail on the first deadline miss.
+	Strict bool `json:"strict,omitempty"`
+}
+
+// Validate checks the request without running it. It resolves the
+// policy spec and builds (then discards) the processor and workload,
+// so a nil error means Config will succeed.
+func (r *SimRequest) Validate() error {
+	if _, err := r.Config(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Config translates the request into a runnable sim.Config. The
+// returned config holds freshly constructed policy, processor, and
+// workload values, so concurrent runs of the same request never share
+// mutable state.
+func (r *SimRequest) Config() (sim.Config, error) {
+	if r.TaskSet == nil {
+		return sim.Config{}, fmt.Errorf("server: task_set is required")
+	}
+	if err := r.TaskSet.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	if r.Policy == "" {
+		return sim.Config{}, fmt.Errorf("server: policy is required")
+	}
+	pol, err := policies.New(r.Policy)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	proc, err := r.Processor.Build()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	gen, err := r.Workload.Build()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if r.Horizon < 0 || math.IsNaN(r.Horizon) || math.IsInf(r.Horizon, 0) {
+		return sim.Config{}, fmt.Errorf("server: invalid horizon %v", r.Horizon)
+	}
+	return sim.Config{
+		TaskSet:         r.TaskSet,
+		Processor:       proc,
+		Policy:          pol,
+		Workload:        gen,
+		Horizon:         r.Horizon,
+		StrictDeadlines: r.Strict,
+		JitterSeed:      r.JitterSeed,
+	}, nil
+}
+
+// CacheKey returns the canonical content hash of the request:
+// identical simulation inputs — task set, processor, policy,
+// workload, horizon, jitter seed, strictness — hash identically
+// regardless of JSON field order or whitespace in the original
+// request body. encoding/json marshals struct fields in declaration
+// order, so the serialization is canonical by construction.
+func (r *SimRequest) CacheKey() (string, error) {
+	canon := struct {
+		TaskSet    *rtm.TaskSet
+		Policy     string
+		Processor  ProcessorSpec
+		Workload   WorkloadSpec
+		Horizon    float64
+		JitterSeed uint64
+		Strict     bool
+	}{r.TaskSet, policies.SpecOf(policyDisplayName(r.Policy)), r.Processor,
+		r.Workload, r.Horizon, r.JitterSeed, r.Strict}
+	if canon.Policy == "" {
+		canon.Policy = r.Policy
+	}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RequestFromConfig inverts Config for configurations assembled from
+// the shipped building blocks (registered policies, cubic/alpha/table
+// processors, shipped workload generators). It is how cmd/dvsexp
+// -addr converts the experiment harness's in-memory configurations
+// into daemon requests; configurations with no wire form — custom
+// policies, observers, fixed-priority overrides — return an error and
+// the caller falls back to in-process execution.
+func RequestFromConfig(cfg sim.Config) (SimRequest, error) {
+	if cfg.Observer != nil {
+		return SimRequest{}, fmt.Errorf("server: config with an Observer has no wire form")
+	}
+	if len(cfg.FixedPriorities) != 0 {
+		return SimRequest{}, fmt.Errorf("server: fixed-priority config has no wire form")
+	}
+	if cfg.Policy == nil {
+		return SimRequest{}, fmt.Errorf("server: config has no policy")
+	}
+	spec := policies.SpecOf(cfg.Policy.Name())
+	if spec == "" {
+		return SimRequest{}, fmt.Errorf("server: policy %q has no wire form", cfg.Policy.Name())
+	}
+	if cfg.Processor == nil {
+		return SimRequest{}, fmt.Errorf("server: config has no processor")
+	}
+	proc, err := SpecFromProcessor(cfg.Processor)
+	if err != nil {
+		return SimRequest{}, err
+	}
+	gen, err := SpecFromGenerator(cfg.Workload)
+	if err != nil {
+		return SimRequest{}, err
+	}
+	return SimRequest{
+		TaskSet:    cfg.TaskSet,
+		Policy:     spec,
+		Processor:  proc,
+		Workload:   gen,
+		Horizon:    cfg.Horizon,
+		JitterSeed: cfg.JitterSeed,
+		Strict:     cfg.StrictDeadlines,
+	}, nil
+}
+
+// policyDisplayName resolves a spec to the display name of the policy
+// it constructs (empty when the spec is unknown), collapsing aliases
+// like "greedy" and "lpshe-greedy" onto one cache key.
+func policyDisplayName(spec string) string {
+	p, err := policies.New(spec)
+	if err != nil {
+		return ""
+	}
+	return p.Name()
+}
+
+// ProcessorSpec is the wire form of a cpu.Processor.
+//
+// Either Preset names one of the cpu.Presets models ("continuous",
+// "xscale", "crusoe", "sa1100", "uniform4", "uniform8"), or the spec
+// is assembled from Levels/SMin and Model. Overhead and power knobs
+// apply on top of either base.
+type ProcessorSpec struct {
+	Preset string    `json:"preset,omitempty"`
+	SMin   float64   `json:"smin,omitempty"`
+	Levels []float64 `json:"levels,omitempty"`
+
+	// Model selects the power model: "" or "cubic", "alpha"
+	// (AlphaVt/AlphaIdx, defaulting to the standard 0.3/1.5), or
+	// "table" (Table required).
+	Model    string      `json:"model,omitempty"`
+	AlphaVt  float64     `json:"alpha_vt,omitempty"`
+	AlphaIdx float64     `json:"alpha_idx,omitempty"`
+	Table    []cpu.Level `json:"table,omitempty"`
+	// TableName labels a table model in reports ("table" if empty).
+	TableName string `json:"table_name,omitempty"`
+
+	// IdlePower overrides the default awake-idle power when non-nil.
+	IdlePower         *float64 `json:"idle_power,omitempty"`
+	SwitchTime        float64  `json:"switch_time,omitempty"`
+	SwitchEnergyCoeff float64  `json:"switch_energy_coeff,omitempty"`
+	LeakagePower      float64  `json:"leakage_power,omitempty"`
+	SleepEnabled      bool     `json:"sleep_enabled,omitempty"`
+	SleepPower        float64  `json:"sleep_power,omitempty"`
+	WakeEnergy        float64  `json:"wake_energy,omitempty"`
+}
+
+// Build constructs and validates the processor the spec describes.
+func (s *ProcessorSpec) Build() (*cpu.Processor, error) {
+	var p *cpu.Processor
+	switch {
+	case s.Preset != "":
+		if len(s.Levels) > 0 || s.Model != "" {
+			return nil, fmt.Errorf("server: processor preset %q cannot be combined with levels/model", s.Preset)
+		}
+		p = cpu.Presets()[s.Preset]
+		if p == nil {
+			return nil, fmt.Errorf("server: unknown processor preset %q", s.Preset)
+		}
+		if s.SMin != 0 {
+			p.SMin = s.SMin
+		}
+	case len(s.Levels) > 0:
+		var err error
+		p, err = cpu.WithLevels(s.Levels...)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		smin := s.SMin
+		if smin == 0 {
+			smin = 0.1
+		}
+		p = cpu.Continuous(smin)
+	}
+	switch s.Model {
+	case "", "cubic":
+		// keep the base model
+	case "alpha":
+		m := cpu.DefaultAlphaModel()
+		if s.AlphaVt != 0 {
+			m.Vt = s.AlphaVt
+		}
+		if s.AlphaIdx != 0 {
+			m.Alpha = s.AlphaIdx
+		}
+		p.Model = m
+	case "table":
+		name := s.TableName
+		if name == "" {
+			name = "table"
+		}
+		m, err := cpu.NewTableModel(name, s.Table)
+		if err != nil {
+			return nil, err
+		}
+		p.Model = m
+	default:
+		return nil, fmt.Errorf("server: unknown power model %q", s.Model)
+	}
+	if s.IdlePower != nil {
+		p.IdlePower = *s.IdlePower
+	}
+	p.SwitchTime = s.SwitchTime
+	p.SwitchEnergyCoeff = s.SwitchEnergyCoeff
+	p.LeakagePower = s.LeakagePower
+	p.SleepEnabled = s.SleepEnabled
+	p.SleepPower = s.SleepPower
+	p.WakeEnergy = s.WakeEnergy
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SpecFromProcessor inverts Build for the processor values the
+// library constructs (cubic, alpha, and table power models). It is
+// what lets the experiment harness ship its in-memory processor
+// configurations to a remote daemon.
+func SpecFromProcessor(p *cpu.Processor) (ProcessorSpec, error) {
+	s := ProcessorSpec{
+		SMin:              p.SMin,
+		Levels:            p.Levels(),
+		SwitchTime:        p.SwitchTime,
+		SwitchEnergyCoeff: p.SwitchEnergyCoeff,
+		LeakagePower:      p.LeakagePower,
+		SleepEnabled:      p.SleepEnabled,
+		SleepPower:        p.SleepPower,
+		WakeEnergy:        p.WakeEnergy,
+	}
+	idle := p.IdlePower
+	s.IdlePower = &idle
+	switch m := p.Model.(type) {
+	case nil, cpu.CubicModel:
+		s.Model = "cubic"
+	case cpu.AlphaModel:
+		s.Model, s.AlphaVt, s.AlphaIdx = "alpha", m.Vt, m.Alpha
+	case *cpu.TableModel:
+		s.Model, s.Table, s.TableName = "table", m.Levels(), m.Name()
+	default:
+		return ProcessorSpec{}, fmt.Errorf("server: power model %s has no wire form", p.Model.Name())
+	}
+	return s, nil
+}
+
+// WorkloadSpec is the wire form of a workload.Generator. Kind selects
+// the generator; only the fields that generator uses are read.
+type WorkloadSpec struct {
+	// Kind: "" or "worst-case", "uniform", "constant", "normal",
+	// "bimodal", "sinusoidal".
+	Kind       string  `json:"kind,omitempty"`
+	Lo         float64 `json:"lo,omitempty"`
+	Hi         float64 `json:"hi,omitempty"`
+	Frac       float64 `json:"frac,omitempty"`
+	Mean       float64 `json:"mean,omitempty"`
+	StdDev     float64 `json:"std_dev,omitempty"`
+	LightFrac  float64 `json:"light_frac,omitempty"`
+	HeavyFrac  float64 `json:"heavy_frac,omitempty"`
+	PHeavy     float64 `json:"p_heavy,omitempty"`
+	Amp        float64 `json:"amp,omitempty"`
+	PeriodJobs float64 `json:"period_jobs,omitempty"`
+	Jitter     float64 `json:"jitter,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+// Build constructs the generator the spec describes.
+func (s *WorkloadSpec) Build() (workload.Generator, error) {
+	switch s.Kind {
+	case "", "worst-case":
+		return workload.WorstCase{}, nil
+	case "uniform":
+		if s.Lo < 0 || s.Hi > 1 || s.Lo > s.Hi {
+			return nil, fmt.Errorf("server: uniform workload bounds [%v,%v] out of order or outside [0,1]", s.Lo, s.Hi)
+		}
+		return workload.Uniform{Lo: s.Lo, Hi: s.Hi, Seed: s.Seed}, nil
+	case "constant":
+		return workload.Constant{Frac: s.Frac}, nil
+	case "normal":
+		return workload.Normal{Mean: s.Mean, StdDev: s.StdDev, Seed: s.Seed}, nil
+	case "bimodal":
+		return workload.Bimodal{LightFrac: s.LightFrac, HeavyFrac: s.HeavyFrac, PHeavy: s.PHeavy, Seed: s.Seed}, nil
+	case "sinusoidal":
+		return workload.Sinusoidal{Mean: s.Mean, Amp: s.Amp, PeriodJobs: s.PeriodJobs, Jitter: s.Jitter, Seed: s.Seed}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown workload kind %q", s.Kind)
+	}
+}
+
+// SpecFromGenerator inverts Build for the shipped generator types.
+func SpecFromGenerator(g workload.Generator) (WorkloadSpec, error) {
+	switch g := g.(type) {
+	case nil, workload.WorstCase:
+		return WorkloadSpec{Kind: "worst-case"}, nil
+	case workload.Uniform:
+		return WorkloadSpec{Kind: "uniform", Lo: g.Lo, Hi: g.Hi, Seed: g.Seed}, nil
+	case workload.Constant:
+		return WorkloadSpec{Kind: "constant", Frac: g.Frac}, nil
+	case workload.Normal:
+		return WorkloadSpec{Kind: "normal", Mean: g.Mean, StdDev: g.StdDev, Seed: g.Seed}, nil
+	case workload.Bimodal:
+		return WorkloadSpec{Kind: "bimodal", LightFrac: g.LightFrac, HeavyFrac: g.HeavyFrac, PHeavy: g.PHeavy, Seed: g.Seed}, nil
+	case workload.Sinusoidal:
+		return WorkloadSpec{Kind: "sinusoidal", Mean: g.Mean, Amp: g.Amp, PeriodJobs: g.PeriodJobs, Jitter: g.Jitter, Seed: g.Seed}, nil
+	default:
+		return WorkloadSpec{}, fmt.Errorf("server: workload %s has no wire form", g.Name())
+	}
+}
+
+// SimResult is the wire form of a sim.Result, plus serving metadata.
+// It is also the schema cmd/dvssim -json emits, so CLI output and API
+// responses are interchangeable.
+type SimResult struct {
+	Policy string `json:"policy"`
+
+	Time         float64 `json:"time"`
+	Energy       float64 `json:"energy"`
+	BusyEnergy   float64 `json:"busy_energy"`
+	IdleEnergy   float64 `json:"idle_energy"`
+	SwitchEnergy float64 `json:"switch_energy"`
+
+	JobsReleased   int `json:"jobs_released"`
+	JobsCompleted  int `json:"jobs_completed"`
+	DeadlineMisses int `json:"deadline_misses"`
+	SpeedSwitches  int `json:"speed_switches"`
+	Preemptions    int `json:"preemptions"`
+	Decisions      int `json:"decisions"`
+
+	IdleTime  float64 `json:"idle_time"`
+	Sleeps    int     `json:"sleeps,omitempty"`
+	SleepTime float64 `json:"sleep_time,omitempty"`
+	WorkDone  float64 `json:"work_done"`
+
+	PolicyCounters map[string]float64 `json:"policy_counters,omitempty"`
+
+	// Cached reports whether the result was served from the result
+	// cache instead of a fresh simulation.
+	Cached bool `json:"cached,omitempty"`
+	// WallNanos is the wall-clock duration of the simulation that
+	// produced this result (zero for cache hits).
+	WallNanos int64 `json:"wall_ns,omitempty"`
+}
+
+// ResultFromSim converts an engine result to wire form.
+func ResultFromSim(r sim.Result) SimResult {
+	return SimResult{
+		Policy:         r.Policy,
+		Time:           r.Time,
+		Energy:         r.Energy,
+		BusyEnergy:     r.BusyEnergy,
+		IdleEnergy:     r.IdleEnergy,
+		SwitchEnergy:   r.SwitchEnergy,
+		JobsReleased:   r.JobsReleased,
+		JobsCompleted:  r.JobsCompleted,
+		DeadlineMisses: r.DeadlineMisses,
+		SpeedSwitches:  r.SpeedSwitches,
+		Preemptions:    r.Preemptions,
+		Decisions:      r.Decisions,
+		IdleTime:       r.IdleTime,
+		Sleeps:         r.Sleeps,
+		SleepTime:      r.SleepTime,
+		WorkDone:       r.WorkDone,
+		PolicyCounters: r.PolicyCounters,
+	}
+}
+
+// Sim converts back to the engine result type (for callers like the
+// remote experiment harness that feed daemon results into local
+// aggregation). SpeedTimeIntegral, an internal consistency shadow of
+// WorkDone, is restored from WorkDone.
+func (r SimResult) Sim() sim.Result {
+	return sim.Result{
+		Policy:            r.Policy,
+		Time:              r.Time,
+		Energy:            r.Energy,
+		BusyEnergy:        r.BusyEnergy,
+		IdleEnergy:        r.IdleEnergy,
+		SwitchEnergy:      r.SwitchEnergy,
+		JobsReleased:      r.JobsReleased,
+		JobsCompleted:     r.JobsCompleted,
+		DeadlineMisses:    r.DeadlineMisses,
+		SpeedSwitches:     r.SpeedSwitches,
+		Preemptions:       r.Preemptions,
+		Decisions:         r.Decisions,
+		IdleTime:          r.IdleTime,
+		Sleeps:            r.Sleeps,
+		SleepTime:         r.SleepTime,
+		WorkDone:          r.WorkDone,
+		SpeedTimeIntegral: r.WorkDone,
+		PolicyCounters:    r.PolicyCounters,
+	}
+}
+
+// BatchRequest submits a set of runs as one async job. Runs are
+// executed in submission order across the worker pool; per-run
+// results preserve submission order. A Sweep, when present, is
+// expanded server-side and appended after Runs.
+type BatchRequest struct {
+	// Name labels the job in listings and logs.
+	Name string `json:"name,omitempty"`
+	// Runs is the explicit run list.
+	Runs []SimRequest `json:"runs,omitempty"`
+	// Sweep, when non-nil, generates a (utilization × policy × seed)
+	// grid of runs over synthetic task sets.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// SweepSpec is a compact server-side experiment description: for each
+// utilization in U, each policy, and each of Seeds replications, a
+// synthetic task set of N tasks is generated (rtm.Generate with the
+// replication seed) and simulated.
+type SweepSpec struct {
+	N        int       `json:"n"`
+	U        []float64 `json:"u"`
+	Policies []string  `json:"policies"`
+	Seeds    int       `json:"seeds"`
+	Seed0    uint64    `json:"seed0,omitempty"`
+	// Periods optionally restricts the generator's period pool
+	// (rtm.DefaultPeriods when empty), e.g. to bound hyperperiods.
+	Periods   []float64     `json:"periods,omitempty"`
+	Processor ProcessorSpec `json:"processor,omitempty"`
+	Workload  WorkloadSpec  `json:"workload,omitempty"`
+	// Horizon truncates each run (zero = one hyperperiod). Beware
+	// that truncating a look-ahead policy's job stream mid-
+	// hyperperiod can cost deadlines that the full stream would keep
+	// (the policy defers work expecting releases that never come).
+	Horizon float64 `json:"horizon,omitempty"`
+}
+
+// Expand materializes the sweep grid into concrete runs. The
+// workload spec's seed is replaced per replication so every policy
+// sees the identical trace within a replication and different traces
+// across replications — the measurement discipline of the experiment
+// harness.
+func (s *SweepSpec) Expand() ([]SimRequest, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("server: sweep n must be positive, got %d", s.N)
+	}
+	if len(s.U) == 0 || len(s.Policies) == 0 {
+		return nil, fmt.Errorf("server: sweep needs at least one utilization and one policy")
+	}
+	seeds := s.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	if total := len(s.U) * len(s.Policies) * seeds; total > MaxBatchRuns {
+		return nil, fmt.Errorf("server: sweep expands to %d runs, limit %d", total, MaxBatchRuns)
+	}
+	var runs []SimRequest
+	for _, u := range s.U {
+		for rep := 0; rep < seeds; rep++ {
+			seed := s.Seed0 + uint64(rep)*0x9e37 + 17
+			gcfg := rtm.DefaultGenConfig(s.N, u, seed)
+			gcfg.Periods = s.Periods
+			ts, err := rtm.Generate(gcfg)
+			if err != nil {
+				return nil, err
+			}
+			wl := s.Workload
+			if wl.Kind != "" && wl.Kind != "worst-case" && wl.Kind != "constant" {
+				wl.Seed = seed
+			}
+			for _, pol := range s.Policies {
+				runs = append(runs, SimRequest{
+					TaskSet:   ts,
+					Policy:    pol,
+					Processor: s.Processor,
+					Workload:  wl,
+					Horizon:   s.Horizon,
+				})
+			}
+		}
+	}
+	return runs, nil
+}
+
+// MaxBatchRuns bounds the number of runs a single job may hold.
+const MaxBatchRuns = 100000
+
+// JobInfo is the wire form of an async job's status.
+type JobInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	State   string `json:"state"` // queued | running | done | failed | cancelled
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Created string `json:"created"`
+	Started string `json:"started,omitempty"`
+	Ended   string `json:"ended,omitempty"`
+	// Error carries the first run error for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Results holds per-run outcomes (submission order) once the job
+	// is done; GET /v1/jobs/{id}?results=1 includes them.
+	Results []RunOutcome `json:"results,omitempty"`
+}
+
+// RunOutcome is one run's terminal state within a job.
+type RunOutcome struct {
+	Index  int        `json:"index"`
+	Result *SimResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response uses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

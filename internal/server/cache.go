@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a thread-safe LRU cache of simulation results keyed
+// by the canonical request hash (SimRequest.CacheKey). Identical
+// sweeps re-run against the daemon — the common shape of experiment
+// iteration — hit memory instead of re-simulating.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res SimResult
+}
+
+// newResultCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, if present, and promotes it
+// to most-recently-used.
+func (c *resultCache) Get(key string) (SimResult, bool) {
+	return c.get(key, true)
+}
+
+// Recheck is Get without counting a miss: the worker's second lookup
+// after the pre-queue Get already recorded one — a hit here (an
+// identical request finished while this one was queued) still counts.
+func (c *resultCache) Recheck(key string) (SimResult, bool) {
+	return c.get(key, false)
+}
+
+func (c *resultCache) get(key string, countMiss bool) (SimResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	if countMiss {
+		c.misses++
+	}
+	return SimResult{}, false
+}
+
+// Put stores a result, evicting the least-recently-used entry when
+// over capacity.
+func (c *resultCache) Put(key string, res SimResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns lifetime hit/miss counters.
+func (c *resultCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

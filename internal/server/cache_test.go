@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), SimResult{Energy: float64(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 should have been evicted (oldest)")
+	}
+	// Touch k1 so k2 becomes the LRU victim.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	c.Put("k4", SimResult{Energy: 4})
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should have been evicted after k1 was touched")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("recently used k1 evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("k", SimResult{})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 0/1", hits, misses)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("k", SimResult{Energy: 1})
+	c.Put("k", SimResult{Energy: 2})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if res, _ := c.Get("k"); res.Energy != 2 {
+		t.Fatalf("energy = %v, want 2", res.Energy)
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run
+// under -race this is the data-race check for the cache layer.
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%100)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, SimResult{Energy: float64(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job states.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobEvent is one SSE progress record.
+type JobEvent struct {
+	Type   string `json:"type"` // "progress" or "end"
+	State  string `json:"state"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// Index/Policy/Energy describe the run that just finished
+	// (progress events only).
+	Index  int     `json:"index,omitempty"`
+	Policy string  `json:"policy,omitempty"`
+	Energy float64 `json:"energy,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// job is one async batch.
+type job struct {
+	id      string
+	name    string
+	created time.Time
+
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	ended    time.Time
+	runs     []SimRequest
+	outcomes []RunOutcome
+	done     int
+	failed   int
+	firstErr string
+	subs     map[chan JobEvent]struct{}
+	finished chan struct{}
+}
+
+func (j *job) info(withResults bool) JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:      j.id,
+		Name:    j.name,
+		State:   j.state,
+		Total:   len(j.runs),
+		Done:    j.done,
+		Failed:  j.failed,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Error:   j.firstErr,
+	}
+	if !j.started.IsZero() {
+		info.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.ended.IsZero() {
+		info.Ended = j.ended.UTC().Format(time.RFC3339Nano)
+	}
+	if withResults {
+		info.Results = append([]RunOutcome(nil), j.outcomes...)
+	}
+	return info
+}
+
+// subscribe registers an SSE listener and returns its channel plus an
+// unsubscribe function. The returned snapshot event reflects the
+// job's state at subscription time, so listeners can render progress
+// immediately.
+func (j *job) subscribe() (ch chan JobEvent, snapshot JobEvent, unsub func()) {
+	ch = make(chan JobEvent, 64)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	snapshot = JobEvent{Type: "progress", State: j.state, Total: len(j.runs), Done: j.done, Failed: j.failed}
+	j.mu.Unlock()
+	return ch, snapshot, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// publish fans an event out to subscribers; slow subscribers drop
+// intermediate events (the terminal event is signalled by finished,
+// which nobody can miss).
+func (j *job) publish(ev JobEvent) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// recordRun stores one run outcome and notifies subscribers.
+func (j *job) recordRun(index int, out outcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ro := RunOutcome{Index: index}
+	if out.err != nil {
+		ro.Error = out.err.Error()
+		j.failed++
+		if j.firstErr == "" {
+			j.firstErr = out.err.Error()
+		}
+	} else {
+		res := out.res
+		ro.Result = &res
+	}
+	j.outcomes = append(j.outcomes, ro)
+	j.done++
+	ev := JobEvent{
+		Type: "progress", State: j.state,
+		Total: len(j.runs), Done: j.done, Failed: j.failed,
+		Index: index,
+	}
+	if ro.Result != nil {
+		ev.Policy, ev.Energy = ro.Result.Policy, ro.Result.Energy
+	} else {
+		ev.Error = ro.Error
+	}
+	j.publish(ev)
+}
+
+// finish moves the job to a terminal state.
+func (j *job) finish(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		return
+	}
+	j.state = state
+	j.ended = time.Now()
+	sort.Slice(j.outcomes, func(a, b int) bool { return j.outcomes[a].Index < j.outcomes[b].Index })
+	j.publish(JobEvent{Type: "end", State: state, Total: len(j.runs), Done: j.done, Failed: j.failed, Error: j.firstErr})
+	close(j.finished)
+}
+
+// jobStore owns every job and their runner goroutines.
+type jobStore struct {
+	pool *pool
+	met  *metrics
+
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	// order remembers creation order for listings.
+	order []string
+}
+
+func newJobStore(pool *pool, met *metrics) *jobStore {
+	return &jobStore{pool: pool, met: met, jobs: map[string]*job{}}
+}
+
+// Create registers a job for the given runs and starts executing it.
+func (s *jobStore) Create(parent context.Context, name string, runs []SimRequest) *job {
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id:       fmt.Sprintf("j%d", s.nextID.Add(1)),
+		name:     name,
+		created:  time.Now(),
+		cancel:   cancel,
+		state:    JobQueued,
+		runs:     runs,
+		subs:     map[chan JobEvent]struct{}{},
+		finished: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.met.jobCreated()
+	go s.run(ctx, j)
+	return j
+}
+
+// run executes a job's runs across the shared pool, keeping at most
+// 2× the worker count outstanding so one huge job cannot monopolize
+// the queue against concurrent jobs and single-run requests.
+func (s *jobStore) run(ctx context.Context, j *job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	sem := make(chan struct{}, 2*s.pool.workers)
+	var wg sync.WaitGroup
+loop:
+	for i := range j.runs {
+		select {
+		case <-ctx.Done():
+			break loop
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := s.pool.Do(ctx, &j.runs[i])
+			if ctx.Err() != nil && err != nil {
+				return // cancelled, not a run failure
+			}
+			j.recordRun(i, outcome{res: res, err: err})
+		}(i)
+	}
+	wg.Wait()
+
+	state := JobDone
+	switch {
+	case ctx.Err() != nil:
+		state = JobCancelled
+	case func() bool { j.mu.Lock(); defer j.mu.Unlock(); return j.failed > 0 }():
+		state = JobFailed
+	}
+	j.finish(state)
+	s.met.jobFinished()
+}
+
+// Get returns a job by ID.
+func (s *jobStore) Get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns job summaries in creation order.
+func (s *jobStore) List() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Get(id); ok {
+			out = append(out, j.info(false))
+		}
+	}
+	return out
+}
+
+// Cancel aborts a job's remaining runs.
+func (s *jobStore) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// WaitIdle blocks until every current job has reached a terminal
+// state or ctx expires (the graceful half of shutdown; handlers must
+// already be rejecting new jobs).
+func (s *jobStore) WaitIdle(ctx context.Context) error {
+	s.mu.Lock()
+	var pending []*job
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// CancelAll aborts every job (shutdown path) and waits for their
+// runner goroutines to settle or ctx to expire.
+func (s *jobStore) CancelAll(ctx context.Context) {
+	s.mu.Lock()
+	var pending []*job
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.cancel()
+	}
+	for _, j := range pending {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the latency
+// histogram, exponentially spaced from 100µs to ~100s.
+var latencyBuckets = []float64{
+	1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10, 30, 100,
+}
+
+// histogram is a fixed-bucket latency histogram. Not safe for
+// concurrent use on its own; metrics serializes access.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1, last bucket = overflow
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// quantile returns an upper-bound estimate of the q-quantile (the
+// bucket boundary at or above it).
+func (h *histogram) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// HistogramSnapshot is the wire form of one latency histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	MeanSec float64           `json:"mean_sec"`
+	P50Sec  float64           `json:"p50_sec"`
+	P99Sec  float64           `json:"p99_sec"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// metrics aggregates the daemon's operational counters.
+type metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	requests map[string]uint64 // endpoint label -> count
+	errors   map[string]uint64 // endpoint label -> non-2xx count
+
+	simsRun     uint64  // fresh simulations executed
+	simsFailed  uint64  // simulations that returned an error
+	simSeconds  float64 // total simulated time of fresh runs
+	busySeconds float64 // total wall-clock spent simulating (sums across workers)
+
+	queueDepth   int // runnable work items waiting for a worker
+	inFlight     int // work items currently executing
+	jobsCreated  uint64
+	jobsFinished uint64
+
+	perPolicy map[string]*histogram // fresh-run wall latency by policy
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		requests:  map[string]uint64{},
+		errors:    map[string]uint64{},
+		perPolicy: map[string]*histogram{},
+	}
+}
+
+func (m *metrics) request(endpoint string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	if !ok {
+		m.errors[endpoint]++
+	}
+}
+
+func (m *metrics) enqueue(delta int) {
+	m.mu.Lock()
+	m.queueDepth += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) running(delta int) {
+	m.mu.Lock()
+	m.inFlight += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobCreated() {
+	m.mu.Lock()
+	m.jobsCreated++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobFinished() {
+	m.mu.Lock()
+	m.jobsFinished++
+	m.mu.Unlock()
+}
+
+// simDone records one fresh (non-cached) simulation.
+func (m *metrics) simDone(policy string, simTime float64, wall time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.simsRun++
+	if err != nil {
+		m.simsFailed++
+		return
+	}
+	m.simSeconds += simTime
+	m.busySeconds += wall.Seconds()
+	h := m.perPolicy[policy]
+	if h == nil {
+		h = newHistogram()
+		m.perPolicy[policy] = h
+	}
+	h.observe(wall.Seconds())
+}
+
+// MetricsSnapshot is the JSON document /metrics serves.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests map[string]uint64 `json:"requests"`
+	Errors   map[string]uint64 `json:"errors,omitempty"`
+
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	Workers    int `json:"workers"`
+
+	SimsRun    uint64  `json:"sims_run"`
+	SimsFailed uint64  `json:"sims_failed"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// SimSpeedup is simulated seconds per wall-clock second of
+	// simulation work (summed across workers): the throughput figure
+	// of merit of the daemon.
+	SimSpeedup float64 `json:"sim_speedup"`
+
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	// CacheHitRate is hits/(hits+misses), 0 when no lookups.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	JobsCreated  uint64 `json:"jobs_created"`
+	JobsFinished uint64 `json:"jobs_finished"`
+
+	// PolicyLatency maps policy name to its fresh-run wall-clock
+	// latency histogram.
+	PolicyLatency map[string]HistogramSnapshot `json:"policy_latency,omitempty"`
+}
+
+// snapshot captures a consistent view of the counters.
+func (m *metrics) snapshot(workers int, cache *resultCache) MetricsSnapshot {
+	hits, misses := cache.Stats()
+	entries := cache.Len()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		UptimeSec:    time.Since(m.start).Seconds(),
+		Requests:     map[string]uint64{},
+		Errors:       map[string]uint64{},
+		QueueDepth:   m.queueDepth,
+		InFlight:     m.inFlight,
+		Workers:      workers,
+		SimsRun:      m.simsRun,
+		SimsFailed:   m.simsFailed,
+		SimSeconds:   m.simSeconds,
+		CacheEntries: entries,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		JobsCreated:  m.jobsCreated,
+		JobsFinished: m.jobsFinished,
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	for k, v := range m.errors {
+		s.Errors[k] = v
+	}
+	if m.busySeconds > 0 {
+		s.SimSpeedup = m.simSeconds / m.busySeconds
+	}
+	if total := hits + misses; total > 0 {
+		s.CacheHitRate = float64(hits) / float64(total)
+	}
+	if len(m.perPolicy) > 0 {
+		s.PolicyLatency = map[string]HistogramSnapshot{}
+		for name, h := range m.perPolicy {
+			hs := HistogramSnapshot{
+				Count:  h.n,
+				P50Sec: h.quantile(0.50),
+				P99Sec: h.quantile(0.99),
+			}
+			if h.n > 0 {
+				hs.MeanSec = h.sum / float64(h.n)
+			}
+			s.PolicyLatency[name] = hs
+		}
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"dvsslack/internal/sim"
+)
+
+// ErrDraining is returned for work submitted after shutdown began.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// work is one queued simulation.
+type work struct {
+	req *SimRequest
+	key string // cache key; "" disables caching for this run
+	// done receives exactly one outcome. Buffered so a worker never
+	// blocks on a caller that gave up.
+	done chan outcome
+}
+
+type outcome struct {
+	res SimResult
+	err error
+}
+
+// pool executes simulations on a fixed set of worker goroutines fed
+// by a bounded queue. Each run constructs its own policy, processor,
+// and workload values from the wire request (SimRequest.Config), so
+// workers share no mutable simulation state — the pool is race-clean
+// by construction rather than by locking.
+type pool struct {
+	queue chan *work
+	cache *resultCache
+	met   *metrics
+
+	mu        sync.Mutex
+	closed    bool
+	producers sync.WaitGroup // callers inside a queue send
+	workers   int
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// newPool starts workers goroutines over a queue of queueDepth slots.
+func newPool(workers, queueDepth int, cache *resultCache, met *metrics) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < workers {
+		queueDepth = workers * 64
+	}
+	p := &pool{
+		queue:   make(chan *work, queueDepth),
+		cache:   cache,
+		met:     met,
+		workers: workers,
+	}
+	p.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.workerWG.Done()
+	for w := range p.queue {
+		p.met.enqueue(-1)
+		p.met.running(1)
+		w.done <- p.execute(w)
+		p.met.running(-1)
+	}
+}
+
+// execute runs one work item, consulting the cache on both sides of
+// the simulation (a second identical request may have been queued
+// before the first finished).
+func (p *pool) execute(w *work) outcome {
+	if w.key != "" {
+		if res, ok := p.cache.Recheck(w.key); ok {
+			res.Cached = true
+			res.WallNanos = 0
+			return outcome{res: res}
+		}
+	}
+	cfg, err := w.req.Config()
+	if err != nil {
+		return outcome{err: err}
+	}
+	start := time.Now()
+	simRes, err := sim.Run(cfg)
+	wall := time.Since(start)
+	p.met.simDone(cfg.Policy.Name(), simRes.Time, wall, err)
+	if err != nil {
+		return outcome{err: err}
+	}
+	res := ResultFromSim(simRes)
+	res.WallNanos = wall.Nanoseconds()
+	if w.key != "" {
+		p.cache.Put(w.key, res)
+	}
+	return outcome{res: res}
+}
+
+// Do runs one request through the pool and waits for its outcome.
+// The fast path serves cache hits without touching the queue. ctx
+// cancellation abandons the wait (an already-queued run still
+// executes and populates the cache).
+func (p *pool) Do(ctx context.Context, req *SimRequest) (SimResult, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		key = "" // uncacheable, still runnable
+	}
+	if key != "" {
+		if res, ok := p.cache.Get(key); ok {
+			res.Cached = true
+			res.WallNanos = 0
+			return res, nil
+		}
+	}
+	w := &work{req: req, key: key, done: make(chan outcome, 1)}
+
+	// Register as a producer before sending: Drain closes the queue
+	// only after every registered producer has finished its send, so
+	// a blocked send can never race the close.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return SimResult{}, ErrDraining
+	}
+	p.producers.Add(1)
+	p.mu.Unlock()
+
+	enqueued := false
+	select {
+	case p.queue <- w:
+		p.met.enqueue(1)
+		enqueued = true
+	case <-ctx.Done():
+	}
+	p.producers.Done()
+	if !enqueued {
+		return SimResult{}, ctx.Err()
+	}
+
+	select {
+	case out := <-w.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return SimResult{}, ctx.Err()
+	}
+}
+
+// Drain stops accepting work and waits for queued and in-flight runs
+// to finish, up to ctx's deadline. Safe to call more than once.
+func (p *pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.closeOnce.Do(func() {
+			// Workers keep consuming, so pending producer sends
+			// complete and the wait terminates.
+			p.producers.Wait()
+			close(p.queue)
+		})
+		p.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

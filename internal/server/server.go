@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dvsslack/internal/policies"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers is the simulation worker-pool size; <= 0 selects
+	// runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds the pending-run queue; <= 0 selects
+	// Workers×64.
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries; <= 0
+	// selects 4096. Set to -1 to disable caching.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies; <= 0 selects 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the dvsd control plane: an http.Handler plus the worker
+// pool, job store, result cache, and metrics behind it.
+type Server struct {
+	cfg     Config
+	workers int
+	pool    *pool
+	jobs    *jobStore
+	cache   *resultCache
+	met     *metrics
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cacheSize := cfg.CacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = 4096
+	case cacheSize < 0:
+		cacheSize = 0
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{cfg: cfg, workers: workers}
+	s.met = newMetrics()
+	s.cache = newResultCache(cacheSize)
+	s.pool = newPool(workers, cfg.QueueDepth, s.cache, s.met)
+	s.jobs = newJobStore(s.pool, s.met)
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs.create", s.handleCreateJob))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleListJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleGetJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs.cancel", s.handleCancelJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents) // SSE, self-instrumented
+	mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// Shutdown drains the daemon: new work is rejected immediately,
+// running jobs and queued runs get until ctx's deadline to finish,
+// and whatever remains afterwards is cancelled. The caller is
+// responsible for closing the HTTP listener first (http.Server's own
+// Shutdown), so no new requests arrive mid-drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.jobs.WaitIdle(ctx)
+	if err != nil {
+		// Deadline hit: abort the stragglers quickly but cleanly.
+		hard, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.jobs.CancelAll(hard)
+		s.baseStop()
+		s.pool.Drain(hard)
+		return err
+	}
+	s.baseStop()
+	return s.pool.Drain(ctx)
+}
+
+// --- plumbing ---
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.request(label, sw.code < 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid request body: trailing data")
+		return false
+	}
+	io.Copy(io.Discard, body)
+	return true
+}
+
+func (s *Server) rejectIfDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return true
+	}
+	return false
+}
+
+// --- handlers ---
+
+// handleSimulate answers POST /v1/simulate: one run, synchronously.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req SimRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.pool.Do(r.Context(), &req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusRequestTimeout, "%v", err)
+	case err != nil:
+		// The request validated but the run failed (e.g. a strict
+		// deadline miss): the fault is in the requested scenario.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// handleCreateJob answers POST /v1/jobs: submit a batch, get an ID.
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	runs := req.Runs
+	if req.Sweep != nil {
+		expanded, err := req.Sweep.Expand()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		runs = append(runs, expanded...)
+	}
+	if len(runs) == 0 {
+		writeError(w, http.StatusBadRequest, "server: job has no runs")
+		return
+	}
+	if len(runs) > MaxBatchRuns {
+		writeError(w, http.StatusBadRequest, "server: job has %d runs, limit %d", len(runs), MaxBatchRuns)
+		return
+	}
+	for i := range runs {
+		if err := runs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "run %d: %v", i, err)
+			return
+		}
+	}
+	j := s.jobs.Create(s.baseCtx, req.Name, runs)
+	writeJSON(w, http.StatusAccepted, j.info(false))
+}
+
+// handleListJobs answers GET /v1/jobs.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+// handleGetJob answers GET /v1/jobs/{id}; ?results=1 includes per-run
+// outcomes.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: no such job %q", r.PathValue("id"))
+		return
+	}
+	withResults := r.URL.Query().Get("results") != ""
+	writeJSON(w, http.StatusOK, j.info(withResults))
+}
+
+// handleCancelJob answers DELETE /v1/jobs/{id}.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if !s.jobs.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "server: no such job %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobEvents answers GET /v1/jobs/{id}/events with an SSE stream
+// of progress events, ending with an "end" event when the job
+// reaches a terminal state.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "server: no such job %q", r.PathValue("id"))
+		s.met.request("jobs.events", false)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "server: streaming unsupported")
+		s.met.request("jobs.events", false)
+		return
+	}
+	s.met.request("jobs.events", true)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, snapshot, unsub := j.subscribe()
+	defer unsub()
+	writeSSE(w, snapshot)
+	flusher.Flush()
+
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, ev)
+			flusher.Flush()
+			if ev.Type == "end" {
+				return
+			}
+		case <-j.finished:
+			// Drain anything buffered, then emit the terminal event
+			// (publish is lossy for slow readers; this path is not).
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Type == "end" {
+						writeSSE(w, ev)
+						flusher.Flush()
+						return
+					}
+					writeSSE(w, ev)
+				default:
+					info := j.info(false)
+					writeSSE(w, JobEvent{Type: "end", State: info.State,
+						Total: info.Total, Done: info.Done, Failed: info.Failed, Error: info.Error})
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev JobEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// handlePolicies answers GET /v1/policies with the registry names.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies": policies.Names(),
+		"wrappers": []string{"crit", "dual", "guard"},
+	})
+}
+
+// handleMetrics answers GET /metrics with a JSON snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.workers, s.cache))
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,83 @@
+package sim_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// TestParallelRunsMatchSequential asserts the concurrency contract the
+// dvsd worker pool is built on: simulations constructed from the same
+// inputs produce bit-identical results whether they run sequentially
+// or in parallel goroutines sharing the task set and workload
+// generator values. Run with -race, it also proves no hidden shared
+// mutable state. Each run gets a fresh policy and processor —
+// both are mutable; only rtm.TaskSet and workload generators may be
+// shared.
+func TestParallelRunsMatchSequential(t *testing.T) {
+	policies := map[string]func() sim.Policy{
+		"nondvs": func() sim.Policy { return &dvs.NonDVS{} },
+		"cc":     func() sim.Policy { return &dvs.CCEDF{} },
+		"la":     func() sim.Policy { return &dvs.LAEDF{} },
+		"dra":    func() sim.Policy { return &dvs.DRA{} },
+		"lpshe":  func() sim.Policy { return core.NewLpSHE() },
+	}
+
+	type spec struct {
+		ts     *rtm.TaskSet // shared across concurrent runs on purpose
+		gen    workload.Generator
+		policy string
+	}
+	var specs []spec
+	shared := rtm.Quickstart()
+	for seed := uint64(0); seed < 8; seed++ {
+		gen := workload.Uniform{Lo: 0.4, Hi: 1, Seed: seed}
+		for name := range policies {
+			specs = append(specs, spec{ts: shared, gen: gen, policy: name})
+		}
+	}
+
+	run := func(s spec) sim.Result {
+		t.Helper()
+		res, err := sim.Run(sim.Config{
+			TaskSet:   s.ts,
+			Processor: cpu.Continuous(0.1),
+			Policy:    policies[s.policy](),
+			Workload:  s.gen,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", s.policy, err)
+		}
+		return res
+	}
+
+	sequential := make([]sim.Result, len(specs))
+	for i, s := range specs {
+		sequential[i] = run(s)
+	}
+
+	parallel := make([]sim.Result, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s spec) {
+			defer wg.Done()
+			parallel[i] = run(s)
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i := range specs {
+		if !reflect.DeepEqual(sequential[i], parallel[i]) {
+			t.Errorf("spec %d (%s): parallel result differs from sequential:\n seq %+v\n par %+v",
+				i, specs[i].policy, sequential[i], parallel[i])
+		}
+	}
+}

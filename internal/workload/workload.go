@@ -9,6 +9,13 @@
 // policies against the same generator measures them on identical
 // inputs, which is what makes the normalized-energy comparisons of
 // the benchmark harness meaningful.
+//
+// Concurrency: generators are immutable values — they hold only
+// configuration fields and sample through the stateless prng.Hash3
+// path, never a mutable prng.Source. A single generator value may
+// therefore be shared by any number of concurrent simulations (the
+// dvsd worker pool relies on this), and AET is reproducible
+// regardless of call order or interleaving.
 package workload
 
 import (

@@ -1,0 +1,74 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate: static checks, the full test
+# suite under the race detector, and an end-to-end smoke test of the
+# dvsd daemon (start, run one lpSHE simulation over HTTP, assert zero
+# deadline misses, drain cleanly).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> dvsd smoke test"
+DVSD_BIN=$(mktemp -t dvsd.XXXXXX)
+DVSD_LOG=$(mktemp -t dvsd.log.XXXXXX)
+DVSD_PID=""
+cleanup() {
+    [ -n "$DVSD_PID" ] && kill "$DVSD_PID" 2>/dev/null || true
+    rm -f "$DVSD_BIN" "$DVSD_LOG"
+}
+trap cleanup EXIT
+
+go build -o "$DVSD_BIN" ./cmd/dvsd
+"$DVSD_BIN" -addr 127.0.0.1:0 >"$DVSD_LOG" 2>&1 &
+DVSD_PID=$!
+
+# The daemon logs "listening on 127.0.0.1:<port>" at startup.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$DVSD_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: dvsd did not start:" >&2
+    cat "$DVSD_LOG" >&2
+    exit 1
+fi
+
+BODY='{
+  "task_set": {"tasks": [{"wcet": 1, "period": 4}, {"wcet": 2, "period": 12}, {"wcet": 2, "period": 15}]},
+  "policy": "lpshe",
+  "workload": {"kind": "uniform", "lo": 0.5, "hi": 1, "seed": 7},
+  "strict": true
+}'
+RESP=$(mktemp -t dvsd.resp.XXXXXX)
+STATUS=$(curl -s -o "$RESP" -w '%{http_code}' --max-time 2 -d "$BODY" "http://$ADDR/v1/simulate")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: /v1/simulate returned HTTP $STATUS:" >&2
+    cat "$RESP" >&2
+    rm -f "$RESP"
+    exit 1
+fi
+if ! grep -q '"deadline_misses": 0' "$RESP"; then
+    echo "FAIL: expected zero deadline misses, got:" >&2
+    cat "$RESP" >&2
+    rm -f "$RESP"
+    exit 1
+fi
+rm -f "$RESP"
+
+kill -TERM "$DVSD_PID"
+wait "$DVSD_PID" || { echo "FAIL: dvsd exited non-zero on SIGTERM" >&2; exit 1; }
+DVSD_PID=""
+grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain message" >&2; cat "$DVSD_LOG" >&2; exit 1; }
+echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, clean drain)"
+
+echo "PASS"
