@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — run the per-policy engine benchmarks and record the
+# results as BENCH_<date>.json, the repo's perf trajectory artifact.
+#
+# Usage:
+#   ./bench.sh                # BenchmarkPolicies, default benchtime
+#   ./bench.sh -benchtime 2s  # extra args pass through to 'go test'
+#   BENCH_OUT=custom.json ./bench.sh
+#
+# The JSON records ns/op, B/op, and allocs/op per policy, plus the
+# toolchain and commit, so two files from different dates diff
+# meaningfully. See the "Benchmarking" section of README.md.
+set -eu
+cd "$(dirname "$0")"
+
+date_tag=$(date +%Y-%m-%d)
+out=${BENCH_OUT:-BENCH_${date_tag}.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "bench.sh: running BenchmarkPolicies (this takes a minute)..." >&2
+go test -run '^$' -bench '^BenchmarkPolicies$' -benchmem "$@" . | tee "$raw" >&2
+
+go_version=$(go env GOVERSION)
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+awk -v date="$date_tag" -v gover="$go_version" -v commit="$commit" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", date, gover, commit
+    printf "  \"benchmark\": \"BenchmarkPolicies\",\n  \"results\": [\n"
+    n = 0
+}
+$1 ~ /^BenchmarkPolicies\// && $4 == "ns/op" {
+    # Line shape: BenchmarkPolicies/<policy>-<procs> <iters> <ns> ns/op [<B> B/op <allocs> allocs/op]
+    name = $1
+    sub(/^BenchmarkPolicies\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"policy\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+    if ($6 == "B/op")      printf ", \"bytes_per_op\": %s", $5
+    if ($8 == "allocs/op") printf ", \"allocs_per_op\": %s", $7
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+count=$(grep -c '"policy"' "$out" || true)
+if [ "$count" -eq 0 ]; then
+    echo "bench.sh: no benchmark results parsed; raw output above" >&2
+    exit 1
+fi
+echo "bench.sh: wrote $out ($count policies)" >&2

@@ -22,6 +22,7 @@ import (
 	"dvsslack/internal/dvs"
 	"dvsslack/internal/experiment"
 	"dvsslack/internal/opt"
+	"dvsslack/internal/policies"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/sim"
 	"dvsslack/internal/workload"
@@ -153,6 +154,38 @@ func BenchmarkEngineLpSHE(b *testing.B) {
 		if res.DeadlineMisses != 0 {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// BenchmarkPolicies measures one-hyperperiod engine throughput for
+// every registered policy on an identical configuration, one
+// sub-benchmark per policy. bench.sh runs exactly this benchmark and
+// records the per-policy ns/op in BENCH_<date>.json, so the relative
+// cost of each policy's scheduling decisions is tracked release over
+// release.
+func BenchmarkPolicies(b *testing.B) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(8, 0.7, 1))
+	gen := workload.Uniform{Lo: 0.5, Hi: 1, Seed: 1}
+	for _, name := range policies.Names() {
+		b.Run(name, func(b *testing.B) {
+			mk, err := policies.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					TaskSet: ts, Processor: cpu.Continuous(0.1),
+					Policy: mk(), Workload: gen,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DeadlineMisses != 0 {
+					b.Fatal("miss")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// TestSimulateAuditRoundTrip checks audit violations survive the full
+// wire round trip: an infeasible audited request must come back
+// through the typed client with its deadline-miss violations intact,
+// and a feasible one must come back audited and clean.
+func TestSimulateAuditRoundTrip(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	clean := testRequest("lpshe", 3)
+	clean.Audit = true
+	res, err := c.Simulate(ctx, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audited {
+		t.Fatal("feasible run not marked audited")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("feasible audited run returned violations: %+v", res.Violations)
+	}
+
+	overload := server.SimRequest{
+		TaskSet: &rtm.TaskSet{Tasks: []rtm.Task{
+			{Name: "T1", WCET: 6, Period: 10},
+			{Name: "T2", WCET: 6, Period: 10},
+		}},
+		Policy:  "nondvs",
+		Horizon: 20,
+		Audit:   true,
+	}
+	res, err = c.Simulate(ctx, overload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audited || len(res.Violations) == 0 {
+		t.Fatalf("audited=%v violations=%d, want audited with violations",
+			res.Audited, len(res.Violations))
+	}
+	for _, v := range res.Violations {
+		if v.Invariant == "" || v.Detail == "" {
+			t.Errorf("violation lost fields across the wire: %+v", v)
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SimsAudited < 2 {
+		t.Errorf("sims_audited = %d, want >= 2", m.SimsAudited)
+	}
+	if m.AuditViolations == 0 {
+		t.Error("audit_violations = 0 after an overloaded audited run")
+	}
+}

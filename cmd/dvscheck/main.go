@@ -1,0 +1,219 @@
+// Command dvscheck audits the simulator: it replays the scenario
+// corpus, fuzzes freshly generated configurations under the
+// internal/audit oracle, replays single reproducer files, and runs
+// the auditor's mutation self-test.
+//
+// Usage:
+//
+//	dvscheck -corpus internal/fuzz/testdata/corpus   # replay the corpus
+//	dvscheck -fuzz 200 -seed 1                       # fuzz 200 configs
+//	dvscheck -fuzz 200 -out /tmp/repro               # + write reproducers
+//	dvscheck -replay repro-overload-min.json         # replay one file
+//	dvscheck -selftest                               # prove the oracle can fail
+//
+// Modes compose: flags given together run in the order selftest,
+// corpus, replay, fuzz. With no mode flags, dvscheck runs the
+// default corpus (internal/fuzz/testdata/corpus, resolved against
+// the working directory) plus the self-test.
+//
+// Exit status is 0 only when every requested check passes: corpus
+// entries reproduce exactly their recorded fingerprints, fuzzing
+// finds no violations, and every self-test mutation is caught.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dvsslack/internal/audit"
+	"dvsslack/internal/fuzz"
+)
+
+// DefaultCorpus is the shipped corpus path, relative to the repo
+// root.
+const DefaultCorpus = "internal/fuzz/testdata/corpus"
+
+// options collects the parsed command line; run consumes it.
+type options struct {
+	Corpus   string
+	Fuzz     int
+	Seed     uint64
+	Out      string
+	Replay   string
+	SelfTest bool
+	JSON     bool
+	Verbose  bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.Corpus, "corpus", "", "replay every *.json scenario in this directory")
+	flag.IntVar(&o.Fuzz, "fuzz", 0, "fuzz this many generated configurations")
+	flag.Uint64Var(&o.Seed, "seed", 1, "fuzzing campaign seed")
+	flag.StringVar(&o.Out, "out", "", "directory for shrunk reproducers of fuzz failures")
+	flag.StringVar(&o.Replay, "replay", "", "replay one reproducer file and print its report")
+	flag.BoolVar(&o.SelfTest, "selftest", false, "run the auditor's mutation self-test")
+	flag.BoolVar(&o.JSON, "json", false, "emit machine-readable JSON instead of text")
+	flag.BoolVar(&o.Verbose, "v", false, "report every scenario, not just failures")
+	flag.Parse()
+
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "dvscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// failure marks check failures (as opposed to harness errors); main
+// maps both to exit 1 but harness errors get the "dvscheck:" prefix.
+type failure string
+
+func (f failure) Error() string { return string(f) }
+
+func run(o options, stdout, stderr io.Writer) error {
+	defaulted := o.Corpus == "" && o.Fuzz == 0 && o.Replay == "" && !o.SelfTest
+	if defaulted {
+		o.Corpus = DefaultCorpus
+		o.SelfTest = true
+	}
+	failures := 0
+
+	if o.SelfTest {
+		n, err := runSelfTest(o, stdout)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if o.Corpus != "" {
+		n, err := runCorpus(o, stdout)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if o.Replay != "" {
+		n, err := runReplay(o, stdout)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if o.Fuzz > 0 {
+		n, err := runFuzz(o, stdout, stderr)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if failures > 0 {
+		return failure(fmt.Sprintf("%d check(s) failed", failures))
+	}
+	return nil
+}
+
+func runSelfTest(o options, w io.Writer) (failures int, err error) {
+	results, err := audit.SelfTest()
+	if err != nil {
+		return 0, err
+	}
+	if o.JSON {
+		if err := writeJSON(w, results); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range results {
+		if !r.Caught {
+			failures++
+			if !o.JSON {
+				fmt.Fprintf(w, "selftest FAIL %-16s expected one of %v, got %v\n",
+					r.Mutation, r.Expected, r.Got)
+			}
+			continue
+		}
+		if !o.JSON && o.Verbose {
+			fmt.Fprintf(w, "selftest ok   %-16s caught by %v\n", r.Mutation, r.Got)
+		}
+	}
+	if !o.JSON {
+		fmt.Fprintf(w, "selftest: %d/%d mutations caught\n", len(results)-failures, len(results))
+	}
+	return failures, nil
+}
+
+func runCorpus(o options, w io.Writer) (failures int, err error) {
+	entries, paths, err := fuzz.LoadCorpus(o.Corpus)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("corpus %s has no *.json entries", o.Corpus)
+	}
+	for i, e := range entries {
+		_, fp, rerr := fuzz.Replay(e)
+		if rerr != nil {
+			failures++
+			fmt.Fprintf(w, "corpus FAIL %s: %v\n", paths[i], rerr)
+			continue
+		}
+		if o.Verbose {
+			fmt.Fprintf(w, "corpus ok   %s (fingerprint %v)\n", paths[i], fp)
+		}
+	}
+	fmt.Fprintf(w, "corpus: %d/%d entries reproduced\n", len(entries)-failures, len(entries))
+	return failures, nil
+}
+
+func runReplay(o options, w io.Writer) (failures int, err error) {
+	e, err := fuzz.LoadEntry(o.Replay)
+	if err != nil {
+		return 0, err
+	}
+	res, _, rerr := fuzz.Replay(e)
+	b, err := fuzz.ReportJSON(res)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(b); err != nil {
+		return 0, err
+	}
+	if rerr != nil {
+		fmt.Fprintf(w, "replay FAIL %s: %v\n", o.Replay, rerr)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func runFuzz(o options, stdout, stderr io.Writer) (failures int, err error) {
+	opts := fuzz.Options{N: o.Fuzz, Seed: o.Seed, OutDir: o.Out, Log: stderr}
+	sum, err := fuzz.Fuzz(opts)
+	if err != nil {
+		return 0, err
+	}
+	if o.JSON {
+		if err := writeJSON(stdout, sum); err != nil {
+			return 0, err
+		}
+	} else {
+		fmt.Fprintf(stdout, "fuzz: %d scenarios, %d audited runs, %d failure(s) (seed %d)\n",
+			sum.Scenarios, sum.Runs, len(sum.Failures), o.Seed)
+		for _, f := range sum.Failures {
+			fmt.Fprintf(stdout, "fuzz FAIL %s (seed %#x): %v\n", f.Scenario, f.Seed, f.Fingerprint)
+			if f.ReproPath != "" {
+				fmt.Fprintf(stdout, "  reproducer: %s\n", f.ReproPath)
+			}
+		}
+	}
+	return len(sum.Failures), nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

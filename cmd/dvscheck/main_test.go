@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvsslack/internal/fuzz"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// corpusDir resolves the shipped corpus relative to this package's
+// source directory (tests run with the package dir as cwd).
+const corpusDir = "../../internal/fuzz/testdata/corpus"
+
+func TestCorpusMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(options{Corpus: corpusDir, Verbose: true}, &out, &errw)
+	if err != nil {
+		t.Fatalf("corpus replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "entries reproduced") {
+		t.Errorf("missing summary line in output:\n%s", out.String())
+	}
+}
+
+func TestSelfTestMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(options{SelfTest: true}, &out, &errw); err != nil {
+		t.Fatalf("self-test failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mutations caught") {
+		t.Errorf("missing self-test summary:\n%s", out.String())
+	}
+}
+
+func TestFuzzMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(options{Fuzz: 5, Seed: 3}, &out, &errw); err != nil {
+		t.Fatalf("fuzz campaign failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "5 scenarios") {
+		t.Errorf("missing fuzz summary:\n%s", out.String())
+	}
+}
+
+// TestReplayModeByteIdentical replays the same reproducer twice and
+// requires byte-identical reports — the corpus determinism guarantee
+// surfaced at the CLI level.
+func TestReplayModeByteIdentical(t *testing.T) {
+	path := filepath.Join(corpusDir, "repro-overload-min.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	var out1, out2, errw bytes.Buffer
+	if err := run(options{Replay: path}, &out1, &errw); err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out1.String())
+	}
+	if err := run(options{Replay: path}, &out2, &errw); err != nil {
+		t.Fatalf("second replay failed: %v", err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("replay output differs byte-for-byte across two runs")
+	}
+	if !strings.Contains(out1.String(), "deadline-miss") {
+		t.Errorf("reproducer report lacks its deadline-miss violations:\n%s", out1.String())
+	}
+}
+
+// TestReplayMismatchExits checks a reproducer whose fingerprint no
+// longer matches makes the run fail.
+func TestReplayMismatchExits(t *testing.T) {
+	dir := t.TempDir()
+	entry := fuzz.CorpusEntry{
+		Scenario: fuzz.Scenario{
+			Name: "clean",
+			TaskSet: &rtm.TaskSet{Tasks: []rtm.Task{
+				{Name: "T1", WCET: 1, Period: 10},
+			}},
+			Processor: server.ProcessorSpec{SMin: 0.1},
+			Workload:  server.WorkloadSpec{Kind: "worst-case"},
+			Policies:  []string{"lpshe"},
+		},
+		Expect: []string{"lpshe/deadline-miss"}, // wrong: the run is clean
+	}
+	path := filepath.Join(dir, "stale.json")
+	if err := fuzz.WriteEntry(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run(options{Replay: path}, &out, &errw); err == nil {
+		t.Fatal("run accepted a reproducer whose fingerprint did not match")
+	}
+}

@@ -6,11 +6,15 @@
 //	taskgen -n 8 -u 0.7 -seed 3            # random (UUniFast) set
 //	taskgen -taskset avionics              # built-in benchmark set
 //	taskgen -n 5 -u 0.9 -periods "10,20,40"
+//
+// Output is deterministic: the same flags always produce the same
+// bytes, so generated sets can be committed as test fixtures.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -18,47 +22,69 @@ import (
 	"dvsslack/internal/rtm"
 )
 
+type options struct {
+	n       int
+	u       float64
+	seed    uint64
+	name    string
+	periods string
+}
+
 func main() {
-	var (
-		n       = flag.Int("n", 8, "number of tasks")
-		u       = flag.Float64("u", 0.7, "worst-case utilization")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		name    = flag.String("taskset", "", "emit a built-in set: cnc, avionics, videophone, quickstart")
-		periods = flag.String("periods", "", "comma-separated period pool (default: built-in pool)")
-	)
+	var o options
+	flag.IntVar(&o.n, "n", 8, "number of tasks")
+	flag.Float64Var(&o.u, "u", 0.7, "worst-case utilization, in (0, 1]")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.name, "taskset", "", "emit a built-in set: cnc, avionics, videophone, quickstart")
+	flag.StringVar(&o.periods, "periods", "", "comma-separated period pool (default: built-in pool)")
 	flag.Parse()
 
-	var (
-		ts  *rtm.TaskSet
-		err error
-	)
-	switch *name {
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, w io.Writer) error {
+	ts, err := build(o)
+	if err != nil {
+		return err
+	}
+	return ts.WriteJSON(w)
+}
+
+func build(o options) (*rtm.TaskSet, error) {
+	switch o.name {
 	case "cnc":
-		ts = rtm.CNC()
+		return rtm.CNC(), nil
 	case "avionics":
-		ts = rtm.Avionics()
+		return rtm.Avionics(), nil
 	case "videophone":
-		ts = rtm.Videophone()
+		return rtm.Videophone(), nil
 	case "quickstart":
-		ts = rtm.Quickstart()
+		return rtm.Quickstart(), nil
 	case "":
-		cfg := rtm.DefaultGenConfig(*n, *u, *seed)
-		if *periods != "" {
-			cfg.Periods, err = parsePeriods(*periods)
-			if err != nil {
-				fail(err)
-			}
-		}
-		ts, err = rtm.Generate(cfg)
-		if err != nil {
-			fail(err)
-		}
 	default:
-		fail(fmt.Errorf("unknown task set %q", *name))
+		return nil, fmt.Errorf("unknown task set %q (want cnc, avionics, videophone, or quickstart)", o.name)
 	}
-	if err := ts.WriteJSON(os.Stdout); err != nil {
-		fail(err)
+
+	// Validate generator inputs here so the errors name the flags the
+	// user typed, not the library internals.
+	if o.n <= 0 {
+		return nil, fmt.Errorf("-n must be a positive task count, got %d", o.n)
 	}
+	if !(o.u > 0) || o.u > 1 {
+		return nil, fmt.Errorf("-u must be a utilization in (0, 1], got %v", o.u)
+	}
+	cfg := rtm.DefaultGenConfig(o.n, o.u, o.seed)
+	if o.periods != "" {
+		ps, err := parsePeriods(o.periods)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Periods = ps
+	}
+	return rtm.Generate(cfg)
 }
 
 func parsePeriods(spec string) ([]float64, error) {
@@ -68,12 +94,10 @@ func parsePeriods(spec string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad period %q: %v", part, err)
 		}
+		if !(v > 0) {
+			return nil, fmt.Errorf("bad period %q: must be positive", part)
+		}
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
-	os.Exit(1)
 }

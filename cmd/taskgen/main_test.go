@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, o options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("run(%+v): %v", o, err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicOutput: identical flags must produce byte-identical
+// JSON, and a different seed must not.
+func TestDeterministicOutput(t *testing.T) {
+	o := options{n: 8, u: 0.7, seed: 3}
+	a := runOK(t, o)
+	b := runOK(t, o)
+	if !bytes.Equal(a, b) {
+		t.Error("same flags produced different bytes")
+	}
+	o.seed = 4
+	if bytes.Equal(a, runOK(t, o)) {
+		t.Error("different seed produced identical bytes")
+	}
+}
+
+func TestGeneratedSetShape(t *testing.T) {
+	out := runOK(t, options{n: 5, u: 0.6, seed: 1, periods: "10,20,40"})
+	var ts struct {
+		Tasks []struct {
+			WCET   float64 `json:"wcet"`
+			Period float64 `json:"period"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(out, &ts); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(ts.Tasks) != 5 {
+		t.Fatalf("got %d tasks, want 5", len(ts.Tasks))
+	}
+	var u float64
+	for _, task := range ts.Tasks {
+		if task.Period != 10 && task.Period != 20 && task.Period != 40 {
+			t.Errorf("period %v not in the requested pool", task.Period)
+		}
+		u += task.WCET / task.Period
+	}
+	if u > 0.6+1e-9 {
+		t.Errorf("total utilization %v exceeds requested 0.6", u)
+	}
+}
+
+func TestBuiltinSets(t *testing.T) {
+	for _, name := range []string{"cnc", "avionics", "videophone", "quickstart"} {
+		out := runOK(t, options{name: name})
+		if !json.Valid(out) {
+			t.Errorf("%s: invalid JSON", name)
+		}
+	}
+}
+
+// TestInvalidFlags: bad -n/-u/-periods/-taskset values must fail with
+// errors that name the offending flag or value.
+func TestInvalidFlags(t *testing.T) {
+	cases := []struct {
+		o    options
+		want string
+	}{
+		{options{n: 0, u: 0.7}, "-n"},
+		{options{n: -3, u: 0.7}, "-n"},
+		{options{n: 4, u: 0}, "-u"},
+		{options{n: 4, u: 1.2}, "-u"},
+		{options{n: 4, u: -0.5}, "-u"},
+		{options{n: 4, u: 0.7, periods: "10,abc"}, "abc"},
+		{options{n: 4, u: 0.7, periods: "10,-5"}, "-5"},
+		{options{name: "bogus"}, "bogus"},
+	}
+	for _, c := range cases {
+		err := run(c.o, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("run(%+v) succeeded, want error", c.o)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%+v) error %q does not mention %q", c.o, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package audit is the independent online schedule auditor: an
+// implementation of sim.Observer that re-derives the simulator's
+// correctness invariants from the event stream alone and checks the
+// engine's aggregate Result against a from-scratch recomputation.
+//
+// The simulator already counts deadline misses and integrates energy
+// itself — but a claim like "0 misses in 63 599 jobs" is only as
+// strong as the code making it. The auditor is a second, structurally
+// independent derivation of the same facts: it never reads engine
+// internals, only the Observer callbacks every run emits, plus the
+// static task set and processor model. A bug in the engine's
+// dispatching, accounting, or integration therefore shows up as a
+// disagreement between the two derivations (see the mutation
+// self-test in selftest.go, which proves each seeded bug class is
+// caught).
+//
+// Invariants checked, by name (the Violation.Invariant field):
+//
+//	event-order          timestamps regress, or an idle interval ends
+//	                     before it starts
+//	timeline-gap         wall-clock time elapsed that no dispatch,
+//	                     idle interval, or transition stall accounts
+//	                     for
+//	duplicate-release    a (task, job-index) pair released twice
+//	release-window       a release outside [k·T, k·T + Jitter]
+//	deadline-derivation  the job's absolute deadline differs from
+//	                     release + relative deadline of its task
+//	wcet-mismatch        the job's WCET differs from its task's
+//	edf-order            a job was dispatched while a released,
+//	                     incomplete job with a strictly earlier
+//	                     deadline was waiting (EDF violation)
+//	speed-range          a dispatch speed outside [Clamp(0), 1]
+//	speed-level          a dispatch speed that is not one of a
+//	                     discrete processor's levels
+//	switch-continuity    a switch event's "from" speed differs from
+//	                     the speed the processor was last set to
+//	switch-missing       a dispatch at a speed the processor was
+//	                     never switched to
+//	idle-while-ready     the processor idled while released,
+//	                     incomplete jobs existed
+//	cycle-account        a job's dispatched speed × time does not sum
+//	                     to its executed cycles, or a job completed
+//	                     with executed work different from its actual
+//	                     execution time, or beyond its WCET
+//	deadline-miss        a job completed after its absolute deadline
+//	miss-flag            the engine's missed flag disagrees with the
+//	                     auditor's own deadline comparison
+//	unfinished-job       a released job never completed
+//	result-mismatch      a Result counter (jobs, misses, switches,
+//	                     sleeps) disagrees with the audited count
+//	energy               a Result energy term (busy, idle, switch,
+//	                     total) or WorkDone disagrees with the
+//	                     auditor's recomputed integral
+//
+// Usage:
+//
+//	aud := audit.New(audit.Options{TaskSet: ts, Processor: proc})
+//	cfg.Observer = aud
+//	res, err := sim.Run(cfg)
+//	report := aud.Finish(res)   // after a run that returned err == nil
+//	if !report.OK() { ... }
+//
+// An Auditor audits exactly one run and is not safe for concurrent
+// use (the engine invokes observers synchronously, so no locking is
+// needed within a run).
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Invariant names the broken invariant (see the package
+	// documentation for the full list).
+	Invariant string `json:"invariant"`
+	// Time is the simulation time at which the breach was detected.
+	Time float64 `json:"time"`
+	// Job identifies the job involved ("T3#17"), when applicable.
+	Job string `json:"job,omitempty"`
+	// Detail is a human-readable description with the numbers.
+	Detail string `json:"detail"`
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Job != "" {
+		return fmt.Sprintf("[%s] t=%g %s: %s", v.Invariant, v.Time, v.Job, v.Detail)
+	}
+	return fmt.Sprintf("[%s] t=%g: %s", v.Invariant, v.Time, v.Detail)
+}
+
+// Report is the outcome of auditing one run.
+type Report struct {
+	// Policy is the audited policy's name (copied from the Result
+	// passed to Finish).
+	Policy string `json:"policy,omitempty"`
+	// JobsReleased, JobsCompleted, Dispatches, and Switches count the
+	// events the auditor observed.
+	JobsReleased  int `json:"jobs_released"`
+	JobsCompleted int `json:"jobs_completed"`
+	Dispatches    int `json:"dispatches"`
+	Switches      int `json:"switches"`
+	// Violations lists every detected breach, in detection order,
+	// capped at Options.MaxViolations.
+	Violations []Violation `json:"violations,omitempty"`
+	// Truncated reports that the violation cap was hit; the run has
+	// at least one more violation than listed.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// OK reports whether the audit found nothing wrong.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && !r.Truncated }
+
+// Options configures an Auditor.
+type Options struct {
+	// TaskSet is the static task set of the audited run (required).
+	TaskSet *rtm.TaskSet
+	// Processor is the processor model of the audited run (required);
+	// the auditor uses it to validate speeds and recompute energy.
+	Processor *cpu.Processor
+	// EDF enables the EDF dispatch-order check. Disable for runs
+	// using sim.Config.FixedPriorities. NewEDF/New set it.
+	EDF bool
+	// MaxViolations caps the report length; <= 0 selects 64.
+	MaxViolations int
+}
+
+// jobKey identifies a job across callbacks.
+type jobKey struct{ task, index int }
+
+func (k jobKey) id() string { return fmt.Sprintf("T%d#%d", k.task+1, k.index) }
+
+// jobAudit is the auditor's shadow state for one released job.
+type jobAudit struct {
+	key      jobKey
+	release  float64
+	deadline float64
+	wcet     float64
+	cycles   float64 // accrued dispatched work: Σ speed × dt
+}
+
+// Auditor implements sim.Observer over one run. Construct with New.
+type Auditor struct {
+	opts Options
+
+	t       float64 // timeline cursor: end of the last accounted interval
+	started bool
+
+	active  map[jobKey]*jobAudit
+	running *jobAudit
+	speed   float64 // speed of the running dispatch
+
+	curSpeed  float64 // processor speed per the switch event stream
+	speedSeen bool
+
+	busyE, idleE, switchE float64
+	work                  float64
+	releases, completes   int
+	dispatches, switches  int
+	misses, sleeps        int
+
+	violations []Violation
+	truncated  bool
+}
+
+// New returns an auditor for one EDF run. It panics if TaskSet or
+// Processor is nil, mirroring the engine's own config requirements.
+func New(opts Options) *Auditor {
+	if opts.TaskSet == nil || opts.Processor == nil {
+		panic("audit: Options.TaskSet and Options.Processor are required")
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 64
+	}
+	opts.EDF = true
+	return &Auditor{opts: opts, active: make(map[jobKey]*jobAudit)}
+}
+
+// NewFixedPriority returns an auditor with the EDF dispatch-order
+// check disabled, for runs using sim.Config.FixedPriorities. All
+// other invariants still apply.
+func NewFixedPriority(opts Options) *Auditor {
+	a := New(opts)
+	a.opts.EDF = false
+	return a
+}
+
+// violate records a violation, respecting the cap.
+func (a *Auditor) violate(invariant string, t float64, job string, format string, args ...any) {
+	if len(a.violations) >= a.opts.MaxViolations {
+		a.truncated = true
+		return
+	}
+	a.violations = append(a.violations, Violation{
+		Invariant: invariant,
+		Time:      t,
+		Job:       job,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// accrueTo advances the timeline cursor to t, attributing the elapsed
+// interval to the running dispatch (work and busy energy) or flagging
+// it as unaccounted time.
+func (a *Auditor) accrueTo(t float64) {
+	if !a.started {
+		a.started = true
+		a.t = t
+		if t < -sim.Eps {
+			a.violate("event-order", t, "", "first event at negative time %g", t)
+		}
+		return
+	}
+	if t < a.t-sim.Eps {
+		a.violate("event-order", t, "", "time regressed from %g to %g", a.t, t)
+		return
+	}
+	dt := t - a.t
+	if dt <= 0 {
+		return
+	}
+	if a.running != nil {
+		a.running.cycles += dt * a.speed
+		a.busyE += a.opts.Processor.BusyPower(a.speed) * dt
+		a.work += dt * a.speed
+	} else if dt > sim.Eps {
+		a.violate("timeline-gap", t, "",
+			"%g time units elapsed with no dispatch, idle interval, or stall", dt)
+	}
+	a.t = t
+}
+
+// ObserveRelease implements sim.Observer.
+func (a *Auditor) ObserveRelease(t float64, j *sim.JobState) {
+	a.accrueTo(t)
+	a.releases++
+	key := jobKey{j.TaskIndex, j.Index}
+	if j.TaskIndex < 0 || j.TaskIndex >= a.opts.TaskSet.N() {
+		a.violate("release-window", t, key.id(), "task index %d out of range", j.TaskIndex)
+		return
+	}
+	if _, dup := a.active[key]; dup {
+		a.violate("duplicate-release", t, key.id(), "job released twice")
+		return
+	}
+	task := a.opts.TaskSet.Tasks[j.TaskIndex]
+	nominal := float64(j.Index) * task.Period
+	const tol = 1e-9
+	if j.Release < nominal-tol || j.Release > nominal+task.Jitter+tol {
+		a.violate("release-window", t, key.id(),
+			"release %g outside [%g, %g]", j.Release, nominal, nominal+task.Jitter)
+	}
+	if t < j.Release-sim.Eps {
+		a.violate("release-window", t, key.id(),
+			"release observed at %g before its release time %g", t, j.Release)
+	}
+	if d := j.Release + task.RelDeadline(); math.Abs(j.AbsDeadline-d) > tol {
+		a.violate("deadline-derivation", t, key.id(),
+			"absolute deadline %g, expected release %g + D %g = %g",
+			j.AbsDeadline, j.Release, task.RelDeadline(), d)
+	}
+	if math.Abs(j.WCET-task.WCET) > tol {
+		a.violate("wcet-mismatch", t, key.id(), "job WCET %g, task WCET %g", j.WCET, task.WCET)
+	}
+	a.active[key] = &jobAudit{key: key, release: j.Release, deadline: j.AbsDeadline, wcet: j.WCET}
+}
+
+// earliestDeadline returns the active job with the earliest
+// (deadline, release, task) key — the job EDF must dispatch.
+// Deterministic regardless of map iteration order.
+func (a *Auditor) earliestDeadline() *jobAudit {
+	var best *jobAudit
+	for _, ja := range a.active {
+		if best == nil {
+			best = ja
+			continue
+		}
+		switch {
+		case ja.deadline != best.deadline:
+			if ja.deadline < best.deadline {
+				best = ja
+			}
+		case ja.release != best.release:
+			if ja.release < best.release {
+				best = ja
+			}
+		case ja.key.task < best.key.task:
+			best = ja
+		}
+	}
+	return best
+}
+
+// ObserveDispatch implements sim.Observer.
+func (a *Auditor) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	a.accrueTo(t)
+	a.dispatches++
+	key := jobKey{j.TaskIndex, j.Index}
+	ja := a.active[key]
+	if ja == nil {
+		a.violate("edf-order", t, key.id(), "dispatched a job that was never released (or already completed)")
+		// Shadow it anyway so accounting can continue.
+		ja = &jobAudit{key: key, release: j.Release, deadline: j.AbsDeadline, wcet: j.WCET}
+		a.active[key] = ja
+	}
+	if a.opts.EDF {
+		if ed := a.earliestDeadline(); ed != nil && ed.deadline < j.AbsDeadline-sim.Eps {
+			a.violate("edf-order", t, key.id(),
+				"dispatched with deadline %g while %s (deadline %g) was ready",
+				j.AbsDeadline, ed.key.id(), ed.deadline)
+		}
+	}
+	proc := a.opts.Processor
+	const tol = 1e-9
+	if speed < proc.Clamp(0)-tol || speed > 1+tol {
+		a.violate("speed-range", t, key.id(),
+			"speed %g outside usable range [%g, 1]", speed, proc.Clamp(0))
+	} else if levels := proc.Levels(); len(levels) > 0 {
+		onLevel := false
+		for _, l := range levels {
+			if math.Abs(speed-l) <= tol {
+				onLevel = true
+				break
+			}
+		}
+		if !onLevel {
+			a.violate("speed-level", t, key.id(),
+				"speed %g is not one of the processor's %d discrete levels", speed, len(levels))
+		}
+	}
+	// The dispatch speed must be the speed the processor was last
+	// switched to (the engine suppresses switch events only for
+	// nearly-equal speeds, so a small tolerance suffices).
+	if !a.speedSeen {
+		a.speedSeen = true
+		a.curSpeed = speed
+	} else if math.Abs(speed-a.curSpeed) > 1e-6 {
+		a.violate("switch-missing", t, key.id(),
+			"dispatched at speed %g but the processor was last set to %g", speed, a.curSpeed)
+		a.curSpeed = speed // resynchronize so one bug reports once
+	}
+	a.running = ja
+	a.speed = speed
+}
+
+// ObserveComplete implements sim.Observer.
+func (a *Auditor) ObserveComplete(t float64, j *sim.JobState, missed bool) {
+	a.accrueTo(t)
+	a.completes++
+	key := jobKey{j.TaskIndex, j.Index}
+	ja := a.active[key]
+	if ja == nil {
+		a.violate("cycle-account", t, key.id(), "completion of a job that was never released")
+	} else {
+		if !closeEnough(ja.cycles, j.Executed) {
+			a.violate("cycle-account", t, key.id(),
+				"dispatched speed × time sums to %g cycles, job reports %g executed",
+				ja.cycles, j.Executed)
+		}
+		if !closeEnough(j.Executed, j.AET) {
+			a.violate("cycle-account", t, key.id(),
+				"completed with %g executed, actual execution time is %g", j.Executed, j.AET)
+		}
+		if j.AET > j.WCET+1e-9 {
+			a.violate("cycle-account", t, key.id(), "AET %g exceeds WCET %g", j.AET, j.WCET)
+		}
+		delete(a.active, key)
+		if a.running == ja {
+			a.running = nil
+		}
+	}
+	lateBy := t - j.AbsDeadline
+	actualMiss := lateBy > sim.Eps
+	if actualMiss {
+		a.misses++
+		a.violate("deadline-miss", t, key.id(),
+			"finished %g time units after its deadline %g", lateBy, j.AbsDeadline)
+	}
+	if actualMiss != missed {
+		a.violate("miss-flag", t, key.id(),
+			"engine reported missed=%v, auditor derives missed=%v (finish %g, deadline %g)",
+			missed, actualMiss, t, j.AbsDeadline)
+	}
+}
+
+// ObserveIdle implements sim.Observer.
+func (a *Auditor) ObserveIdle(t0, t1 float64) {
+	a.accrueTo(t0)
+	if t1 < t0-sim.Eps {
+		a.violate("event-order", t0, "", "idle interval ends at %g before it starts", t1)
+		return
+	}
+	if a.running != nil {
+		a.violate("idle-while-ready", t0, a.running.key.id(),
+			"processor idled while a dispatched job was incomplete")
+		a.running = nil
+	} else if n := len(a.active); n > 0 {
+		ed := a.earliestDeadline()
+		a.violate("idle-while-ready", t0, ed.key.id(),
+			"processor idled [%g, %g] with %d released incomplete job(s)", t0, t1, n)
+	}
+	dt := t1 - t0
+	proc := a.opts.Processor
+	if proc.CanSleep() && dt >= proc.BreakEvenIdle() {
+		a.idleE += proc.WakeEnergy + proc.SleepPower*dt
+		a.sleeps++
+	} else {
+		a.idleE += proc.AwakeIdlePower() * dt
+	}
+	if t1 > a.t {
+		a.t = t1
+	}
+}
+
+// ObserveSwitch implements sim.Observer.
+func (a *Auditor) ObserveSwitch(t, from, to float64) {
+	a.accrueTo(t)
+	a.switches++
+	if a.speedSeen && math.Abs(from-a.curSpeed) > 1e-6 {
+		a.violate("switch-continuity", t, "",
+			"switch reports previous speed %g, auditor tracked %g", from, a.curSpeed)
+	}
+	a.curSpeed = to
+	a.speedSeen = true
+	proc := a.opts.Processor
+	a.switchE += proc.SwitchEnergy(from, to)
+	if st := proc.SwitchTime; st > 0 {
+		// The engine charges the stall at the higher of the two
+		// operating points and advances time without performing work.
+		a.switchE += math.Max(proc.BusyPower(from), proc.BusyPower(to)) * st
+		a.t = t + st
+	}
+}
+
+// Finish closes the audit after a run and cross-checks the engine's
+// Result against the auditor's own derivation. Call it once, with the
+// Result of a run that returned a nil error (a strict-deadline abort
+// leaves the event stream truncated mid-run, which Finish would
+// misread as unfinished jobs).
+func (a *Auditor) Finish(res sim.Result) *Report {
+	if n := len(a.active); n > 0 {
+		keys := make([]jobKey, 0, n)
+		for k := range a.active {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].task != keys[j].task {
+				return keys[i].task < keys[j].task
+			}
+			return keys[i].index < keys[j].index
+		})
+		for _, k := range keys {
+			a.violate("unfinished-job", a.t, k.id(), "released but never completed")
+		}
+	}
+	count := func(name string, got, want int) {
+		if got != want {
+			a.violate("result-mismatch", a.t, "",
+				"%s: result reports %d, auditor derived %d", name, want, got)
+		}
+	}
+	count("jobs_released", a.releases, res.JobsReleased)
+	count("jobs_completed", a.completes, res.JobsCompleted)
+	count("deadline_misses", a.misses, res.DeadlineMisses)
+	count("speed_switches", a.switches, res.SpeedSwitches)
+	count("sleeps", a.sleeps, res.Sleeps)
+	energy := func(name string, got, want float64) {
+		if !closeEnough(got, want) {
+			a.violate("energy", a.t, "",
+				"%s: result reports %g, auditor recomputed %g (Δ %.3g)",
+				name, want, got, want-got)
+		}
+	}
+	energy("busy_energy", a.busyE, res.BusyEnergy)
+	energy("idle_energy", a.idleE, res.IdleEnergy)
+	energy("switch_energy", a.switchE, res.SwitchEnergy)
+	energy("energy", a.busyE+a.idleE+a.switchE, res.Energy)
+	energy("work_done", a.work, res.WorkDone)
+	return &Report{
+		Policy:        res.Policy,
+		JobsReleased:  a.releases,
+		JobsCompleted: a.completes,
+		Dispatches:    a.dispatches,
+		Switches:      a.switches,
+		Violations:    a.violations,
+		Truncated:     a.truncated,
+	}
+}
+
+// closeEnough compares two recomputed quantities. The auditor's
+// arithmetic repeats the engine's interval-by-interval, but interval
+// lengths are reconstructed from absolute times ((t0+dt)−t0 differs
+// from dt by an ulp), so drift up to ~1e-11 relative accumulates over
+// long runs; the tolerance leaves three orders of magnitude of slack
+// below anything a real accounting bug would produce.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6+1e-8*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,218 @@
+package audit
+
+import (
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/policies"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// TestCleanRunsAcrossPolicies audits every registered policy on a
+// feasible task set with a dynamic workload; a correct engine and a
+// correct policy must produce a violation-free report.
+func TestCleanRunsAcrossPolicies(t *testing.T) {
+	ts, err := rtm.Generate(rtm.DefaultGenConfig(5, 0.7, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]*cpu.Processor{
+		"continuous": cpu.Continuous(0.1),
+		"uniform6":   cpu.UniformLevels(6),
+		"xscale":     cpu.XScale(),
+	}
+	for _, name := range policies.Names() {
+		for pname, proc := range procs {
+			pol, err := policies.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aud := New(Options{TaskSet: ts, Processor: proc})
+			res, err := sim.Run(sim.Config{
+				TaskSet:   ts,
+				Processor: proc,
+				Policy:    pol,
+				Workload:  workload.Uniform{Lo: 0.2, Hi: 1, Seed: 3},
+				Observer:  aud,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", name, pname, err)
+			}
+			rep := aud.Finish(res)
+			if !rep.OK() {
+				t.Errorf("%s/%s: %d violations, first: %v",
+					name, pname, len(rep.Violations), rep.Violations[0])
+			}
+			if rep.JobsReleased == 0 || rep.JobsReleased != res.JobsReleased {
+				t.Errorf("%s/%s: audited %d releases, result has %d",
+					name, pname, rep.JobsReleased, res.JobsReleased)
+			}
+		}
+	}
+}
+
+// TestCleanRunWithSleepAndStalls covers the energy recomputation's
+// harder branches: transition stalls, switch energy, leakage, and the
+// sleep-versus-idle decision. Only the lpSHE family is stall-safe, so
+// the run uses lpshe+guard.
+func TestCleanRunWithSleepAndStalls(t *testing.T) {
+	ts, err := rtm.Generate(rtm.DefaultGenConfig(4, 0.5, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := cpu.Continuous(0.1)
+	proc.SwitchTime = 0.1
+	proc.SwitchEnergyCoeff = 0.1
+	proc.LeakagePower = 0.05
+	proc.SleepEnabled = true
+	proc.SleepPower = 0.005
+	proc.WakeEnergy = 0.3
+	pol, err := policies.New("lpshe+guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := New(Options{TaskSet: ts, Processor: proc})
+	res, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    pol,
+		Workload:  workload.Uniform{Lo: 0.3, Hi: 0.9, Seed: 5},
+		Observer:  aud,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := aud.Finish(res)
+	if !rep.OK() {
+		t.Fatalf("%d violations, first: %v", len(rep.Violations), rep.Violations[0])
+	}
+	if res.Sleeps == 0 {
+		t.Error("scenario produced no sleeps; the sleep-energy branch went unexercised")
+	}
+	if res.SpeedSwitches == 0 {
+		t.Error("scenario produced no switches; the stall branch went unexercised")
+	}
+}
+
+// TestCleanRunWithJitter audits lpSHE under release jitter, covering
+// the release-window check's jittered branch.
+func TestCleanRunWithJitter(t *testing.T) {
+	ts, err := rtm.Generate(rtm.DefaultGenConfig(4, 0.6, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts.Tasks {
+		ts.Tasks[i].Jitter = 0.1 * ts.Tasks[i].Period
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policies.New("lpshe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := cpu.Continuous(0.1)
+	aud := New(Options{TaskSet: ts, Processor: proc})
+	res, err := sim.Run(sim.Config{
+		TaskSet:    ts,
+		Processor:  proc,
+		Policy:     pol,
+		Workload:   workload.Uniform{Lo: 0.4, Hi: 1, Seed: 9},
+		Observer:   aud,
+		JitterSeed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := aud.Finish(res); !rep.OK() {
+		t.Fatalf("%d violations, first: %v", len(rep.Violations), rep.Violations[0])
+	}
+}
+
+// TestDeadlineMissDetected checks the auditor flags real misses: an
+// infeasible workload under nondvs run non-strictly must yield
+// deadline-miss violations that agree with the engine's own count.
+func TestDeadlineMissDetected(t *testing.T) {
+	ts := &rtm.TaskSet{Tasks: []rtm.Task{
+		{Name: "T1", WCET: 6, Period: 10},
+		{Name: "T2", WCET: 6, Period: 10},
+	}}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policies.New("nondvs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := cpu.Continuous(0.1)
+	aud := New(Options{TaskSet: ts, Processor: proc})
+	res, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    pol,
+		Observer:  aud,
+		Horizon:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("expected the overloaded set to miss deadlines")
+	}
+	rep := aud.Finish(res)
+	if rep.OK() {
+		t.Fatal("auditor reported OK on a run with deadline misses")
+	}
+	missViolations := 0
+	for _, v := range rep.Violations {
+		switch v.Invariant {
+		case "deadline-miss":
+			missViolations++
+		case "miss-flag", "result-mismatch", "energy":
+			t.Errorf("spurious %s violation on an honest missing run: %v", v.Invariant, v)
+		}
+	}
+	if missViolations != res.DeadlineMisses {
+		t.Errorf("auditor found %d deadline-miss violations, engine counted %d",
+			missViolations, res.DeadlineMisses)
+	}
+}
+
+// TestViolationCap checks MaxViolations truncates rather than grows
+// without bound.
+func TestViolationCap(t *testing.T) {
+	ts := &rtm.TaskSet{Tasks: []rtm.Task{{Name: "T1", WCET: 1, Period: 10}}}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := New(Options{TaskSet: ts, Processor: cpu.Continuous(0.1), MaxViolations: 3})
+	for i := 0; i < 10; i++ {
+		a.violate("test", float64(i), "", "violation %d", i)
+	}
+	if len(a.violations) != 3 {
+		t.Fatalf("got %d violations, want cap of 3", len(a.violations))
+	}
+	if !a.truncated {
+		t.Fatal("truncated flag not set after exceeding the cap")
+	}
+}
+
+// TestSelfTest runs the mutation self-test: every seeded bug class
+// must be caught by at least one expected invariant.
+func TestSelfTest(t *testing.T) {
+	results, err := SelfTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Mutations()) {
+		t.Fatalf("got %d results for %d mutations", len(results), len(Mutations()))
+	}
+	for _, r := range results {
+		if !r.Caught {
+			t.Errorf("mutation %s escaped: expected one of %v, audit reported %v",
+				r.Mutation, r.Expected, r.Got)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Mutation self-test: the auditor is itself tested by seeding
+// deliberate bugs into the event stream and proving each one is
+// caught. Each Mutation wraps the auditor in an observer that
+// corrupts events the way a real engine bug would — skipping a
+// preemption, dropping a speed switch, masking a deadline miss — and
+// the self-test passes only if the audit report contains at least one
+// of the invariants that bug class must trip. A clean (unmutated) run
+// of the same scenario must in turn produce an empty report, pinning
+// the auditor against false positives at the same time.
+
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/policies"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// Mutation is one deliberately seeded bug class.
+type Mutation struct {
+	// Name identifies the mutation ("skip-preemption").
+	Name string
+	// Description says what engine bug the mutation simulates.
+	Description string
+	// Expect lists invariants of which at least one must appear in
+	// the audit report for the mutation to count as caught.
+	Expect []string
+	// wrap corrupts the event stream on its way to the inner
+	// observer. It must never mutate engine-owned *sim.JobState
+	// values — corrupted jobs are passed as copies.
+	wrap func(inner sim.Observer) sim.Observer
+	// needsDiscrete selects the discrete-level scenario instead of
+	// the continuous one.
+	needsDiscrete bool
+}
+
+// SelfTestResult reports one mutation's outcome.
+type SelfTestResult struct {
+	Mutation    string   `json:"mutation"`
+	Description string   `json:"description"`
+	Expected    []string `json:"expected"`
+	// Got lists the distinct invariants the audit actually reported,
+	// sorted.
+	Got    []string `json:"got"`
+	Caught bool     `json:"caught"`
+}
+
+// mutant is a sim.Observer that forwards events to inner, letting a
+// mutation override individual callbacks.
+type mutant struct {
+	inner    sim.Observer
+	release  func(m *mutant, t float64, j *sim.JobState)
+	dispatch func(m *mutant, t float64, j *sim.JobState, speed float64)
+	complete func(m *mutant, t float64, j *sim.JobState, missed bool)
+	idle     func(m *mutant, t0, t1 float64)
+	sw       func(m *mutant, t, from, to float64)
+
+	// active shadows released-but-incomplete jobs (by value, so
+	// mutations can hand out corrupted copies safely) for mutations
+	// that need scheduling state, e.g. skip-preemption.
+	active map[jobKey]sim.JobState
+	fired  bool // one-shot flag for single-event mutations
+}
+
+func (m *mutant) ObserveRelease(t float64, j *sim.JobState) {
+	m.active[jobKey{j.TaskIndex, j.Index}] = *j
+	if m.release != nil {
+		m.release(m, t, j)
+		return
+	}
+	m.inner.ObserveRelease(t, j)
+}
+
+func (m *mutant) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	if m.dispatch != nil {
+		m.dispatch(m, t, j, speed)
+		return
+	}
+	m.inner.ObserveDispatch(t, j, speed)
+}
+
+func (m *mutant) ObserveComplete(t float64, j *sim.JobState, missed bool) {
+	delete(m.active, jobKey{j.TaskIndex, j.Index})
+	if m.complete != nil {
+		m.complete(m, t, j, missed)
+		return
+	}
+	m.inner.ObserveComplete(t, j, missed)
+}
+
+func (m *mutant) ObserveIdle(t0, t1 float64) {
+	if m.idle != nil {
+		m.idle(m, t0, t1)
+		return
+	}
+	m.inner.ObserveIdle(t0, t1)
+}
+
+func (m *mutant) ObserveSwitch(t, from, to float64) {
+	if m.sw != nil {
+		m.sw(m, t, from, to)
+		return
+	}
+	m.inner.ObserveSwitch(t, from, to)
+}
+
+// latestDeadline returns a copy of the active job with the latest
+// deadline — the worst possible job for EDF to run. Deterministic
+// tie-break by task index.
+func (m *mutant) latestDeadline() (sim.JobState, bool) {
+	var best sim.JobState
+	found := false
+	for _, js := range m.active {
+		if !found || js.AbsDeadline > best.AbsDeadline ||
+			(js.AbsDeadline == best.AbsDeadline && js.TaskIndex > best.TaskIndex) {
+			best, found = js, true
+		}
+	}
+	return best, found
+}
+
+// Mutations returns the seeded bug classes the self-test exercises.
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name:        "skip-preemption",
+			Description: "dispatches the latest-deadline ready job instead of the earliest, as if a preemption were skipped",
+			Expect:      []string{"edf-order"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					dispatch: func(m *mutant, t float64, j *sim.JobState, speed float64) {
+						if worst, ok := m.latestDeadline(); ok && worst.AbsDeadline > j.AbsDeadline+sim.Eps {
+							inner.ObserveDispatch(t, &worst, speed)
+							return
+						}
+						inner.ObserveDispatch(t, j, speed)
+					}}
+			},
+		},
+		{
+			Name:        "drop-switch",
+			Description: "suppresses every speed-switch event, as if transitions were unaccounted",
+			Expect:      []string{"switch-missing", "result-mismatch", "energy"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					sw: func(m *mutant, t, from, to float64) {}}
+			},
+		},
+		{
+			Name:        "mask-miss",
+			Description: "reports one job finishing past its deadline with the missed flag cleared, as if a miss were hidden",
+			Expect:      []string{"deadline-miss", "miss-flag"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					complete: func(m *mutant, t float64, j *sim.JobState, missed bool) {
+						if !m.fired {
+							m.fired = true
+							late := *j
+							inner.ObserveComplete(late.AbsDeadline+1, &late, false)
+							return
+						}
+						inner.ObserveComplete(t, j, missed)
+					}}
+			},
+		},
+		{
+			Name:        "overspeed",
+			Description: "reports dispatches at speed 1.5, beyond the processor's physical maximum",
+			Expect:      []string{"speed-range"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					dispatch: func(m *mutant, t float64, j *sim.JobState, speed float64) {
+						inner.ObserveDispatch(t, j, 1.5)
+					}}
+			},
+		},
+		{
+			Name:          "illegal-level",
+			Description:   "perturbs dispatch speeds off the processor's discrete level grid",
+			Expect:        []string{"speed-level"},
+			needsDiscrete: true,
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					dispatch: func(m *mutant, t float64, j *sim.JobState, speed float64) {
+						s := speed + 0.01
+						if s > 1 {
+							s = speed - 0.01
+						}
+						inner.ObserveDispatch(t, j, s)
+					}}
+			},
+		},
+		{
+			Name:        "drop-idle",
+			Description: "suppresses every idle-interval event, leaving wall-clock time unaccounted",
+			Expect:      []string{"timeline-gap", "energy"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					idle: func(m *mutant, t0, t1 float64) {}}
+			},
+		},
+		{
+			Name:        "steal-cycles",
+			Description: "reports completions with half the executed cycles, as if work vanished",
+			Expect:      []string{"cycle-account"},
+			wrap: func(inner sim.Observer) sim.Observer {
+				return &mutant{inner: inner, active: map[jobKey]sim.JobState{},
+					complete: func(m *mutant, t float64, j *sim.JobState, missed bool) {
+						short := *j
+						short.Executed *= 0.5
+						inner.ObserveComplete(t, &short, missed)
+					}}
+			},
+		},
+	}
+}
+
+// selfTestConfig builds the fixed scenario the self-test runs: a
+// moderate-utilization generated task set under lpSHE with a uniform
+// dynamic workload, on a continuous or 4-level discrete processor.
+// Switch energy is enabled so dropped switch events cost energy.
+func selfTestConfig(discrete bool, obs sim.Observer) (sim.Config, error) {
+	ts, err := rtm.Generate(rtm.DefaultGenConfig(6, 0.75, 42))
+	if err != nil {
+		return sim.Config{}, err
+	}
+	var proc *cpu.Processor
+	if discrete {
+		proc = cpu.UniformLevels(4)
+	} else {
+		proc = cpu.Continuous(0.1)
+	}
+	proc.SwitchEnergyCoeff = 0.1
+	pol, err := policies.New("lpshe")
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		TaskSet:   ts,
+		Processor: proc,
+		Policy:    pol,
+		Workload:  workload.Uniform{Lo: 0.3, Hi: 1, Seed: 7},
+		Observer:  obs,
+	}, nil
+}
+
+// runScenario executes the self-test scenario with the given observer
+// wrapper (nil for a clean run) and returns the audit report.
+func runScenario(discrete bool, wrap func(sim.Observer) sim.Observer) (*Report, error) {
+	cfg, err := selfTestConfig(discrete, nil)
+	if err != nil {
+		return nil, err
+	}
+	aud := New(Options{TaskSet: cfg.TaskSet, Processor: cfg.Processor})
+	var obs sim.Observer = aud
+	if wrap != nil {
+		obs = wrap(aud)
+	}
+	cfg.Observer = obs
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("audit: self-test run: %w", err)
+	}
+	return aud.Finish(res), nil
+}
+
+// SelfTest proves the oracle can fail: it runs every mutation and
+// reports whether each seeded bug class was caught. It returns an
+// error if the harness itself breaks or if the clean control run is
+// not violation-free (a false positive would make every catch
+// meaningless).
+func SelfTest() ([]SelfTestResult, error) {
+	for _, discrete := range []bool{false, true} {
+		rep, err := runScenario(discrete, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !rep.OK() {
+			return nil, fmt.Errorf("audit: clean control run (discrete=%v) reported %d violations: %v",
+				discrete, len(rep.Violations), rep.Violations[0])
+		}
+	}
+	var out []SelfTestResult
+	for _, mut := range Mutations() {
+		rep, err := runScenario(mut.needsDiscrete, mut.wrap)
+		if err != nil {
+			return nil, fmt.Errorf("audit: mutation %s: %w", mut.Name, err)
+		}
+		seen := map[string]bool{}
+		for _, v := range rep.Violations {
+			seen[v.Invariant] = true
+		}
+		got := make([]string, 0, len(seen))
+		for inv := range seen {
+			got = append(got, inv)
+		}
+		sort.Strings(got)
+		caught := false
+		for _, want := range mut.Expect {
+			if seen[want] {
+				caught = true
+				break
+			}
+		}
+		out = append(out, SelfTestResult{
+			Mutation:    mut.Name,
+			Description: mut.Description,
+			Expected:    mut.Expect,
+			Got:         got,
+			Caught:      caught,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package fuzz
+
+// Corpus entries are shrunk reproducers (and hand-written regression
+// scenarios) serialized as JSON. An entry records the scenario plus
+// the failure fingerprint it must reproduce — an empty fingerprint
+// means the scenario must replay clean. Replaying is byte-stable: the
+// same entry always renders the same report, so corpus files double
+// as golden tests for the auditor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusEntry is one serialized scenario with its expected outcome.
+type CorpusEntry struct {
+	// Comment says where the entry came from and what it pins.
+	Comment string `json:"comment,omitempty"`
+	// Scenario is the configuration to replay.
+	Scenario Scenario `json:"scenario"`
+	// Expect is the required failure fingerprint (sorted
+	// "policy/invariant" pairs). Empty means the replay must be
+	// violation-free.
+	Expect []string `json:"expect"`
+}
+
+// Marshal renders the entry as stable, human-diffable JSON.
+func (e *CorpusEntry) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteEntry serializes an entry to path.
+func WriteEntry(path string, e CorpusEntry) error {
+	b, err := e.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadEntry reads one corpus file.
+func LoadEntry(path string) (CorpusEntry, error) {
+	var e CorpusEntry
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		return e, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	if e.Scenario.Name == "" {
+		e.Scenario.Name = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	return e, nil
+}
+
+// LoadCorpus reads every *.json entry in dir, sorted by file name so
+// corpus order is stable across platforms.
+func LoadCorpus(dir string) ([]CorpusEntry, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	var entries []CorpusEntry
+	for _, p := range paths {
+		e, err := LoadEntry(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, paths, nil
+}
+
+// Replay runs an entry's scenario and checks its fingerprint against
+// Expect. It returns the Result, the observed fingerprint, and an
+// error when they disagree.
+func Replay(e CorpusEntry) (*Result, []string, error) {
+	res := Run(e.Scenario)
+	got := res.Fingerprint()
+	want := append([]string(nil), e.Expect...)
+	sort.Strings(want)
+	if !equalStrings(got, want) {
+		return res, got, fmt.Errorf("fuzz: %s: fingerprint %v, corpus expects %v",
+			e.Scenario.Name, got, want)
+	}
+	return res, got, nil
+}
+
+// ReportJSON renders a Result as stable indented JSON (the byte-level
+// replay artifact dvscheck prints and the tests compare).
+func ReportJSON(r *Result) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShippedCorpus replays every entry in testdata/corpus: each must
+// reproduce exactly its recorded fingerprint, and the rendered report
+// must be byte-identical across two replays.
+func TestShippedCorpus(t *testing.T) {
+	entries, paths, err := LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("shipped corpus is empty")
+	}
+	sawFailureRepro := false
+	for i, e := range entries {
+		res1, fp, err := Replay(e)
+		if err != nil {
+			t.Errorf("%s: %v", paths[i], err)
+			continue
+		}
+		if len(fp) > 0 {
+			sawFailureRepro = true
+		}
+		res2, _, err := Replay(e)
+		if err != nil {
+			t.Errorf("%s: second replay: %v", paths[i], err)
+			continue
+		}
+		b1, err := ReportJSON(res1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := ReportJSON(res2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: replay reports differ byte-for-byte", paths[i])
+		}
+	}
+	if !sawFailureRepro {
+		t.Error("corpus has no failing reproducer; the violation path is untested")
+	}
+}

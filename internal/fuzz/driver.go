@@ -1,0 +1,95 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dvsslack/internal/prng"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// N is the number of scenarios to generate and run.
+	N int
+	// Seed selects the campaign's scenario stream; scenario i is
+	// derived from Hash3(Seed, i, 0), so a campaign is reproducible
+	// from (Seed, N) alone.
+	Seed uint64
+	// OutDir, when non-empty, receives a shrunk JSON reproducer per
+	// failing scenario (created if missing).
+	OutDir string
+	// ShrinkBudget bounds the shrinker's candidate runs per failure;
+	// <= 0 selects DefaultShrinkBudget.
+	ShrinkBudget int
+	// Log, when non-nil, receives one progress line per failure.
+	Log io.Writer
+}
+
+// Failure records one failing scenario of a campaign.
+type Failure struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	// Fingerprint is the original failure's "policy/invariant" set.
+	Fingerprint []string `json:"fingerprint"`
+	// ReproPath is the shrunk reproducer written to OutDir, if any.
+	ReproPath string `json:"repro,omitempty"`
+}
+
+// Summary is a campaign's outcome.
+type Summary struct {
+	Scenarios int       `json:"scenarios"`
+	Runs      int       `json:"runs"`
+	Failures  []Failure `json:"failures,omitempty"`
+}
+
+// OK reports whether the campaign found nothing.
+func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// Fuzz runs a campaign: N generated scenarios, every applicable
+// policy audited, failures shrunk and serialized as reproducers. The
+// returned error covers harness problems (unwritable OutDir), not
+// audit findings — check Summary.OK for those.
+func Fuzz(opts Options) (*Summary, error) {
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	sum := &Summary{}
+	for i := 0; i < opts.N; i++ {
+		sc := Generate(prng.Hash3(opts.Seed, i, 0))
+		res := Run(sc)
+		sum.Scenarios++
+		sum.Runs += len(sc.Policies)
+		if res.OK() {
+			continue
+		}
+		fail := Failure{Scenario: sc.Name, Seed: sc.Seed, Fingerprint: res.Fingerprint()}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "FAIL %s: %v\n", sc.Name, fail.Fingerprint)
+		}
+		if opts.OutDir != "" {
+			min, minRes := Shrink(sc, opts.ShrinkBudget)
+			entry := CorpusEntry{
+				Comment: fmt.Sprintf(
+					"shrunk reproducer from fuzz seed %#x; original fingerprint %v",
+					sc.Seed, fail.Fingerprint),
+				Scenario: min,
+				Expect:   minRes.Fingerprint(),
+			}
+			path := filepath.Join(opts.OutDir, "repro-"+min.Name+".json")
+			if err := WriteEntry(path, entry); err != nil {
+				return nil, err
+			}
+			fail.ReproPath = path
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "  reproducer: %s (%d tasks, %d policies)\n",
+					path, len(min.TaskSet.Tasks), len(min.Policies))
+			}
+		}
+		sum.Failures = append(sum.Failures, fail)
+	}
+	return sum, nil
+}

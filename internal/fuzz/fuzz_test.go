@@ -1,0 +1,205 @@
+package fuzz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// TestGenerateDeterministic pins the core fuzzing contract: the same
+// seed always yields the same scenario, structurally identical down
+// to every field.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Generate(%#x) is not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Error("distinct seeds produced identical scenarios")
+	}
+}
+
+// TestCampaignClean runs a short campaign: every generated scenario
+// must pass the audit for every applicable policy.
+func TestCampaignClean(t *testing.T) {
+	sum, err := Fuzz(Options{N: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scenarios != 20 || sum.Runs == 0 {
+		t.Fatalf("campaign ran %d scenarios / %d runs", sum.Scenarios, sum.Runs)
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("scenario %s failed: %v", f.Scenario, f.Fingerprint)
+	}
+}
+
+// failingScenario is an EDF-infeasible set (U = 1.2) that must
+// produce deadline-miss violations under any policy.
+func failingScenario() Scenario {
+	return Scenario{
+		Name: "infeasible",
+		TaskSet: &rtm.TaskSet{Tasks: []rtm.Task{
+			{Name: "T1", WCET: 6, Period: 10},
+			{Name: "T2", WCET: 6, Period: 10},
+			{Name: "T3", WCET: 1, Period: 100},
+		}},
+		Processor: server.ProcessorSpec{SMin: 0.1},
+		Workload:  server.WorkloadSpec{Kind: "worst-case"},
+		Policies:  []string{"nondvs", "lpshe"},
+	}
+}
+
+// TestRunDetectsFailure checks Run surfaces audit violations and a
+// stable fingerprint for a genuinely broken scenario.
+func TestRunDetectsFailure(t *testing.T) {
+	res := Run(failingScenario())
+	if res.OK() {
+		t.Fatal("infeasible scenario reported OK")
+	}
+	fp := res.Fingerprint()
+	if len(fp) == 0 {
+		t.Fatal("failing result has empty fingerprint")
+	}
+	found := false
+	for _, f := range fp {
+		if f == "nondvs/deadline-miss" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fingerprint %v lacks nondvs/deadline-miss", fp)
+	}
+}
+
+// TestShrink checks the shrinker reduces a failing scenario while
+// preserving fingerprint overlap, and leaves clean scenarios alone.
+func TestShrink(t *testing.T) {
+	sc := failingScenario()
+	origFP := Run(sc).Fingerprint()
+	min, minRes := Shrink(sc, 0)
+	if minRes.OK() {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	overlap := false
+	set := map[string]bool{}
+	for _, f := range origFP {
+		set[f] = true
+	}
+	for _, f := range minRes.Fingerprint() {
+		if set[f] {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Errorf("shrunk fingerprint %v shares nothing with original %v",
+			minRes.Fingerprint(), origFP)
+	}
+	if len(min.Policies) != 1 {
+		t.Errorf("shrinker kept %d policies, want 1", len(min.Policies))
+	}
+	// T3 is irrelevant to the overload; the shrinker must drop it.
+	if got := len(min.TaskSet.Tasks); got != 2 {
+		t.Errorf("shrinker kept %d tasks, want 2", got)
+	}
+
+	clean := Generate(3)
+	same, res := Shrink(clean, 0)
+	if !res.OK() {
+		t.Fatalf("clean scenario shrank to a failure: %v", res.Fingerprint())
+	}
+	if !reflect.DeepEqual(same.TaskSet, clean.TaskSet) {
+		t.Error("shrinking a clean scenario modified its task set")
+	}
+}
+
+// TestCorpusRoundTrip checks entries survive write → load and that
+// replaying one is byte-identical across runs.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	min, minRes := Shrink(failingScenario(), 0)
+	entry := CorpusEntry{
+		Comment:  "round-trip test entry",
+		Scenario: min,
+		Expect:   minRes.Fingerprint(),
+	}
+	path := filepath.Join(dir, "repro-infeasible.json")
+	if err := WriteEntry(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	entries, paths, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(paths) != 1 {
+		t.Fatalf("loaded %d entries / %d paths, want 1/1", len(entries), len(paths))
+	}
+	if !reflect.DeepEqual(entries[0].Scenario, entry.Scenario) {
+		t.Error("scenario changed across write/load")
+	}
+
+	res1, _, err := Replay(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := Replay(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := ReportJSON(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ReportJSON(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("replay reports differ byte-for-byte across two runs")
+	}
+}
+
+// TestReplayMismatch checks Replay errors when the observed
+// fingerprint diverges from the corpus expectation.
+func TestReplayMismatch(t *testing.T) {
+	entry := CorpusEntry{Scenario: failingScenario(), Expect: nil}
+	if _, _, err := Replay(entry); err == nil {
+		t.Fatal("Replay accepted a failing scenario whose corpus entry expects a clean run")
+	}
+	clean := Generate(5)
+	if _, _, err := Replay(CorpusEntry{Scenario: clean, Expect: []string{"lpshe/energy"}}); err == nil {
+		t.Fatal("Replay accepted a clean scenario whose corpus entry expects a failure")
+	}
+}
+
+// TestFuzzWritesReproducer checks a failing campaign writes a shrunk
+// reproducer that replays with the recorded fingerprint.
+func TestFuzzWritesReproducer(t *testing.T) {
+	// No generated scenario fails (the engine is correct), so drive
+	// the reproducer path directly through Shrink + WriteEntry the
+	// way Fuzz does, then verify the file replays.
+	dir := t.TempDir()
+	min, minRes := Shrink(failingScenario(), 0)
+	path := filepath.Join(dir, "repro-"+min.Name+".json")
+	err := WriteEntry(path, CorpusEntry{Scenario: min, Expect: minRes.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := LoadEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Replay(e); err != nil {
+		t.Fatalf("written reproducer does not replay: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package fuzz
+
+import (
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// The shrinker reduces a failing scenario to a minimal reproducer.
+// Minimality here is greedy, not global: each pass removes one source
+// of complexity — extra policies, extra tasks, jitter, stalls, the
+// workload distribution, the processor model — and keeps the
+// reduction only if the re-run still reproduces part of the original
+// failure fingerprint. Passes repeat to a fixpoint under a run
+// budget, so shrinking is deterministic and bounded even when the
+// failure is flickery across reductions.
+
+// DefaultShrinkBudget bounds the number of candidate runs one Shrink
+// call may spend.
+const DefaultShrinkBudget = 80
+
+// clone deep-copies a scenario so reductions never alias the
+// original's task or policy slices.
+func clone(sc Scenario) Scenario {
+	out := sc
+	if sc.TaskSet != nil {
+		ts := *sc.TaskSet
+		ts.Tasks = append([]rtm.Task(nil), sc.TaskSet.Tasks...)
+		out.TaskSet = &ts
+	}
+	out.Policies = append([]string(nil), sc.Policies...)
+	return out
+}
+
+// Shrink reduces sc to a smaller scenario whose failure overlaps the
+// original's fingerprint. It returns the reduced scenario and its
+// Result. If sc does not fail at all, it is returned unchanged with
+// its (clean) Result. budget <= 0 selects DefaultShrinkBudget.
+func Shrink(sc Scenario, budget int) (Scenario, *Result) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	best := clone(sc)
+	bestRes := Run(best)
+	orig := map[string]bool{}
+	for _, f := range bestRes.Fingerprint() {
+		orig[f] = true
+	}
+	if len(orig) == 0 {
+		return best, bestRes
+	}
+	// try re-runs a candidate and adopts it when its failure still
+	// overlaps the original fingerprint.
+	try := func(cand Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		r := Run(cand)
+		for _, f := range r.Fingerprint() {
+			if orig[f] {
+				best, bestRes = cand, r
+				return true
+			}
+		}
+		return false
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+
+		// Single policy: find one policy that fails alone.
+		if len(best.Policies) > 1 {
+			for _, p := range bestRes.Policies {
+				if p.Err == "" && len(p.Violations) == 0 && !p.Truncated {
+					continue
+				}
+				cand := clone(best)
+				cand.Policies = []string{p.Policy}
+				if try(cand) {
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Drop tasks one at a time (never below one task).
+		for i := 0; best.TaskSet != nil && len(best.TaskSet.Tasks) > 1 && i < len(best.TaskSet.Tasks); {
+			cand := clone(best)
+			cand.TaskSet.Tasks = append(cand.TaskSet.Tasks[:i], cand.TaskSet.Tasks[i+1:]...)
+			if try(cand) {
+				changed = true
+				// best shrank; retry the same index.
+			} else {
+				i++
+			}
+		}
+
+		// Remove hazards and model complexity, one knob at a time.
+		if best.TaskSet != nil {
+			jittered := false
+			for _, t := range best.TaskSet.Tasks {
+				jittered = jittered || t.Jitter > 0
+			}
+			if jittered {
+				cand := clone(best)
+				for i := range cand.TaskSet.Tasks {
+					cand.TaskSet.Tasks[i].Jitter = 0
+				}
+				cand.JitterSeed = 0
+				changed = try(cand) || changed
+			}
+		}
+		if best.Processor.SwitchTime != 0 || best.Processor.SwitchEnergyCoeff != 0 {
+			cand := clone(best)
+			cand.Processor.SwitchTime = 0
+			cand.Processor.SwitchEnergyCoeff = 0
+			changed = try(cand) || changed
+		}
+		if best.Workload.Kind != "worst-case" {
+			cand := clone(best)
+			cand.Workload = server.WorkloadSpec{Kind: "worst-case"}
+			changed = try(cand) || changed
+		}
+		if !plainProcessor(best.Processor) {
+			cand := clone(best)
+			cand.Processor = server.ProcessorSpec{SMin: 0.1}
+			changed = try(cand) || changed
+		}
+
+		if !changed || budget <= 0 {
+			break
+		}
+	}
+	best.Name = sc.Name + "-min"
+	bestRes.Scenario = best.Name
+	return best, bestRes
+}
+
+// plainProcessor reports whether the spec already is the simplest
+// model the shrinker targets: a bare continuous CPU with default
+// power and no overheads.
+func plainProcessor(s server.ProcessorSpec) bool {
+	return s.Preset == "" && len(s.Levels) == 0 && s.Model == "" &&
+		s.IdlePower == nil && s.SwitchTime == 0 && s.SwitchEnergyCoeff == 0 &&
+		s.LeakagePower == 0 && !s.SleepEnabled && s.SMin == 0.1
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"dvsslack/internal/audit"
 	"dvsslack/internal/cpu"
 	"dvsslack/internal/policies"
 	"dvsslack/internal/rtm"
@@ -49,6 +50,14 @@ type SimRequest struct {
 	JitterSeed uint64 `json:"jitter_seed,omitempty"`
 	// Strict makes the run fail on the first deadline miss.
 	Strict bool `json:"strict,omitempty"`
+	// Audit attaches the internal/audit oracle to the run: the
+	// response's Audited/Violations fields report every invariant
+	// breach the auditor detected. Audited runs cost one extra
+	// observer callback per scheduling event. Note that Strict aborts
+	// on the first miss, which leaves the audit event stream
+	// truncated — combine Audit with Strict only when you expect no
+	// misses at all.
+	Audit bool `json:"audit,omitempty"`
 }
 
 // Validate checks the request without running it. It resolves the
@@ -116,8 +125,9 @@ func (r *SimRequest) CacheKey() (string, error) {
 		Horizon    float64
 		JitterSeed uint64
 		Strict     bool
+		Audit      bool
 	}{r.TaskSet, policies.SpecOf(policyDisplayName(r.Policy)), r.Processor,
-		r.Workload, r.Horizon, r.JitterSeed, r.Strict}
+		r.Workload, r.Horizon, r.JitterSeed, r.Strict, r.Audit}
 	if canon.Policy == "" {
 		canon.Policy = r.Policy
 	}
@@ -400,6 +410,15 @@ type SimResult struct {
 	WorkDone  float64 `json:"work_done"`
 
 	PolicyCounters map[string]float64 `json:"policy_counters,omitempty"`
+
+	// Audited reports the run executed under the internal/audit
+	// oracle (SimRequest.Audit); Violations then lists every
+	// invariant breach in detection order, and AuditTruncated
+	// signals the violation cap was hit. An audited result with no
+	// violations is independently verified, not merely self-reported.
+	Audited        bool              `json:"audited,omitempty"`
+	Violations     []audit.Violation `json:"violations,omitempty"`
+	AuditTruncated bool              `json:"audit_truncated,omitempty"`
 
 	// Cached reports whether the result was served from the result
 	// cache instead of a fresh simulation.

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"dvsslack/internal/rtm"
+)
+
+// TestSimulateAuditClean checks an audited feasible run reports
+// Audited with no violations and bumps the audit metrics.
+func TestSimulateAuditClean(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2})
+
+	req := quickstartRequest("lpshe")
+	req.Audit = true
+	res := decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", req), http.StatusOK)
+	if !res.Audited {
+		t.Fatal("response not marked audited")
+	}
+	if len(res.Violations) != 0 || res.AuditTruncated {
+		t.Fatalf("clean run reported violations: %+v", res.Violations)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d misses on a feasible set", res.DeadlineMisses)
+	}
+
+	m := s.met.snapshot(s.workers, s.cache)
+	if m.SimsAudited != 1 {
+		t.Errorf("sims_audited = %d, want 1", m.SimsAudited)
+	}
+	if m.AuditViolations != 0 {
+		t.Errorf("audit_violations = %d, want 0", m.AuditViolations)
+	}
+}
+
+// TestSimulateAuditViolations checks an infeasible non-strict run
+// returns its deadline-miss violations in the response body and
+// counts them in /metrics.
+func TestSimulateAuditViolations(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2})
+
+	req := SimRequest{
+		TaskSet: &rtm.TaskSet{Tasks: []rtm.Task{
+			{Name: "T1", WCET: 6, Period: 10},
+			{Name: "T2", WCET: 6, Period: 10},
+		}},
+		Policy:  "nondvs",
+		Horizon: 20,
+		Audit:   true,
+	}
+	res := decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", req), http.StatusOK)
+	if !res.Audited {
+		t.Fatal("response not marked audited")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("overloaded run returned no violations")
+	}
+	missViolations := 0
+	for _, v := range res.Violations {
+		if v.Invariant == "deadline-miss" {
+			missViolations++
+		}
+	}
+	if missViolations != res.DeadlineMisses {
+		t.Errorf("%d deadline-miss violations for %d misses", missViolations, res.DeadlineMisses)
+	}
+
+	m := s.met.snapshot(s.workers, s.cache)
+	if m.AuditViolations == 0 {
+		t.Error("audit_violations metric not incremented")
+	}
+}
+
+// TestAuditCacheKeySeparation checks audited and unaudited requests
+// do not collide in the result cache: flipping Audit must not serve a
+// violation-less cached result for an audited request.
+func TestAuditCacheKeySeparation(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	plain := quickstartRequest("lpshe")
+	first := decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", plain), http.StatusOK)
+	if first.Audited {
+		t.Fatal("unaudited request came back audited")
+	}
+
+	audited := plain
+	audited.Audit = true
+	second := decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", audited), http.StatusOK)
+	if second.Cached {
+		t.Fatal("audited request was served the unaudited cache entry")
+	}
+	if !second.Audited {
+		t.Fatal("audited request came back unaudited")
+	}
+	if first.Energy != second.Energy {
+		t.Errorf("audit changed the result: energy %v vs %v", first.Energy, second.Energy)
+	}
+
+	// The audited entry itself is cacheable, violations included.
+	third := decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", audited), http.StatusOK)
+	if !third.Cached || !third.Audited {
+		t.Errorf("repeat audited request: cached=%v audited=%v, want both", third.Cached, third.Audited)
+	}
+}

@@ -70,10 +70,12 @@ type metrics struct {
 	requests map[string]uint64 // endpoint label -> count
 	errors   map[string]uint64 // endpoint label -> non-2xx count
 
-	simsRun     uint64  // fresh simulations executed
-	simsFailed  uint64  // simulations that returned an error
-	simSeconds  float64 // total simulated time of fresh runs
-	busySeconds float64 // total wall-clock spent simulating (sums across workers)
+	simsRun         uint64  // fresh simulations executed
+	simsFailed      uint64  // simulations that returned an error
+	simsAudited     uint64  // fresh simulations run under the audit oracle
+	auditViolations uint64  // total violations those audits reported
+	simSeconds      float64 // total simulated time of fresh runs
+	busySeconds     float64 // total wall-clock spent simulating (sums across workers)
 
 	queueDepth   int // runnable work items waiting for a worker
 	inFlight     int // work items currently executing
@@ -125,6 +127,14 @@ func (m *metrics) jobFinished() {
 	m.mu.Unlock()
 }
 
+// auditDone records one audited simulation and its violation count.
+func (m *metrics) auditDone(violations int) {
+	m.mu.Lock()
+	m.simsAudited++
+	m.auditViolations += uint64(violations)
+	m.mu.Unlock()
+}
+
 // simDone records one fresh (non-cached) simulation.
 func (m *metrics) simDone(policy string, simTime float64, wall time.Duration, err error) {
 	m.mu.Lock()
@@ -158,6 +168,12 @@ type MetricsSnapshot struct {
 	SimsRun    uint64  `json:"sims_run"`
 	SimsFailed uint64  `json:"sims_failed"`
 	SimSeconds float64 `json:"sim_seconds"`
+	// SimsAudited counts fresh runs executed under the audit oracle;
+	// AuditViolations sums the invariant breaches they reported (any
+	// non-zero value here means the engine, a policy, or the oracle
+	// itself has a bug worth a reproducer).
+	SimsAudited     uint64 `json:"sims_audited"`
+	AuditViolations uint64 `json:"audit_violations"`
 	// SimSpeedup is simulated seconds per wall-clock second of
 	// simulation work (summed across workers): the throughput figure
 	// of merit of the daemon.
@@ -185,20 +201,22 @@ func (m *metrics) snapshot(workers int, cache *resultCache) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		UptimeSec:    time.Since(m.start).Seconds(),
-		Requests:     map[string]uint64{},
-		Errors:       map[string]uint64{},
-		QueueDepth:   m.queueDepth,
-		InFlight:     m.inFlight,
-		Workers:      workers,
-		SimsRun:      m.simsRun,
-		SimsFailed:   m.simsFailed,
-		SimSeconds:   m.simSeconds,
-		CacheEntries: entries,
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		JobsCreated:  m.jobsCreated,
-		JobsFinished: m.jobsFinished,
+		UptimeSec:       time.Since(m.start).Seconds(),
+		Requests:        map[string]uint64{},
+		Errors:          map[string]uint64{},
+		QueueDepth:      m.queueDepth,
+		InFlight:        m.inFlight,
+		Workers:         workers,
+		SimsRun:         m.simsRun,
+		SimsFailed:      m.simsFailed,
+		SimSeconds:      m.simSeconds,
+		SimsAudited:     m.simsAudited,
+		AuditViolations: m.auditViolations,
+		CacheEntries:    entries,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		JobsCreated:     m.jobsCreated,
+		JobsFinished:    m.jobsFinished,
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dvsslack/internal/audit"
 	"dvsslack/internal/sim"
 )
 
@@ -90,6 +91,11 @@ func (p *pool) execute(w *work) outcome {
 	if err != nil {
 		return outcome{err: err}
 	}
+	var aud *audit.Auditor
+	if w.req.Audit {
+		aud = audit.New(audit.Options{TaskSet: cfg.TaskSet, Processor: cfg.Processor})
+		cfg.Observer = aud
+	}
 	start := time.Now()
 	simRes, err := sim.Run(cfg)
 	wall := time.Since(start)
@@ -99,6 +105,13 @@ func (p *pool) execute(w *work) outcome {
 	}
 	res := ResultFromSim(simRes)
 	res.WallNanos = wall.Nanoseconds()
+	if aud != nil {
+		rep := aud.Finish(simRes)
+		res.Audited = true
+		res.Violations = rep.Violations
+		res.AuditTruncated = rep.Truncated
+		p.met.auditDone(len(rep.Violations))
+	}
 	if w.key != "" {
 		p.cache.Put(w.key, res)
 	}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// contractObserver asserts the ordering contract the engine promises
+// Observer implementations (and on which internal/audit and
+// internal/trace rely):
+//
+//   - a job is released exactly once, before any dispatch or
+//     completion of that job, and never before its release time;
+//   - a job completes at most once, only after being dispatched, and
+//     never travels back in time;
+//   - release/dispatch/complete callbacks arrive in non-decreasing
+//     time order;
+//   - idle intervals are well-formed (t0 < t1), mutually
+//     non-overlapping, and no dispatch lands strictly inside one;
+//   - switch callbacks report an actual speed change.
+type contractObserver struct {
+	t *testing.T
+
+	released   map[[2]int]float64 // job -> release callback time
+	dispatched map[[2]int]int
+	completed  map[[2]int]bool
+	lastT      float64 // latest job-event callback time
+	idle       [][2]float64
+	dispatches []float64
+}
+
+func newContractObserver(t *testing.T) *contractObserver {
+	return &contractObserver{
+		t:          t,
+		released:   make(map[[2]int]float64),
+		dispatched: make(map[[2]int]int),
+		completed:  make(map[[2]int]bool),
+	}
+}
+
+func key(j *JobState) [2]int { return [2]int{j.TaskIndex, j.Index} }
+
+func id(j *JobState) string { return fmt.Sprintf("T%d#%d", j.TaskIndex+1, j.Index) }
+
+func (o *contractObserver) step(t float64, what string) {
+	if t < o.lastT-Eps {
+		o.t.Errorf("%s at t=%v after callback at t=%v: time went backwards", what, t, o.lastT)
+	}
+	if t > o.lastT {
+		o.lastT = t
+	}
+}
+
+func (o *contractObserver) ObserveRelease(t float64, j *JobState) {
+	o.step(t, "release")
+	k := key(j)
+	if prev, ok := o.released[k]; ok {
+		o.t.Errorf("%s released twice (t=%v and t=%v)", id(j), prev, t)
+	}
+	if t < j.Release-Eps {
+		o.t.Errorf("%s release observed at t=%v before its release time %v", id(j), t, j.Release)
+	}
+	o.released[k] = t
+}
+
+func (o *contractObserver) ObserveDispatch(t float64, j *JobState, speed float64) {
+	o.step(t, "dispatch")
+	k := key(j)
+	rel, ok := o.released[k]
+	if !ok {
+		o.t.Errorf("%s dispatched at t=%v without a prior release callback", id(j), t)
+	} else if t < rel-Eps {
+		o.t.Errorf("%s dispatched at t=%v before its release callback at t=%v", id(j), t, rel)
+	}
+	if o.completed[k] {
+		o.t.Errorf("%s dispatched at t=%v after completing", id(j), t)
+	}
+	if speed <= 0 {
+		o.t.Errorf("%s dispatched at non-positive speed %v", id(j), speed)
+	}
+	o.dispatched[k]++
+	o.dispatches = append(o.dispatches, t)
+}
+
+func (o *contractObserver) ObserveComplete(t float64, j *JobState, missed bool) {
+	o.step(t, "complete")
+	k := key(j)
+	if o.dispatched[k] == 0 {
+		o.t.Errorf("%s completed at t=%v without ever being dispatched", id(j), t)
+	}
+	if o.completed[k] {
+		o.t.Errorf("%s completed twice", id(j))
+	}
+	o.completed[k] = true
+}
+
+func (o *contractObserver) ObserveIdle(t0, t1 float64) {
+	// Idle is reported at the end of the interval, so t0 is in the
+	// past relative to o.lastT; only t1 joins the monotonic stream.
+	o.step(t1, "idle-end")
+	if !(t0 < t1) {
+		o.t.Errorf("idle interval [%v, %v) is empty or inverted", t0, t1)
+	}
+	o.idle = append(o.idle, [2]float64{t0, t1})
+}
+
+func (o *contractObserver) ObserveSwitch(t, from, to float64) {
+	if from == to {
+		o.t.Errorf("switch callback at t=%v with unchanged speed %v", t, from)
+	}
+}
+
+// finish runs the checks that need the whole stream.
+func (o *contractObserver) finish(res Result) {
+	for i := 1; i < len(o.idle); i++ {
+		if o.idle[i][0] < o.idle[i-1][1]-Eps {
+			o.t.Errorf("idle intervals overlap: [%v,%v) then [%v,%v)",
+				o.idle[i-1][0], o.idle[i-1][1], o.idle[i][0], o.idle[i][1])
+		}
+	}
+	for _, d := range o.dispatches {
+		for _, iv := range o.idle {
+			if d > iv[0]+Eps && d < iv[1]-Eps {
+				o.t.Errorf("dispatch at t=%v inside idle interval [%v, %v)", d, iv[0], iv[1])
+			}
+		}
+	}
+	if got := len(o.released); got != res.JobsReleased {
+		o.t.Errorf("observed %d releases, result says %d", got, res.JobsReleased)
+	}
+	done := 0
+	for _, c := range o.completed {
+		if c {
+			done++
+		}
+	}
+	if done != res.JobsCompleted {
+		o.t.Errorf("observed %d completions, result says %d", done, res.JobsCompleted)
+	}
+}
+
+// TestObserverContract drives the engine through configurations that
+// exercise every callback — preemption, idle gaps, speed switches
+// with stalls, early completion — and asserts the ordering contract
+// documented on sim.Observer.
+func TestObserverContract(t *testing.T) {
+	discrete := cpu.UniformLevels(4)
+	discrete.SwitchTime = 0.1
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fixed-full-speed", Config{
+			TaskSet:   rtm.MustGenerate(rtm.DefaultGenConfig(5, 0.6, 9)),
+			Processor: cpu.Continuous(0.1),
+			Policy:    fixedSpeed{s: 1},
+			Workload:  workload.Uniform{Lo: 0.4, Hi: 1, Seed: 2},
+		}},
+		{"alternating-with-stalls", Config{
+			TaskSet:   rtm.MustGenerate(rtm.DefaultGenConfig(4, 0.5, 12)),
+			Processor: discrete,
+			Policy:    &alternating{},
+			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: 3},
+		}},
+		{"slow-speed-with-misses", Config{
+			TaskSet:   oneTask(4, 4),
+			Processor: cpu.Continuous(0.1),
+			Policy:    fixedSpeed{s: 0.5},
+			Horizon:   12,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			obs := newContractObserver(t)
+			c.cfg.Observer = obs
+			res, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs.finish(res)
+			if len(obs.dispatches) == 0 {
+				t.Error("no dispatches observed")
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package trace
+
+// Chrome-trace export: renders a recorded schedule in the Trace Event
+// Format consumed by chrome://tracing and Perfetto (ui.perfetto.dev),
+// so a simulated schedule can be inspected visually with the same
+// tooling used for real systems — zoom into a preemption, hover a
+// job for its deadline, follow the speed counter track across a DVS
+// ramp.
+//
+// Mapping: each task is a thread (tid = task index + 1) carrying one
+// complete ("X") event per execution segment; idle intervals are "X"
+// events on tid 0; releases and completions are thread-scoped instant
+// ("i") events; the processor speed is a counter ("C") track sampled
+// at every dispatch and switch. One simulated time unit is rendered
+// as one millisecond (the format counts in microseconds), which keeps
+// typical hyperperiods in a comfortable zoom range.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dvsslack/internal/sim"
+)
+
+// usPerTime scales simulation time units to trace microseconds: one
+// time unit renders as one millisecond.
+const usPerTime = 1000.0
+
+// chromeEvent is one entry of the traceEvents array. Field order is
+// fixed by the struct, so exports are byte-deterministic.
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat,omitempty"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	S    string   `json:"s,omitempty"`
+	Args any      `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the Trace Event Format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+type nameArg struct {
+	Name string `json:"name"`
+}
+
+type speedArg struct {
+	Speed float64 `json:"speed"`
+}
+
+type jobArg struct {
+	Job      string  `json:"job"`
+	Release  float64 `json:"release"`
+	Deadline float64 `json:"deadline"`
+	Speed    float64 `json:"speed,omitempty"`
+	Missed   bool    `json:"missed,omitempty"`
+}
+
+// ChromeTrace writes the recorded schedule as Trace Event Format
+// JSON. taskNames labels the per-task threads; tasks beyond its
+// length get "T<i>" names. Load the output in chrome://tracing or
+// ui.perfetto.dev.
+func (r *Recorder) ChromeTrace(w io.Writer, taskNames []string) error {
+	taskName := func(i int) string {
+		if i >= 0 && i < len(taskNames) {
+			return taskNames[i]
+		}
+		return fmt.Sprintf("T%d", i+1)
+	}
+	jobID := func(task, index int) string {
+		return fmt.Sprintf("%s#%d", taskName(task), index)
+	}
+
+	// Deadlines and releases come from the completion records, keyed
+	// for the segment hover text.
+	deadlines := map[[2]int]JobRecord{}
+	for _, j := range r.Jobs {
+		deadlines[[2]int{j.Task, j.Index}] = j
+	}
+
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"source": "dvsslack trace.Recorder"},
+	}
+	add := func(e chromeEvent) { tr.TraceEvents = append(tr.TraceEvents, e) }
+
+	// Thread metadata: tid 0 is the processor (idle track), tids 1..n
+	// the tasks, in task order.
+	add(chromeEvent{Name: "process_name", Ph: "M", Args: nameArg{"dvsslack simulation"}})
+	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: 0, Args: nameArg{"processor (idle)"}})
+	maxTask := -1
+	for _, s := range r.Segments {
+		if s.Task > maxTask {
+			maxTask = s.Task
+		}
+	}
+	for i := 0; i <= maxTask; i++ {
+		add(chromeEvent{Name: "thread_name", Ph: "M", Tid: i + 1, Args: nameArg{taskName(i)}})
+	}
+
+	// Execution and idle segments as complete events.
+	for _, s := range r.Segments {
+		t1 := s.T1
+		if math.IsNaN(t1) {
+			continue // segment left open at the end of the run
+		}
+		dur := (t1 - s.T0) * usPerTime
+		if s.Task < 0 {
+			add(chromeEvent{Name: "idle", Cat: "idle", Ph: "X",
+				Ts: s.T0 * usPerTime, Dur: &dur, Tid: 0})
+			continue
+		}
+		args := jobArg{Job: jobID(s.Task, s.Index), Speed: s.Speed}
+		if j, ok := deadlines[[2]int{s.Task, s.Index}]; ok {
+			args.Release, args.Deadline, args.Missed = j.Release, j.Deadline, j.Missed
+		}
+		add(chromeEvent{Name: jobID(s.Task, s.Index), Cat: "job", Ph: "X",
+			Ts: s.T0 * usPerTime, Dur: &dur, Tid: s.Task + 1, Args: args})
+	}
+
+	// Instant markers and the speed counter track, in event order.
+	for _, e := range r.Events {
+		switch e.Kind {
+		case Release:
+			add(chromeEvent{Name: "release " + jobID(e.Task, e.Index), Cat: "release",
+				Ph: "i", Ts: e.T * usPerTime, Tid: e.Task + 1, S: "t"})
+		case Complete:
+			name := "complete " + jobID(e.Task, e.Index)
+			if e.Missed {
+				name = "MISS " + jobID(e.Task, e.Index)
+			}
+			add(chromeEvent{Name: name, Cat: "complete", Ph: "i",
+				Ts: e.T * usPerTime, Tid: e.Task + 1, S: "t",
+				Args: jobArg{Job: jobID(e.Task, e.Index), Missed: e.Missed}})
+		case Dispatch:
+			add(chromeEvent{Name: "speed", Ph: "C", Ts: e.T * usPerTime,
+				Args: speedArg{e.Speed}})
+		case Switch:
+			add(chromeEvent{Name: "speed", Ph: "C", Ts: e.T * usPerTime,
+				Args: speedArg{e.Speed}})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// ChromeTraceRun is a convenience: it simulates cfg with a fresh
+// Recorder attached (chained after any existing observer is not
+// supported — cfg.Observer must be nil) and writes the Chrome trace
+// of the run.
+func ChromeTraceRun(cfg sim.Config, w io.Writer, taskNames []string) (sim.Result, error) {
+	if cfg.Observer != nil {
+		return sim.Result{}, fmt.Errorf("trace: ChromeTraceRun needs cfg.Observer to be nil")
+	}
+	rec := NewRecorder()
+	cfg.Observer = rec
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return res, err
+	}
+	return res, rec.ChromeTrace(w, taskNames)
+}

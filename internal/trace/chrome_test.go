@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// decodedTrace mirrors the exported JSON for shape checks; events
+// decode into generic maps so missing keys are detectable.
+type decodedTrace struct {
+	TraceEvents     []map[string]any  `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+func exportChrome(t *testing.T, rec *Recorder, names []string) decodedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.ChromeTrace(&buf, names); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+// TestChromeTraceShape runs a DVS schedule (so the trace contains
+// dispatches at varying speeds, idle intervals, and speed switches)
+// and checks every exported event is well-formed Trace Event Format.
+func TestChromeTraceShape(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(3, 0.6, 11))
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    core.NewLpSHE(),
+		Workload:  workload.Uniform{Lo: 0.4, Hi: 1, Seed: 5},
+		Observer:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := exportChrome(t, rec, []string{"A", "B", "C"})
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	counts := map[string]int{}
+	for i, e := range tr.TraceEvents {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		if ph == "" || name == "" {
+			t.Fatalf("event %d missing ph/name: %v", i, e)
+		}
+		counts[ph]++
+		ts, ok := e["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d (%s) bad ts %v", i, name, e["ts"])
+		}
+		switch ph {
+		case "X":
+			dur, ok := e["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Errorf("X event %q has bad dur %v", name, e["dur"])
+			}
+		case "C":
+			args, ok := e["args"].(map[string]any)
+			if !ok {
+				t.Errorf("counter event missing args: %v", e)
+				continue
+			}
+			if s, ok := args["speed"].(float64); !ok || s <= 0 || s > 1 {
+				t.Errorf("counter speed %v out of (0,1]", args["speed"])
+			}
+		case "i":
+			if s, _ := e["s"].(string); s != "t" {
+				t.Errorf("instant event %q scope %q, want t", name, s)
+			}
+		case "M":
+			args, ok := e["args"].(map[string]any)
+			if !ok || args["name"] == "" {
+				t.Errorf("metadata event missing args.name: %v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q in event %v", ph, e)
+		}
+	}
+	for _, ph := range []string{"M", "X", "i", "C"} {
+		if counts[ph] == 0 {
+			t.Errorf("no %q events in export (got %v)", ph, counts)
+		}
+	}
+}
+
+// TestChromeTraceTimesScaled checks the microsecond scaling: a
+// segment of d time units must export as a dur of d*1000 µs on the
+// right thread.
+func TestChromeTraceTimesScaled(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{Name: "a", WCET: 2, Period: 8})
+	rec := record(t, ts, 1) // uniform workload, speed 1
+	tr := exportChrome(t, rec, []string{"a"})
+
+	var want []Segment
+	for _, s := range rec.Segments {
+		if s.Task == 0 && !isNaN(s.T1) {
+			want = append(want, s)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no closed task segments recorded")
+	}
+	var got int
+	for _, e := range tr.TraceEvents {
+		if e["ph"] != "X" || e["cat"] != "job" {
+			continue
+		}
+		if e["tid"].(float64) != 1 {
+			t.Errorf("task-0 segment on tid %v, want 1", e["tid"])
+		}
+		ts0 := e["ts"].(float64)
+		dur := e["dur"].(float64)
+		s := want[got]
+		if diff := ts0 - s.T0*1000; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("segment %d ts = %v, want %v", got, ts0, s.T0*1000)
+		}
+		if diff := dur - (s.T1-s.T0)*1000; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("segment %d dur = %v, want %v", got, dur, (s.T1-s.T0)*1000)
+		}
+		got++
+	}
+	if got != len(want) {
+		t.Errorf("exported %d job segments, recorder has %d", got, len(want))
+	}
+}
+
+// TestChromeTraceMissMarker checks a deadline miss surfaces as a MISS
+// instant event.
+func TestChromeTraceMissMarker(t *testing.T) {
+	ts := rtm.NewTaskSet("x", rtm.Task{WCET: 4, Period: 4})
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    constSpeed{s: 0.5},
+		Observer:  rec,
+		Horizon:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exportChrome(t, rec, nil)
+	found := false
+	for _, e := range tr.TraceEvents {
+		if name, _ := e["name"].(string); len(name) >= 4 && name[:4] == "MISS" {
+			found = true
+			args := e["args"].(map[string]any)
+			if missed, _ := args["missed"].(bool); !missed {
+				t.Errorf("MISS event args.missed = %v, want true", args["missed"])
+			}
+		}
+	}
+	if !found {
+		t.Error("no MISS instant event for a missed deadline")
+	}
+}
+
+// TestChromeTraceDeterministic: same recorder, two exports,
+// byte-identical output.
+func TestChromeTraceDeterministic(t *testing.T) {
+	rec := record(t, rtm.Quickstart(), 0.5)
+	var a, b bytes.Buffer
+	if err := rec.ChromeTrace(&a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ChromeTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same recorder differ")
+	}
+}
+
+// TestChromeTraceRun covers the convenience wrapper, including its
+// refusal to clobber an existing observer.
+func TestChromeTraceRun(t *testing.T) {
+	cfg := sim.Config{
+		TaskSet:   rtm.Quickstart(),
+		Processor: cpu.Continuous(0.1),
+		Policy:    constSpeed{s: 1},
+	}
+	var buf bytes.Buffer
+	res, err := ChromeTraceRun(cfg, &buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted == 0 {
+		t.Error("wrapper lost the simulation result")
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("wrapper output not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("wrapper exported no events")
+	}
+
+	cfg.Observer = NewRecorder()
+	if _, err := ChromeTraceRun(cfg, &buf, nil); err == nil {
+		t.Error("wrapper accepted a config with an observer attached")
+	}
+}

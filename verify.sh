@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repo's tier-1 gate: static checks, the full test
-# suite under the race detector, and an end-to-end smoke test of the
+# suite under the race detector, an end-to-end smoke test of the
 # dvsd daemon (start, run one lpSHE simulation over HTTP, assert zero
-# deadline misses, drain cleanly).
+# deadline misses, drain cleanly), and a dvscheck audit pass (corpus
+# replay, oracle self-test, and a 25-configuration fuzz smoke).
 set -eu
 
 cd "$(dirname "$0")"
@@ -70,5 +71,11 @@ wait "$DVSD_PID" || { echo "FAIL: dvsd exited non-zero on SIGTERM" >&2; exit 1; 
 DVSD_PID=""
 grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain message" >&2; cat "$DVSD_LOG" >&2; exit 1; }
 echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, clean drain)"
+
+echo "==> dvscheck audit pass"
+# Corpus replay + mutation self-test (the default modes), then a
+# small deterministic fuzz campaign under the audit oracle.
+go run ./cmd/dvscheck
+go run ./cmd/dvscheck -fuzz 25 -seed 1
 
 echo "PASS"
