@@ -1,25 +1,38 @@
 #!/bin/sh
-# bench.sh — run the per-policy engine benchmarks and record the
-# results as BENCH_<date>.json, the repo's perf trajectory artifact.
+# bench.sh — run the hot-path benchmarks and record the results as
+# BENCH_<date>.json, the repo's perf trajectory artifact.
+#
+# Covered benchmarks:
+#   BenchmarkPolicies        one-hyperperiod engine throughput per policy
+#   BenchmarkAnalyzerSlack   one slack-analysis invocation (ns/op, allocs/op)
+#   BenchmarkEngineDecision  per-scheduling-point engine cost (ns/decision)
 #
 # Usage:
-#   ./bench.sh                # BenchmarkPolicies, default benchtime
+#   ./bench.sh                # default benchtime
 #   ./bench.sh -benchtime 2s  # extra args pass through to 'go test'
 #   BENCH_OUT=custom.json ./bench.sh
+#   BENCH_RAW=raw.txt ./bench.sh   # also keep the raw 'go test' output
+#                                  # (benchstat-compatible)
 #
-# The JSON records ns/op, B/op, and allocs/op per policy, plus the
-# toolchain and commit, so two files from different dates diff
-# meaningfully. See the "Benchmarking" section of README.md.
+# The JSON records ns/op, B/op, allocs/op, and any custom metrics per
+# benchmark, plus the toolchain and commit, so two files from
+# different dates diff meaningfully. See docs/performance.md for how
+# to compare two BENCH_*.json files (or two raw outputs with
+# benchstat).
 set -eu
 cd "$(dirname "$0")"
 
 date_tag=$(date +%Y-%m-%d)
 out=${BENCH_OUT:-BENCH_${date_tag}.json}
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+raw=${BENCH_RAW:-}
+if [ -z "$raw" ]; then
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+fi
 
-echo "bench.sh: running BenchmarkPolicies (this takes a minute)..." >&2
-go test -run '^$' -bench '^BenchmarkPolicies$' -benchmem "$@" . | tee "$raw" >&2
+pattern='^(BenchmarkPolicies|BenchmarkAnalyzerSlack|BenchmarkEngineDecision)$'
+echo "bench.sh: running $pattern (this takes a minute)..." >&2
+go test -run '^$' -bench "$pattern" -benchmem "$@" . | tee "$raw" >&2
 
 go_version=$(go env GOVERSION)
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -27,26 +40,32 @@ commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 awk -v date="$date_tag" -v gover="$go_version" -v commit="$commit" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", date, gover, commit
-    printf "  \"benchmark\": \"BenchmarkPolicies\",\n  \"results\": [\n"
+    printf "  \"results\": [\n"
     n = 0
 }
-$1 ~ /^BenchmarkPolicies\// && $4 == "ns/op" {
-    # Line shape: BenchmarkPolicies/<policy>-<procs> <iters> <ns> ns/op [<B> B/op <allocs> allocs/op]
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    # Line shape: Benchmark<Name>[/<sub>]-<procs> <iters> <v> <unit> ...
+    # Units after ns/op may include custom metrics (e.g. ns/decision)
+    # and the -benchmem pair B/op, allocs/op.
     name = $1
-    sub(/^BenchmarkPolicies\//, "", name)
+    sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
     if (n++) printf ",\n"
-    printf "    {\"policy\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
-    if ($6 == "B/op")      printf ", \"bytes_per_op\": %s", $5
-    if ($8 == "allocs/op") printf ", \"allocs_per_op\": %s", $7
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+    for (i = 5; i <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "B/op")            printf ", \"bytes_per_op\": %s", $i
+        else if (unit == "allocs/op")  printf ", \"allocs_per_op\": %s", $i
+        else if (unit == "ns/decision") printf ", \"ns_per_decision\": %s", $i
+    }
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
-count=$(grep -c '"policy"' "$out" || true)
+count=$(grep -c '"name"' "$out" || true)
 if [ "$count" -eq 0 ]; then
     echo "bench.sh: no benchmark results parsed; raw output above" >&2
     exit 1
 fi
-echo "bench.sh: wrote $out ($count policies)" >&2
+echo "bench.sh: wrote $out ($count benchmarks)" >&2

@@ -27,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (t1, f3, f4, f5, t2, f6, f7, t3, t4, f8) or 'all'")
-		quick = flag.Bool("quick", false, "reduced replication count for a fast run")
-		seeds = flag.Int("seeds", 0, "override the number of random task sets per point")
-		seed0 = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		addr  = flag.String("addr", "", "dvsd daemon address; runs execute remotely (and hit its result cache) instead of in-process")
+		exp     = flag.String("exp", "", "experiment id (t1, f3, f4, f5, t2, f6, f7, t3, t4, f8) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced replication count for a fast run")
+		seeds   = flag.Int("seeds", 0, "override the number of random task sets per point")
+		seed0   = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		addr    = flag.String("addr", "", "dvsd daemon address; runs execute remotely (and hit its result cache) instead of in-process")
+		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := experiment.Options{Quick: *quick, Seeds: *seeds, Seed0: *seed0}
+	opts := experiment.Options{Quick: *quick, Seeds: *seeds, Seed0: *seed0, Workers: *workers}
 	if *addr != "" {
 		c := client.New(*addr)
 		if err := c.Healthy(context.Background()); err != nil {

@@ -69,7 +69,15 @@ import (
 // Analyzer performs slack-time analysis for one task set. It is
 // stateless with respect to the simulation (all dynamic state arrives
 // through the Slack arguments) and reusable across runs; the counters
-// are the only mutable fields.
+// and the reused scratch buffers are the only mutable fields.
+//
+// Concurrency contract: an Analyzer is NOT safe for concurrent use.
+// Analyze reuses per-instance scratch buffers so that steady-state
+// calls allocate nothing, which means two goroutines calling into the
+// same Analyzer race on them. Give every goroutine (every concurrent
+// simulation) its own Analyzer — they are cheap to construct — as the
+// parallel experiment harness does by building one policy instance
+// per run.
 type Analyzer struct {
 	ts       *rtm.TaskSet
 	util     float64 // worst-case utilization
@@ -77,6 +85,12 @@ type Analyzer struct {
 	hyper    float64 // hyperperiod, 0 when unknown
 	maxScan  int     // hard cap on scanned deadlines per call
 	phantoms []phantom
+
+	// Scratch buffers reused across Analyze calls (see the
+	// concurrency contract above). entries grows to the high-water
+	// active+phantom count; streams is fixed at the task count.
+	entries []phantom
+	streams []stream
 
 	// instrumentation
 	calls   float64
@@ -100,7 +114,13 @@ const DefaultMaxScan = 1 << 20
 
 // NewAnalyzer builds an Analyzer for ts.
 func NewAnalyzer(ts *rtm.TaskSet) *Analyzer {
-	a := &Analyzer{ts: ts, maxScan: DefaultMaxScan}
+	n := len(ts.Tasks)
+	a := &Analyzer{
+		ts:      ts,
+		maxScan: DefaultMaxScan,
+		entries: make([]phantom, 0, n),
+		streams: make([]stream, n),
+	}
 	a.util = ts.Utilization()
 	a.totalC = ts.TotalWCET()
 	if h, ok := ts.Hyperperiod(); ok {
@@ -120,9 +140,16 @@ func (a *Analyzer) SetMaxScan(n int) {
 
 // AddPhantom registers phantom demand (no-reclaim ablation).
 func (a *Analyzer) AddPhantom(deadline, rem float64) {
-	if rem > 0 {
-		a.phantoms = append(a.phantoms, phantom{deadline: deadline, rem: rem})
+	if rem <= 0 {
+		return
 	}
+	if a.phantoms == nil {
+		// Pre-size to the task count: with implicit deadlines at most
+		// one phantom per task is live at a time, so the buffer
+		// reaches steady state after the first hyperperiod.
+		a.phantoms = make([]phantom, 0, len(a.ts.Tasks))
+	}
+	a.phantoms = append(a.phantoms, phantom{deadline: deadline, rem: rem})
 }
 
 // Counters exposes instrumentation for the overhead experiments.
@@ -176,8 +203,10 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 	a.calls++
 	a.dropExpiredPhantoms(t)
 
-	// Active (and phantom) demand entries sorted by deadline.
-	entries := make([]phantom, 0, len(active)+len(a.phantoms))
+	// Active (and phantom) demand entries sorted by deadline. The
+	// slice is per-Analyzer scratch: steady-state calls allocate
+	// nothing (see the Analyzer concurrency contract).
+	entries := a.entries[:0]
 	var activeRem float64
 	for _, j := range active {
 		r := j.RemainingWCET()
@@ -189,10 +218,12 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 		entries = append(entries, p)
 	}
 	sortPhantoms(entries)
+	a.entries = entries
 
 	// Per-task future release streams: deadline of the next
-	// not-yet-released job of each task.
-	streams := make([]stream, len(a.ts.Tasks))
+	// not-yet-released job of each task. Also per-Analyzer scratch,
+	// fixed at the task count.
+	streams := a.streams
 	maxFirstDeadline := t
 	for i, task := range a.ts.Tasks {
 		nd := nextReleaseOf(i) + task.RelDeadline()
@@ -308,6 +339,20 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 }
 
 func (a *Analyzer) dropExpiredPhantoms(t float64) {
+	// Fast path: most calls expire nothing; skip the compaction pass
+	// (and its element moves) entirely then.
+	expired := false
+	for _, p := range a.phantoms {
+		if p.deadline <= t {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		return
+	}
+	// In-place compaction into the same backing array — pre-sized by
+	// AddPhantom, never reallocated here.
 	keep := a.phantoms[:0]
 	for _, p := range a.phantoms {
 		if p.deadline > t {

@@ -105,6 +105,16 @@ type LpSHE struct {
 	// of task i performed (initialized to the WCET). It feeds only
 	// the pacing heuristic, never the guarantee.
 	lastUsage []float64
+	// nextReleaseOf caches the bound sys.NextReleaseOf method value
+	// so SelectSpeed does not materialize a closure per decision.
+	nextReleaseOf func(int) float64
+	// expected/hasActive are per-decision scratch for the pacing
+	// pass, reused so the steady-state decision path allocates
+	// nothing. Like the Analyzer's scratch, they make an LpSHE
+	// instance single-goroutine (one policy instance per concurrent
+	// run — what the engine and harness already guarantee).
+	expected  []float64
+	hasActive []bool
 }
 
 // NewLpSHE returns the paper's algorithm in its standard (Full)
@@ -126,8 +136,12 @@ func (p *LpSHE) Name() string {
 func (p *LpSHE) Reset(sys sim.System) {
 	p.sys = sys
 	p.analyzer = NewAnalyzer(sys.TaskSet())
+	p.nextReleaseOf = sys.NextReleaseOf
 	p.decided = 0
-	p.lastUsage = make([]float64, sys.TaskSet().N())
+	n := sys.TaskSet().N()
+	p.lastUsage = make([]float64, n)
+	p.expected = make([]float64, n)
+	p.hasActive = make([]bool, n)
 	for i, t := range sys.TaskSet().Tasks {
 		p.lastUsage[i] = t.WCET
 	}
@@ -164,7 +178,7 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 	}
 	now := p.sys.Now()
 	active := p.sys.ActiveJobs()
-	slack, _ := p.analyzer.Analyze(now, active, p.sys.NextReleaseOf)
+	slack, _ := p.analyzer.Analyze(now, active, p.nextReleaseOf)
 
 	// Speed-transition overhead: every change of the operating point
 	// stalls the processor for SwitchTime. Reserve two stalls out of
@@ -242,8 +256,11 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 		// regardless of how wrong the pacing history turns out.
 		ts := p.sys.TaskSet()
 		var backlog float64
-		expected := make([]float64, ts.N())
-		hasActive := make([]bool, ts.N())
+		expected, hasActive := p.expected, p.hasActive
+		for i := range expected {
+			expected[i] = 0
+			hasActive[i] = false
+		}
 		for _, a := range active {
 			hasActive[a.TaskIndex] = true
 			backlog += a.RemainingWCET()

@@ -7,6 +7,7 @@ import (
 	"dvsslack/internal/core"
 	"dvsslack/internal/dvs"
 	"dvsslack/internal/opt"
+	"dvsslack/internal/par"
 	"dvsslack/internal/report"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/sim"
@@ -57,7 +58,15 @@ func Table5OptimalityGap(opts Options) (*Report, error) {
 	}
 
 	proc := defaultProcessor()
-	for _, c := range cases {
+	// Each case — two online runs, the flat bound, and the O(n²) YDS
+	// optimum — is one independent cell; rows merge in case order.
+	type t5Row struct {
+		lpshe, flat, yds, gap float64
+		misses                int
+	}
+	rows := make([]t5Row, len(cases))
+	perr := par.ForEach(opts.workers(), len(cases), func(i int) error {
+		c := cases[i]
 		// One exact hyperperiod: synchronous release plus implicit
 		// deadlines means every job released inside the window also
 		// completes (and is due) inside it, making the online runs
@@ -70,14 +79,14 @@ func Table5OptimalityGap(opts Options) (*Report, error) {
 			Workload: gen, Horizon: horizon,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run(sim.Config{
 			TaskSet: c.ts, Processor: proc, Policy: core.NewLpSHE(),
 			Workload: gen, Horizon: horizon, StrictDeadlines: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Jobs released just before the capped horizon may complete
 		// after it, so the online runs effectively span res.Time;
@@ -88,7 +97,7 @@ func Table5OptimalityGap(opts Options) (*Report, error) {
 		flat := dvs.BoundWindow(c.ts, proc, gen, horizon, span) / ref.Energy
 		ydsE, err := opt.ForTrace(c.ts, proc, gen, horizon, span)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		yds := ydsE / ref.Energy
 		lpshe := res.NormalizedTo(ref)
@@ -96,12 +105,20 @@ func Table5OptimalityGap(opts Options) (*Report, error) {
 		if yds > 0 {
 			gap = lpshe / yds
 		}
-		tbl.AddRow(c.name, c.ts.Utilization(), lpshe, flat, yds, gap)
-		r.set(c.name+"/lpshe", lpshe)
-		r.set(c.name+"/flat", flat)
-		r.set(c.name+"/yds", yds)
-		r.set(c.name+"/gap", gap)
-		r.set(c.name+"/misses", float64(res.DeadlineMisses))
+		rows[i] = t5Row{lpshe: lpshe, flat: flat, yds: yds, gap: gap, misses: res.DeadlineMisses}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	for i, c := range cases {
+		row := rows[i]
+		tbl.AddRow(c.name, c.ts.Utilization(), row.lpshe, row.flat, row.yds, row.gap)
+		r.set(c.name+"/lpshe", row.lpshe)
+		r.set(c.name+"/flat", row.flat)
+		r.set(c.name+"/yds", row.yds)
+		r.set(c.name+"/gap", row.gap)
+		r.set(c.name+"/misses", float64(row.misses))
 	}
 	r.Tables = append(r.Tables, tbl)
 	return r, nil

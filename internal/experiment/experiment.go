@@ -7,12 +7,12 @@
 package experiment
 
 import (
-	"fmt"
 	"sort"
 
 	"dvsslack/internal/core"
 	"dvsslack/internal/cpu"
 	"dvsslack/internal/dvs"
+	"dvsslack/internal/par"
 	"dvsslack/internal/report"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/sim"
@@ -47,8 +47,9 @@ func Suite() []PolicyFactory {
 
 // SuiteNames returns the policy names of Suite, in order.
 func SuiteNames() []string {
-	var names []string
-	for _, f := range Suite() {
+	suite := Suite()
+	names := make([]string, 0, len(suite))
+	for _, f := range suite {
 		names = append(names, f().Name())
 	}
 	return names
@@ -66,7 +67,15 @@ type Options struct {
 	// Exec, when non-nil, replaces in-process sim.Run for every
 	// measurement (e.g. remote execution against a dvsd daemon).
 	Exec Exec
+	// Workers bounds how many simulation cells run concurrently
+	// (default GOMAXPROCS; 1 forces the serial path). Reports are
+	// byte-identical for every value — parallelism only reorders
+	// wall-clock execution, never aggregation.
+	Workers int
 }
+
+// workers returns the effective worker-pool width.
+func (o Options) workers() int { return par.Workers(o.Workers) }
 
 // seeds returns the effective replication count.
 func (o Options) seeds() int {
@@ -137,43 +146,15 @@ func RunPointWith(p Point, factories []PolicyFactory) (PointResult, error) {
 }
 
 // RunPointExec is RunPointWith with an explicit executor; a nil exec
-// runs in-process.
+// runs in-process. The point's policy runs execute serially — callers
+// wanting parallelism go through an experiment (or runSeededPoints),
+// which fans whole cell grids out instead of single points.
 func RunPointExec(p Point, factories []PolicyFactory, exec Exec) (PointResult, error) {
-	if exec == nil {
-		exec = sim.Run
-	}
-	horizon := p.Horizon
-	if horizon == 0 {
-		horizon = sim.DefaultHorizon(p.TaskSet)
-	}
-	pr := PointResult{
-		Results:    map[string]sim.Result{},
-		Normalized: map[string]float64{},
-	}
-	var ref sim.Result
-	for i, f := range factories {
-		pol := f()
-		res, err := exec(sim.Config{
-			TaskSet:   p.TaskSet,
-			Processor: p.Processor,
-			Policy:    pol,
-			Workload:  p.Workload,
-			Horizon:   horizon,
-		})
-		if err != nil {
-			return pr, fmt.Errorf("experiment: point %s policy %s: %w", p.TaskSet.Name, pol.Name(), err)
-		}
-		pr.Results[res.Policy] = res
-		pr.Misses += res.DeadlineMisses
-		if i == 0 {
-			ref = res
-		}
-		pr.Normalized[res.Policy] = res.NormalizedTo(ref)
-	}
-	if ref.Energy > 0 {
-		pr.Bound = dvs.Bound(p.TaskSet, p.Processor, p.Workload, horizon) / ref.Energy
-	}
-	return pr, nil
+	var out PointResult
+	err := runSeededPoints(1, factories, Options{Exec: exec, Workers: 1},
+		func(int) (Point, error) { return p, nil },
+		func(_ int, pr PointResult) { out = pr })
+	return out, err
 }
 
 // sweepPoint aggregates normalized energy across seeded replications
@@ -207,34 +188,33 @@ func runSweepPointDetail(n int, u float64, mkGen func(seed uint64) workload.Gene
 
 	names := factoryNames(factories)
 	sp := newSweepPoint(names)
-	for s := 0; s < opts.seeds(); s++ {
-		seed := opts.Seed0 + uint64(s)*0x9e37 + 17
-		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
-		if err != nil {
-			return nil, err
-		}
-		pr, err := RunPointExec(Point{
-			TaskSet:   ts,
-			Processor: proc,
-			Workload:  mkGen(seed),
-		}, factories, opts.Exec)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range names {
-			sp.norm[name].Add(pr.Normalized[name])
-		}
-		sp.bound.Add(pr.Bound)
-		sp.misses += pr.Misses
-		if each != nil {
-			each(pr.Results)
-		}
+	err := runSeededPoints(opts.seeds(), factories, opts,
+		func(s int) (Point, error) {
+			seed := opts.Seed0 + uint64(s)*0x9e37 + 17
+			ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{TaskSet: ts, Processor: proc, Workload: mkGen(seed)}, nil
+		},
+		func(_ int, pr PointResult) {
+			for _, name := range names {
+				sp.norm[name].Add(pr.Normalized[name])
+			}
+			sp.bound.Add(pr.Bound)
+			sp.misses += pr.Misses
+			if each != nil {
+				each(pr.Results)
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return sp, nil
 }
 
 func factoryNames(factories []PolicyFactory) []string {
-	var names []string
+	names := make([]string, 0, len(factories))
 	for _, f := range factories {
 		names = append(names, f().Name())
 	}

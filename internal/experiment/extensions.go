@@ -5,6 +5,7 @@ import (
 
 	"dvsslack/internal/core"
 	"dvsslack/internal/dvs"
+	"dvsslack/internal/par"
 	"dvsslack/internal/report"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/sim"
@@ -40,48 +41,71 @@ func Fig9JitterRobustness(opts Options) (*Report, error) {
 		YLabel: "normalized energy (non-DVS = 1)",
 		X:      fracs,
 	}
-	var lpsheY, ccY []float64
-	for _, frac := range fracs {
+	// One cell per (jitter fraction, seed): four simulations sharing a
+	// task set. Cells fan out over the pool; the per-fraction means
+	// accumulate afterwards in seed order, exactly as the serial loop
+	// did, so the report bytes do not depend on Workers.
+	type f9Cell struct {
+		lp, cc        float64
+		lpM, ccM, upM int
+	}
+	ns := opts.seeds()
+	cells := make([]f9Cell, len(fracs)*ns)
+	perr := par.ForEach(opts.workers(), len(cells), func(k int) error {
+		frac := fracs[k/ns]
+		seed := opts.Seed0 + uint64(k%ns)*131 + 5
+		base, err := rtm.Generate(rtm.DefaultGenConfig(8, 0.7, seed))
+		if err != nil {
+			return err
+		}
+		ts := rtm.NewTaskSet(base.Name, base.Tasks...)
+		for i := range ts.Tasks {
+			ts.Tasks[i].Jitter = frac * ts.Tasks[i].Period
+		}
+		gen := workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed}
+		run := func(p sim.Policy) (sim.Result, error) {
+			return sim.Run(sim.Config{
+				TaskSet: ts, Processor: defaultProcessor(), Policy: p,
+				Workload: gen, JitterSeed: seed ^ 0x77,
+			})
+		}
+		ref, err := run(&dvs.NonDVS{})
+		if err != nil {
+			return err
+		}
+		lp, err := run(core.NewLpSHE())
+		if err != nil {
+			return err
+		}
+		ccRes, err := run(&dvs.CCEDF{})
+		if err != nil {
+			return err
+		}
+		up, err := run(&utilizationPacer{speed: ts.Utilization()})
+		if err != nil {
+			return err
+		}
+		cells[k] = f9Cell{
+			lp: lp.NormalizedTo(ref), cc: ccRes.NormalizedTo(ref),
+			lpM: lp.DeadlineMisses, ccM: ccRes.DeadlineMisses, upM: up.DeadlineMisses,
+		}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	lpsheY := make([]float64, 0, len(fracs))
+	ccY := make([]float64, 0, len(fracs))
+	for fi, frac := range fracs {
 		var lpshe, cc sample
 		var lpsheMiss, ccMiss, upMiss int
-		for s := 0; s < opts.seeds(); s++ {
-			seed := opts.Seed0 + uint64(s)*131 + 5
-			base, err := rtm.Generate(rtm.DefaultGenConfig(8, 0.7, seed))
-			if err != nil {
-				return nil, err
-			}
-			ts := rtm.NewTaskSet(base.Name, base.Tasks...)
-			for i := range ts.Tasks {
-				ts.Tasks[i].Jitter = frac * ts.Tasks[i].Period
-			}
-			gen := workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed}
-			run := func(p sim.Policy) (sim.Result, error) {
-				return sim.Run(sim.Config{
-					TaskSet: ts, Processor: defaultProcessor(), Policy: p,
-					Workload: gen, JitterSeed: seed ^ 0x77,
-				})
-			}
-			ref, err := run(&dvs.NonDVS{})
-			if err != nil {
-				return nil, err
-			}
-			lp, err := run(core.NewLpSHE())
-			if err != nil {
-				return nil, err
-			}
-			ccRes, err := run(&dvs.CCEDF{})
-			if err != nil {
-				return nil, err
-			}
-			up, err := run(&utilizationPacer{speed: ts.Utilization()})
-			if err != nil {
-				return nil, err
-			}
-			lpshe.add(lp.NormalizedTo(ref))
-			cc.add(ccRes.NormalizedTo(ref))
-			lpsheMiss += lp.DeadlineMisses
-			ccMiss += ccRes.DeadlineMisses
-			upMiss += up.DeadlineMisses
+		for s := 0; s < ns; s++ {
+			cell := cells[fi*ns+s]
+			lpshe.add(cell.lp)
+			cc.add(cell.cc)
+			lpsheMiss += cell.lpM
+			ccMiss += cell.ccM
+			upMiss += cell.upM
 		}
 		tbl.AddRow(frac, lpshe.mean(), lpsheMiss, cc.mean(), ccMiss, upMiss)
 		lpsheY = append(lpsheY, lpshe.mean())

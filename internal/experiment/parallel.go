@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/par"
+	"dvsslack/internal/sim"
+)
+
+// This file is the parallel execution core of the harness. Every
+// experiment funnels its independent simulation cells — one (point,
+// policy) pair each, plus one clairvoyant-bound cell per point —
+// through runSeededPoints, which fans them out over a bounded worker
+// pool (internal/par) and then merges results strictly in point
+// order. Because
+//
+//   - each cell constructs its own policy instance (policies and
+//     their Analyzers are single-goroutine by contract),
+//   - workload generators sample through the stateless prng
+//     Hash3/Float64 path, so traces depend only on (seed, task, job),
+//   - anything drawn from a sequential prng.Source (task-set
+//     generation, fuzz configuration draws) happens either before the
+//     fan-out or on a per-cell Source forked from the sequential
+//     stream, and
+//   - all floating-point aggregation happens in the ordered merge
+//     phase, in exactly the order the serial loop used,
+//
+// the emitted Report is byte-identical for every Options.Workers
+// value, including Workers: 1 (the serial loop itself). The
+// cross-worker determinism test in parallel_test.go pins this.
+
+// runSeededPoints executes n measurement points, each over the given
+// policy factories, at (point × policy) cell granularity on the
+// worker pool, and invokes merge once per point in point order after
+// every cell has finished.
+//
+// mkPoint is called serially, in order, before the fan-out — it may
+// therefore consume sequential pseudo-random streams. A zero
+// Point.Horizon is resolved to sim.DefaultHorizon before the runs so
+// all cells of a point (and its bound) share one window.
+func runSeededPoints(n int, factories []PolicyFactory, opts Options,
+	mkPoint func(rep int) (Point, error),
+	merge func(rep int, pr PointResult)) error {
+
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p, err := mkPoint(i)
+		if err != nil {
+			return err
+		}
+		if p.Horizon == 0 {
+			p.Horizon = sim.DefaultHorizon(p.TaskSet)
+		}
+		pts[i] = p
+	}
+
+	exec := opts.Exec
+	if exec == nil {
+		exec = sim.Run
+	}
+	npol := len(factories)
+	// One column per policy plus one for the clairvoyant static
+	// bound, so the bound integral parallelizes with the runs.
+	cols := npol + 1
+	results := make([]sim.Result, n*npol)
+	bounds := make([]float64, n)
+	err := par.ForEach(opts.workers(), n*cols, func(k int) error {
+		rep, c := k/cols, k%cols
+		p := pts[rep]
+		if c == npol {
+			bounds[rep] = dvs.Bound(p.TaskSet, p.Processor, p.Workload, p.Horizon)
+			return nil
+		}
+		pol := factories[c]()
+		res, err := exec(sim.Config{
+			TaskSet:   p.TaskSet,
+			Processor: p.Processor,
+			Policy:    pol,
+			Workload:  p.Workload,
+			Horizon:   p.Horizon,
+		})
+		if err != nil {
+			return fmt.Errorf("experiment: point %s policy %s: %w", p.TaskSet.Name, pol.Name(), err)
+		}
+		results[rep*npol+c] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for rep := 0; rep < n; rep++ {
+		merge(rep, assemblePoint(results[rep*npol:(rep+1)*npol], bounds[rep]))
+	}
+	return nil
+}
+
+// assemblePoint folds one point's per-policy results into a
+// PointResult with exactly the arithmetic (and order) of the serial
+// loop: the first factory is the normalization reference.
+func assemblePoint(results []sim.Result, rawBound float64) PointResult {
+	pr := PointResult{
+		Results:    make(map[string]sim.Result, len(results)),
+		Normalized: make(map[string]float64, len(results)),
+	}
+	var ref sim.Result
+	for i, res := range results {
+		pr.Results[res.Policy] = res
+		pr.Misses += res.DeadlineMisses
+		if i == 0 {
+			ref = res
+		}
+		pr.Normalized[res.Policy] = res.NormalizedTo(ref)
+	}
+	if ref.Energy > 0 {
+		pr.Bound = rawBound / ref.Energy
+	}
+	return pr
+}

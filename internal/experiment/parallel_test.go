@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestCrossWorkerDeterminism pins the harness's central contract:
+// Options.Workers affects wall-clock scheduling only, never results.
+// Every registered experiment must render byte-identical reports (text
+// and CSV) and produce value-identical Values maps for serial,
+// fixed-width, and GOMAXPROCS-wide pools. verify.sh runs this under
+// -race, which additionally makes any cell-grid data race fatal.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment three times")
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			var want []byte
+			var wantValues map[string]float64
+			for _, w := range workerCounts {
+				r, err := Run(id, Options{Quick: true, Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				var buf bytes.Buffer
+				r.Print(&buf)
+				r.PrintCSV(&buf)
+				got := buf.Bytes()
+				if w == workerCounts[0] {
+					want, wantValues = got, r.Values
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: rendered report differs from workers=%d (%d vs %d bytes)",
+						w, workerCounts[0], len(got), len(want))
+				}
+				if len(r.Values) != len(wantValues) {
+					t.Errorf("workers=%d: %d values, want %d", w, len(r.Values), len(wantValues))
+				}
+				for key, v := range r.Values {
+					if ref, ok := wantValues[key]; !ok || ref != v {
+						t.Errorf("workers=%d: Values[%q] = %v, want %v", w, key, v, ref)
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"dvsslack/internal/analysis"
 	"dvsslack/internal/core"
 	"dvsslack/internal/cpu"
+	"dvsslack/internal/par"
 	"dvsslack/internal/prng"
 	"dvsslack/internal/report"
 	"dvsslack/internal/rtm"
@@ -46,24 +47,29 @@ func Table2Benchmarks(opts Options) (*Report, error) {
 	names := SuiteNames()
 	tbl := report.NewTable(r.Title,
 		append([]string{"benchmark", "n", "U"}, append(names, "bound")...)...)
-	for _, ts := range rtm.Benchmarks() {
-		pr, err := RunPointExec(Point{
-			TaskSet:   ts,
-			Processor: defaultProcessor(),
-			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: opts.Seed0 + 1},
-		}, Suite(), opts.Exec)
-		if err != nil {
-			return nil, err
-		}
-		row := []any{ts.Name, ts.N(), ts.Utilization()}
-		for _, n := range names {
-			row = append(row, pr.Normalized[n])
-			r.set(fmt.Sprintf("%s/%s", ts.Name, n), pr.Normalized[n])
-		}
-		row = append(row, pr.Bound)
-		r.set(fmt.Sprintf("%s/bound", ts.Name), pr.Bound)
-		r.set(fmt.Sprintf("%s/misses", ts.Name), float64(pr.Misses))
-		tbl.AddRow(row...)
+	benches := rtm.Benchmarks()
+	err := runSeededPoints(len(benches), Suite(), opts,
+		func(i int) (Point, error) {
+			return Point{
+				TaskSet:   benches[i],
+				Processor: defaultProcessor(),
+				Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: opts.Seed0 + 1},
+			}, nil
+		},
+		func(i int, pr PointResult) {
+			ts := benches[i]
+			row := []any{ts.Name, ts.N(), ts.Utilization()}
+			for _, n := range names {
+				row = append(row, pr.Normalized[n])
+				r.set(fmt.Sprintf("%s/%s", ts.Name, n), pr.Normalized[n])
+			}
+			row = append(row, pr.Bound)
+			r.set(fmt.Sprintf("%s/bound", ts.Name), pr.Bound)
+			r.set(fmt.Sprintf("%s/misses", ts.Name), float64(pr.Misses))
+			tbl.AddRow(row...)
+		})
+	if err != nil {
+		return nil, err
 	}
 	r.Tables = append(r.Tables, tbl)
 	return r, nil
@@ -80,40 +86,40 @@ func Table3Overheads(opts Options) (*Report, error) {
 		"policy", "switches/job", "preemptions/job", "decisions/job", "avg_scan_len")
 	type agg struct{ sw, pre, dec, scan, jobs float64 }
 	sums := map[string]*agg{}
-	var order []string
-	for _, f := range factories {
-		order = append(order, f().Name())
-	}
+	order := factoryNames(factories)
 	for _, name := range order {
 		sums[name] = &agg{}
 	}
-	for s := 0; s < opts.seeds(); s++ {
-		seed := opts.Seed0 + uint64(s)*7919 + 3
-		ts, err := rtm.Generate(rtm.DefaultGenConfig(8, 0.7, seed))
-		if err != nil {
-			return nil, err
-		}
-		pr, err := RunPointExec(Point{
-			TaskSet:   ts,
-			Processor: defaultProcessor(),
-			Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed},
-		}, Suite(), opts.Exec)
-		if err != nil {
-			return nil, err
-		}
-		for name, res := range pr.Results {
-			a := sums[name]
-			if a == nil {
-				continue
+	err := runSeededPoints(opts.seeds(), factories, opts,
+		func(s int) (Point, error) {
+			seed := opts.Seed0 + uint64(s)*7919 + 3
+			ts, err := rtm.Generate(rtm.DefaultGenConfig(8, 0.7, seed))
+			if err != nil {
+				return Point{}, err
 			}
-			a.sw += float64(res.SpeedSwitches)
-			a.pre += float64(res.Preemptions)
-			a.dec += float64(res.Decisions)
-			a.jobs += float64(res.JobsCompleted)
-			if v, ok := res.PolicyCounters["slack_avg_scan_len"]; ok {
-				a.scan += v
+			return Point{
+				TaskSet:   ts,
+				Processor: defaultProcessor(),
+				Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: seed},
+			}, nil
+		},
+		func(_ int, pr PointResult) {
+			for name, res := range pr.Results {
+				a := sums[name]
+				if a == nil {
+					continue
+				}
+				a.sw += float64(res.SpeedSwitches)
+				a.pre += float64(res.Preemptions)
+				a.dec += float64(res.Decisions)
+				a.jobs += float64(res.JobsCompleted)
+				if v, ok := res.PolicyCounters["slack_avg_scan_len"]; ok {
+					a.scan += v
+				}
 			}
-		}
+		})
+	if err != nil {
+		return nil, err
 	}
 	for _, name := range order {
 		a := sums[name]
@@ -142,7 +148,16 @@ func Table4DeadlineFuzz(opts Options) (*Report, error) {
 	if opts.Quick {
 		runs = 25
 	}
+	// Fork one independent substream per configuration from the master
+	// source, serially, so the substream assignment is fixed no matter
+	// how the runs are later scheduled; each parallel cell then draws
+	// its configuration from its own Source only (a prng.Source is not
+	// safe for concurrent use — see its contract).
 	src := prng.New(opts.Seed0 + 0xfeed)
+	srcs := make([]*prng.Source, runs)
+	for i := range srcs {
+		srcs[i] = src.Fork()
+	}
 	procs := []*cpu.Processor{
 		defaultProcessor(),
 		cpu.UniformLevels(4),
@@ -153,39 +168,58 @@ func Table4DeadlineFuzz(opts Options) (*Report, error) {
 		func() sim.Policy { return core.NewLpSHEVariant(core.Horizon8) },
 	)
 	names := factoryNames(factories)
-	misses := map[string]int{}
-	jobs := map[string]int{}
-	infeasible := 0
-	for i := 0; i < runs; i++ {
-		n := 2 + src.Intn(10)
-		u := src.Range(0.2, 1.0)
-		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, src.Uint64()))
+	type fuzzRun struct {
+		infeasible bool
+		pr         PointResult
+	}
+	outs := make([]fuzzRun, runs)
+	perr := par.ForEach(opts.workers(), runs, func(i int) error {
+		// Clone leaves srcs[i] unconsumed, so a single configuration
+		// can be replayed in isolation when debugging a miss.
+		rs := srcs[i].Clone()
+		n := 2 + rs.Intn(10)
+		u := rs.Range(0.2, 1.0)
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, rs.Uint64()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !analysis.EDFSchedulable(ts) {
-			infeasible++
-			continue
+			outs[i].infeasible = true
+			return nil
 		}
 		var gen workload.Generator
-		switch src.Intn(4) {
+		switch rs.Intn(4) {
 		case 0:
-			lo := src.Range(0.05, 0.9)
-			gen = workload.Uniform{Lo: lo, Hi: 1, Seed: src.Uint64()}
+			lo := rs.Range(0.05, 0.9)
+			gen = workload.Uniform{Lo: lo, Hi: 1, Seed: rs.Uint64()}
 		case 1:
-			gen = workload.Bimodal{LightFrac: 0.2, HeavyFrac: 1.0, PHeavy: src.Range(0.05, 0.5), Seed: src.Uint64()}
+			gen = workload.Bimodal{LightFrac: 0.2, HeavyFrac: 1.0, PHeavy: rs.Range(0.05, 0.5), Seed: rs.Uint64()}
 		case 2:
-			gen = workload.Sinusoidal{Mean: 0.6, Amp: 0.35, Jitter: 0.05, Seed: src.Uint64()}
+			gen = workload.Sinusoidal{Mean: 0.6, Amp: 0.35, Jitter: 0.05, Seed: rs.Uint64()}
 		default:
 			gen = workload.WorstCase{}
 		}
-		proc := procs[src.Intn(len(procs))]
+		proc := procs[rs.Intn(len(procs))]
 		pr, err := RunPointExec(Point{TaskSet: ts, Processor: proc, Workload: gen}, factories, opts.Exec)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		outs[i].pr = pr
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	misses := map[string]int{}
+	jobs := map[string]int{}
+	infeasible := 0
+	for i := range outs {
+		if outs[i].infeasible {
+			infeasible++
+			continue
 		}
 		for _, name := range names {
-			res := pr.Results[name]
+			res := outs[i].pr.Results[name]
 			misses[name] += res.DeadlineMisses
 			jobs[name] += res.JobsCompleted
 		}

@@ -1,0 +1,86 @@
+// Package par provides the bounded-parallelism primitive shared by
+// the measurement pipeline: the experiment harness fans (point, seed,
+// policy) cells out over it, cmd/dvsexp threads its -workers flag
+// into it, and the dvsd job runner uses it instead of hand-rolling a
+// semaphore/WaitGroup fan-out.
+//
+// The contract is deliberately narrow: every index is dispatched to
+// exactly one call of fn, calls run on at most `workers` goroutines,
+// and ForEach returns only after every dispatched call has returned.
+// Nothing about completion *order* is promised — callers that need
+// deterministic output must write results into index i of a
+// pre-sized slice and merge in index order after ForEach returns
+// (see internal/experiment/parallel.go for the canonical pattern).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: n when positive, otherwise
+// GOMAXPROCS (the default for CPU-bound simulation work).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (0 or negative selects GOMAXPROCS) and blocks until all
+// dispatched calls return.
+//
+// Error handling mirrors a serial loop as closely as parallelism
+// allows: after any call fails, no *new* indices are dispatched
+// (in-flight calls finish), and the returned error is the one from
+// the lowest failed index — deterministic regardless of goroutine
+// scheduling. workers <= 1 (or n <= 1) degenerates to exactly the
+// serial loop, including its early return.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

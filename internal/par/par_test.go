@@ -1,0 +1,94 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	ran := false
+	if err := ForEach(4, 0, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Errorf("n=0: err=%v ran=%v", err, ran)
+	}
+	if err := ForEach(4, -5, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Errorf("n<0: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestForEachLowestIndexError: with several failing indices the
+// returned error is deterministically the lowest dispatched failure.
+func TestForEachLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 3, 8} {
+		err := ForEach(workers, 50, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 30:
+				return errB
+			}
+			return nil
+		})
+		// Index 7 always dispatches before the failure at 30 can stop
+		// the loop... not necessarily under >1 workers, but whichever
+		// subset failed, the lowest failed index must be reported, and
+		// index 7 is dispatched before index 30 by the monotone
+		// counter, so errA must win whenever both ran.
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if err != errA && err != errB {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if workers == 1 && err != errA {
+			t.Fatalf("serial: want errA, got %v", err)
+		}
+	}
+}
+
+// TestForEachStopsDispatchingAfterError: once a call fails, the
+// number of additional dispatches is bounded by the worker count.
+func TestForEachStopsDispatchingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_ = ForEach(2, 10_000, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if n := ran.Load(); n > 4 {
+		t.Errorf("ran %d calls after first failure; want <= workers+in-flight", n)
+	}
+}

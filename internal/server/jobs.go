@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dvsslack/internal/par"
 )
 
 // Job states.
@@ -200,27 +202,20 @@ func (s *jobStore) run(ctx context.Context, j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	sem := make(chan struct{}, 2*s.pool.workers)
-	var wg sync.WaitGroup
-loop:
-	for i := range j.runs {
-		select {
-		case <-ctx.Done():
-			break loop
-		case sem <- struct{}{}:
+	// Run failures are recorded per outcome and never surfaced as a
+	// ForEach error, so cancellation is the only thing that stops the
+	// sweep early.
+	_ = par.ForEach(2*s.pool.workers, len(j.runs), func(i int) error {
+		if ctx.Err() != nil {
+			return nil // cancelled: stop submitting further runs
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := s.pool.Do(ctx, &j.runs[i])
-			if ctx.Err() != nil && err != nil {
-				return // cancelled, not a run failure
-			}
-			j.recordRun(i, outcome{res: res, err: err})
-		}(i)
-	}
-	wg.Wait()
+		res, err := s.pool.Do(ctx, &j.runs[i])
+		if ctx.Err() != nil && err != nil {
+			return nil // cancelled, not a run failure
+		}
+		j.recordRun(i, outcome{res: res, err: err})
+		return nil
+	})
 
 	state := JobDone
 	switch {

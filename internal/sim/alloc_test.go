@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/workload"
+)
+
+// TestEngineDecisionSteadyStateAllocs pins the engine's allocation
+// profile: a run's allocations must scale with the number of released
+// jobs (one JobState each) plus a constant setup term — the decision
+// loop itself (speed selection, event advance, heap maintenance, and
+// the release-index refresh) must not allocate. A regression that
+// adds even one allocation per scheduling decision roughly doubles
+// the bound below and fails loudly.
+func TestEngineDecisionSteadyStateAllocs(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(8, 0.7, 1))
+	gen := workload.Uniform{Lo: 0.5, Hi: 1, Seed: 1}
+	cfg := Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    fixedSpeed{s: 1},
+		Workload:  gen,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions < 50 || res.JobsReleased < 50 {
+		t.Fatalf("trivial run: %d decisions, %d jobs", res.Decisions, res.JobsReleased)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation per released job (its JobState), plus a constant
+	// engine-setup budget: the engine struct, the four per-task
+	// slices, the pre-sized heap backing array, and small config
+	// bookkeeping. The budget is deliberately tight against the
+	// decision count so per-decision allocations cannot hide in it.
+	budget := float64(res.JobsReleased) + 24
+	if allocs > budget {
+		t.Errorf("run allocates %v (budget %v for %d jobs, %d decisions): the decision path is allocating",
+			allocs, budget, res.JobsReleased, res.Decisions)
+	}
+}

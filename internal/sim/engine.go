@@ -78,12 +78,56 @@ type engine struct {
 	nomNext    []float64 // nominal next release (index * period)
 	actualNext []float64 // jittered next release (>= nominal)
 
+	rel releaseIndex
+
 	curSpeed float64
 	speedSet bool
 	running  *JobState
 
 	res Result
 	err error
+}
+
+// releaseIndex caches the three minima over the per-task release
+// cursors that the engine and the policies query at every scheduling
+// decision — often several times per decision (the slack analysis
+// alone reads NextRelease and NextDecisionBound, and the event loop
+// reads nextReleaseEvent between every pair of events). The cursors
+// only move forward when releaseDue admits a job, so the minima are
+// recomputed in one O(n) pass per release advance and served as O(1)
+// reads in between, replacing the previous O(n) scan per query.
+type releaseIndex struct {
+	dirty    bool
+	minNom   float64 // min over tasks of the nominal next release
+	minEvent float64 // earliest actual (jittered) release with nominal < horizon
+	minBound float64 // earliest guaranteed release (nominal+jitter) with nominal < horizon
+}
+
+// refreshReleaseIndex recomputes the cached minima after the release
+// cursors moved. One pass covers all three so a release batch costs a
+// single O(n) scan regardless of how many queries follow.
+func (e *engine) refreshReleaseIndex() {
+	if !e.rel.dirty {
+		return
+	}
+	e.rel.dirty = false
+	e.rel.minNom, e.rel.minEvent, e.rel.minBound = infinity, infinity, infinity
+	tasks := e.cfg.TaskSet.Tasks
+	for i := range e.nomNext {
+		nom := e.nomNext[i]
+		if nom < e.rel.minNom {
+			e.rel.minNom = nom
+		}
+		if nom >= e.horizon {
+			continue
+		}
+		if a := e.actualNext[i]; a < e.rel.minEvent {
+			e.rel.minEvent = a
+		}
+		if b := nom + tasks[i].Jitter; b < e.rel.minBound {
+			e.rel.minBound = b
+		}
+	}
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -128,9 +172,14 @@ func newEngine(cfg Config) (*engine, error) {
 		actualNext: make([]float64, n),
 	}
 	e.active.byPriority = len(cfg.FixedPriorities) != 0
+	// Pre-size the ready queue from the task count: with feasible
+	// implicit-deadline sets at most one job per task is live, so the
+	// heap's backing array never reallocates mid-run.
+	e.active.jobs = make([]*JobState, 0, n)
 	for i := range cfg.TaskSet.Tasks {
 		e.actualNext[i] = e.jitteredRelease(i, 0)
 	}
+	e.rel.dirty = true
 	e.res.Policy = cfg.Policy.Name()
 	return e, nil
 }
@@ -158,13 +207,17 @@ func (e *engine) Now() float64 { return e.t }
 func (e *engine) ActiveJobs() []*JobState { return e.active.jobs }
 
 func (e *engine) NextRelease() float64 {
-	nr := infinity
-	for i := range e.nomNext {
-		if r := e.NextReleaseOf(i); r < nr {
-			nr = r
-		}
+	if len(e.nomNext) == 0 {
+		return infinity
 	}
-	return nr
+	// min over tasks of NextReleaseOf(i): every term is >= e.t, and
+	// the smallest nominal cursor decides whether the minimum is a
+	// future instant or "right now".
+	e.refreshReleaseIndex()
+	if e.rel.minNom > e.t {
+		return e.rel.minNom
+	}
+	return e.t
 }
 
 func (e *engine) NextReleaseOf(task int) float64 {
@@ -183,31 +236,15 @@ func (e *engine) NextDecisionBound() float64 {
 	// Latest instant by which a release (and hence a scheduling
 	// decision) is guaranteed, given pending releases within the
 	// horizon: nominal + jitter bounds the drawn arrival.
-	bound := infinity
-	for i, task := range e.cfg.TaskSet.Tasks {
-		if e.nomNext[i] >= e.horizon {
-			continue
-		}
-		if b := e.nomNext[i] + task.Jitter; b < bound {
-			bound = b
-		}
-	}
-	return bound
+	e.refreshReleaseIndex()
+	return e.rel.minBound
 }
 
 // nextReleaseEvent returns the earliest actual (jittered) release the
 // engine will perform, or +Inf if releases have ended.
 func (e *engine) nextReleaseEvent() float64 {
-	nr := infinity
-	for i := range e.actualNext {
-		if e.nomNext[i] >= e.horizon {
-			continue
-		}
-		if e.actualNext[i] < nr {
-			nr = e.actualNext[i]
-		}
-	}
-	return nr
+	e.refreshReleaseIndex()
+	return e.rel.minEvent
 }
 
 // --- engine body ---
@@ -300,6 +337,7 @@ func (e *engine) releaseDue() bool {
 			e.nextIdx[i]++
 			e.nomNext[i] = float64(e.nextIdx[i]) * ts.Tasks[i].Period
 			e.actualNext[i] = e.jitteredRelease(i, e.nextIdx[i])
+			e.rel.dirty = true
 			heap.Push(&e.active, j)
 			e.res.JobsReleased++
 			released = true

@@ -17,6 +17,12 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bench smoke (compile + one iteration of every benchmark)"
+# -benchtime=1x runs each benchmark body once: no timing value, but
+# every allocation guard, b.ReportAllocs path, and the parallel
+# harness the benchmarks drive get exercised on every verify.
+go test -run '^$' -bench . -benchtime=1x ./... >/dev/null
+
 echo "==> dvsd smoke test"
 DVSD_BIN=$(mktemp -t dvsd.XXXXXX)
 DVSD_LOG=$(mktemp -t dvsd.log.XXXXXX)
