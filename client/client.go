@@ -167,6 +167,29 @@ func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
 	return m, err
 }
 
+// MetricsProm fetches the daemon's Prometheus text exposition
+// (/metrics.prom) and returns the raw body.
+func (c *Client) MetricsProm(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics.prom", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb server.ErrorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // StreamEvents subscribes to a job's SSE progress stream, invoking fn
 // for every event until the terminal "end" event, stream close, or
 // ctx cancellation. fn returning a non-nil error stops the stream.

@@ -1,0 +1,42 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"dvsslack/internal/obs"
+)
+
+// TestMetricsProm exercises the MetricsProm helper against a live
+// test server: the body must be valid Prometheus text exposition and
+// reflect traffic driven through the client.
+func TestMetricsProm(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	if _, err := c.Simulate(ctx, testRequest("lpshe", 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := c.MetricsProm(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("MetricsProm returned an empty body")
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition:\n%s\nerror: %v", body, err)
+	}
+	for _, want := range []string{
+		"dvsd_sims_total 1",
+		`dvsd_http_requests_total{endpoint="simulate"} 1`,
+		"# TYPE dvsd_policy_run_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -26,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"dvsslack/internal/audit"
 	"dvsslack/internal/fuzz"
+	"dvsslack/internal/obs"
 )
 
 // DefaultCorpus is the shipped corpus path, relative to the repo
@@ -46,6 +48,10 @@ type options struct {
 	SelfTest bool
 	JSON     bool
 	Verbose  bool
+
+	// Log receives phase-level diagnostics (nil = discard); main wires
+	// the shared obs logger configured by -log-level/-log-format.
+	Log *slog.Logger
 }
 
 func main() {
@@ -58,7 +64,16 @@ func main() {
 	flag.BoolVar(&o.SelfTest, "selftest", false, "run the auditor's mutation self-test")
 	flag.BoolVar(&o.JSON, "json", false, "emit machine-readable JSON instead of text")
 	flag.BoolVar(&o.Verbose, "v", false, "report every scenario, not just failures")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logCfg.New(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvscheck: %v\n", err)
+		os.Exit(2)
+	}
+	o.Log = logger
 
 	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "dvscheck: %v\n", err)
@@ -73,6 +88,9 @@ type failure string
 func (f failure) Error() string { return string(f) }
 
 func run(o options, stdout, stderr io.Writer) error {
+	if o.Log == nil {
+		o.Log = obs.Discard()
+	}
 	defaulted := o.Corpus == "" && o.Fuzz == 0 && o.Replay == "" && !o.SelfTest
 	if defaulted {
 		o.Corpus = DefaultCorpus
@@ -85,6 +103,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		o.Log.Debug("selftest done", "failures", n)
 		failures += n
 	}
 	if o.Corpus != "" {
@@ -92,6 +111,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		o.Log.Debug("corpus done", "dir", o.Corpus, "failures", n)
 		failures += n
 	}
 	if o.Replay != "" {
@@ -99,6 +119,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		o.Log.Debug("replay done", "file", o.Replay, "failures", n)
 		failures += n
 	}
 	if o.Fuzz > 0 {
@@ -106,6 +127,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		o.Log.Debug("fuzz done", "n", o.Fuzz, "seed", o.Seed, "failures", n)
 		failures += n
 	}
 	if failures > 0 {

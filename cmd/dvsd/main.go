@@ -1,14 +1,15 @@
 // Command dvsd is the simulation daemon: an HTTP/JSON service that
 // runs DVS-EDF simulations on a bounded worker pool, with an async
-// batch-job API, an LRU result cache, and a /metrics endpoint.
+// batch-job API, an LRU result cache, and metrics endpoints.
 //
 // Usage:
 //
 //	dvsd                                  # listen on :8080, NumCPU workers
 //	dvsd -addr 127.0.0.1:9090 -workers 8
 //	dvsd -addr 127.0.0.1:0                # pick a free port (logged)
+//	dvsd -pprof -log-level debug -log-format json
 //
-// Endpoints (see docs/api.md):
+// Endpoints (see docs/api.md and docs/observability.md):
 //
 //	POST /v1/simulate            one run, synchronous
 //	POST /v1/jobs                batch run/sweep, async
@@ -18,6 +19,8 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET  /v1/policies            policy registry
 //	GET  /metrics                JSON metrics snapshot
+//	GET  /metrics.prom           Prometheus text exposition
+//	GET  /debug/pprof/*          profiling (with -pprof)
 //	GET  /healthz                liveness
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, jobs
@@ -30,7 +33,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/server"
 )
 
@@ -48,21 +51,40 @@ func main() {
 		queue     = flag.Int("queue", 0, "pending-run queue depth (0 = workers*64)")
 		cacheSize = flag.Int("cache", 4096, "result cache entries (0 disables)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+		pprof     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logCfg    obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logCfg.New(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvsd: %v\n", err)
+		os.Exit(2)
+	}
 
 	cs := *cacheSize
 	if cs == 0 {
 		cs = -1 // Config: 0 means default, -1 disables
 	}
-	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue, CacheSize: cs})
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheSize:   cs,
+		EnablePprof: *pprof,
+		Logger:      logger,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("dvsd: listen: %v", err)
+		logger.Error("dvsd: listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	log.Printf("dvsd: listening on %s (%d workers)", ln.Addr(), srv.Workers())
+	// The "listening on <addr>" phrase is load-bearing: verify.sh and
+	// operators' scripts extract the bound port from it.
+	logger.Info(fmt.Sprintf("dvsd: listening on %s (%d workers)", ln.Addr(), srv.Workers()),
+		"addr", ln.Addr().String(), "workers", srv.Workers(), "pprof", *pprof)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -72,19 +94,20 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		log.Printf("dvsd: %s received, draining (deadline %s)", sig, *drain)
+		logger.Info("dvsd: draining", "signal", sig.String(), "deadline", drain.String())
 	case err := <-errc:
-		log.Fatalf("dvsd: serve: %v", err)
+		logger.Error("dvsd: serve failed", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop accepting HTTP first, then drain the simulation backlog.
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("dvsd: http shutdown: %v", err)
+		logger.Warn("dvsd: http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("dvsd: drain incomplete: %v", err)
+		logger.Error("dvsd: drain incomplete", "err", err)
 		os.Exit(1)
 	}
 	fmt.Println("dvsd: drained, bye")

@@ -8,6 +8,7 @@
 //	dvsexp -exp t2 -csv       # CSV output for post-processing
 //	dvsexp -exp f3 -quick     # reduced replication for a fast look
 //	dvsexp -exp t2 -addr :8080  # farm runs out to a dvsd daemon
+//	dvsexp -exp f3 -progress  # log per-cell completion to stderr
 //	dvsexp -list              # list experiment IDs
 //
 // Experiment IDs: t1 f3 f4 f5 t2 f6 f7 t3 t4 f8.
@@ -21,22 +22,32 @@ import (
 
 	"dvsslack/client"
 	"dvsslack/internal/experiment"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/server"
 	"dvsslack/internal/sim"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (t1, f3, f4, f5, t2, f6, f7, t3, t4, f8) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced replication count for a fast run")
-		seeds   = flag.Int("seeds", 0, "override the number of random task sets per point")
-		seed0   = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables and charts")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		addr    = flag.String("addr", "", "dvsd daemon address; runs execute remotely (and hit its result cache) instead of in-process")
-		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		exp      = flag.String("exp", "", "experiment id (t1, f3, f4, f5, t2, f6, f7, t3, t4, f8) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced replication count for a fast run")
+		seeds    = flag.Int("seeds", 0, "override the number of random task sets per point")
+		seed0    = flag.Uint64("seed", 0, "base seed for the pseudo-random streams")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		addr     = flag.String("addr", "", "dvsd daemon address; runs execute remotely (and hit its result cache) instead of in-process")
+		workers  = flag.Int("workers", 0, "simulation cells run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		progress = flag.Bool("progress", false, "log per-cell completion from the parallel harness to stderr")
+		logCfg   obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logCfg.New(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvsexp: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -62,6 +73,13 @@ func main() {
 		ids = experiment.IDs()
 	}
 	for _, id := range ids {
+		if *progress {
+			id := id
+			opts.Progress = func(done, total int) {
+				logger.Info("cell done", "exp", id, "done", done, "total", total)
+			}
+			logger.Info("experiment start", "exp", id, "workers", opts.Workers)
+		}
 		r, err := experiment.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvsexp: %v\n", err)

@@ -8,6 +8,7 @@
 //	dvssim -policy dra -file tasks.json -levels "0.25,0.5,0.75,1"
 //	dvssim -policy lpshe -u 0.9 -switch-time 0.1
 //	dvssim -policy lpshe -taskset cnc -json   # machine-readable output
+//	dvssim -policy all -stats   # per-policy scheduling histograms
 //
 // Built-in task sets: cnc, avionics, videophone, quickstart; -n/-u
 // generate a random set instead; -file loads JSON (see cmd/taskgen).
@@ -29,6 +30,7 @@ import (
 
 	"dvsslack/internal/cpu"
 	"dvsslack/internal/dvs"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/server"
@@ -52,6 +54,7 @@ type options struct {
 	SwCoef  float64
 	Horizon float64
 	Gantt   bool
+	Stats   bool
 	Strict  bool
 	JSON    bool
 }
@@ -71,6 +74,7 @@ func main() {
 	flag.Float64Var(&o.SwCoef, "switch-energy", 0, "transition energy coefficient")
 	flag.Float64Var(&o.Horizon, "horizon", 0, "simulation length (0 = one hyperperiod)")
 	flag.BoolVar(&o.Gantt, "gantt", false, "print a Gantt chart of the schedule")
+	flag.BoolVar(&o.Stats, "stats", false, "print per-policy instrumentation histograms (speeds, slack, idle intervals)")
 	flag.BoolVar(&o.Strict, "strict", true, "fail on the first deadline miss")
 	flag.BoolVar(&o.JSON, "json", false, "emit results as JSON (the dvsd /v1/simulate schema)")
 	flag.Parse()
@@ -110,11 +114,21 @@ func run(o options, w io.Writer) error {
 	var jsonOut []server.SimResult
 	for i, p := range pols {
 		var rec *trace.Recorder
-		var obs sim.Observer
+		var stats *obs.Recorder
 		if o.Gantt && !o.JSON {
 			rec = trace.NewRecorder()
-			obs = rec
 		}
+		if o.Stats && !o.JSON {
+			stats = obs.NewRecorder()
+		}
+		var observers []sim.Observer
+		if rec != nil {
+			observers = append(observers, rec)
+		}
+		if stats != nil {
+			observers = append(observers, stats)
+		}
+		observer := obs.Multi(observers...)
 		res, err := sim.Run(sim.Config{
 			TaskSet:         ts,
 			Processor:       proc,
@@ -122,7 +136,7 @@ func run(o options, w io.Writer) error {
 			Workload:        gen,
 			Horizon:         o.Horizon,
 			StrictDeadlines: o.Strict,
-			Observer:        obs,
+			Observer:        observer,
 		})
 		if err != nil {
 			return err
@@ -144,6 +158,10 @@ func run(o options, w io.Writer) error {
 				names = append(names, t.Name)
 			}
 			rec.Gantt(w, names, res.Time, 96)
+			fmt.Fprintln(w)
+		}
+		if stats != nil {
+			stats.WriteText(w)
 			fmt.Fprintln(w)
 		}
 	}

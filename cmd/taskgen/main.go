@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/rtm"
 )
 
@@ -28,6 +30,10 @@ type options struct {
 	seed    uint64
 	name    string
 	periods string
+
+	// log receives generation diagnostics (nil = discard); main wires
+	// the shared obs logger configured by -log-level/-log-format.
+	log *slog.Logger
 }
 
 func main() {
@@ -37,7 +43,16 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.StringVar(&o.name, "taskset", "", "emit a built-in set: cnc, avionics, videophone, quickstart")
 	flag.StringVar(&o.periods, "periods", "", "comma-separated period pool (default: built-in pool)")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logCfg.New(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+		os.Exit(2)
+	}
+	o.log = logger
 
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
@@ -46,10 +61,15 @@ func main() {
 }
 
 func run(o options, w io.Writer) error {
+	if o.log == nil {
+		o.log = obs.Discard()
+	}
 	ts, err := build(o)
 	if err != nil {
 		return err
 	}
+	o.log.Debug("task set generated",
+		"name", ts.Name, "tasks", ts.N(), "utilization", ts.Utilization(), "seed", o.seed)
 	return ts.WriteJSON(w)
 }
 

@@ -72,6 +72,14 @@ type Options struct {
 	// byte-identical for every value — parallelism only reorders
 	// wall-clock execution, never aggregation.
 	Workers int
+	// Progress, when non-nil, is invoked after each simulation cell
+	// of a fan-out completes, with the cells finished so far and the
+	// fan-out's total (counts reset per cell grid, i.e. per sweep
+	// point). It may be called concurrently from worker goroutines
+	// and must not block for long; cmd/dvsexp -progress plugs the
+	// shared obs logger in here. Progress observes execution order
+	// only — reports stay byte-identical with or without it.
+	Progress func(done, total int)
 }
 
 // workers returns the effective worker-pool width.

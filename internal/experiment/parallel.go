@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dvsslack/internal/dvs"
 	"dvsslack/internal/par"
@@ -65,11 +66,18 @@ func runSeededPoints(n int, factories []PolicyFactory, opts Options,
 	cols := npol + 1
 	results := make([]sim.Result, n*npol)
 	bounds := make([]float64, n)
+	var completed atomic.Int64
+	cellDone := func() {
+		if opts.Progress != nil {
+			opts.Progress(int(completed.Add(1)), n*cols)
+		}
+	}
 	err := par.ForEach(opts.workers(), n*cols, func(k int) error {
 		rep, c := k/cols, k%cols
 		p := pts[rep]
 		if c == npol {
 			bounds[rep] = dvs.Bound(p.TaskSet, p.Processor, p.Workload, p.Horizon)
+			cellDone()
 			return nil
 		}
 		pol := factories[c]()
@@ -84,6 +92,7 @@ func runSeededPoints(n int, factories []PolicyFactory, opts Options,
 			return fmt.Errorf("experiment: point %s policy %s: %w", p.TaskSet.Name, pol.Name(), err)
 		}
 		results[rep*npol+c] = res
+		cellDone()
 		return nil
 	})
 	if err != nil {

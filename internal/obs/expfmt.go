@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition document of
+// the dialect this package renders: every family has a # HELP line
+// immediately followed by # TYPE, samples belong to the most recently
+// declared family (histogram samples via the _bucket/_sum/_count
+// suffixes), sample lines parse, histogram bucket counts are
+// cumulative (monotonically non-decreasing in le order), and each
+// histogram's +Inf bucket equals its _count. It returns the first
+// problem found, with its line number.
+//
+// The verify.sh smoke pass and the /metrics.prom tests both lean on
+// this, so a rendering regression fails loudly in three places.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+
+	type histState struct {
+		lastLe  float64
+		lastCum float64
+		sawInf  bool
+		infVal  float64
+		count   float64
+		sawCnt  bool
+	}
+	var (
+		line    int
+		curFam  string
+		curTyp  string
+		helpFor string                    // family that has a HELP but no TYPE yet
+		hists   = map[string]*histState{} // family+labels (minus le)
+		order   []string
+		seen    = map[string]bool{}
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", line, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if seen[name] {
+					return fmt.Errorf("line %d: family %s declared twice", line, name)
+				}
+				seen[name] = true
+				order = append(order, name)
+				helpFor = name
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type: %q", line, text)
+				}
+				if name != helpFor {
+					return fmt.Errorf("line %d: TYPE %s not preceded by its HELP", line, name)
+				}
+				typ := fields[3]
+				if typ != "counter" && typ != "gauge" && typ != "histogram" {
+					return fmt.Errorf("line %d: unknown type %q", line, typ)
+				}
+				curFam, curTyp, helpFor = name, typ, ""
+			}
+			continue
+		}
+
+		name, labels, le, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if curFam == "" {
+			return fmt.Errorf("line %d: sample %s before any TYPE declaration", line, name)
+		}
+		switch curTyp {
+		case "counter", "gauge":
+			if name != curFam {
+				return fmt.Errorf("line %d: sample %s under family %s", line, name, curFam)
+			}
+			if curTyp == "counter" && value < 0 {
+				return fmt.Errorf("line %d: negative counter %s = %v", line, name, value)
+			}
+		case "histogram":
+			key := curFam + "{" + labels + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{lastLe: math.Inf(-1)}
+				hists[key] = h
+			}
+			switch name {
+			case curFam + "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+					}
+				}
+				if bound <= h.lastLe {
+					return fmt.Errorf("line %d: le %q out of order", line, le)
+				}
+				if value < h.lastCum {
+					return fmt.Errorf("line %d: bucket count %v below previous %v (not cumulative)",
+						line, value, h.lastCum)
+				}
+				h.lastLe, h.lastCum = bound, value
+				if le == "+Inf" {
+					h.sawInf, h.infVal = true, value
+				}
+			case curFam + "_sum":
+				// any float is legal
+			case curFam + "_count":
+				h.sawCnt, h.count = true, value
+			default:
+				return fmt.Errorf("line %d: sample %s under histogram %s", line, name, curFam)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.sawInf {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", key)
+		}
+		if !h.sawCnt {
+			return fmt.Errorf("histogram series %s has no _count", key)
+		}
+		if h.infVal != h.count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %v != _count %v", key, h.infVal, h.count)
+		}
+	}
+	if !sort.StringsAreSorted(order) {
+		return fmt.Errorf("families not in sorted order: %v", order)
+	}
+	return nil
+}
+
+// parseSample splits `name{label="v",le="x"} value` into parts.
+// labels is the raw label block minus any le pair (the histogram
+// series key); le is the le label value if present.
+func parseSample(s string) (name, labels, le string, value float64, err error) {
+	rest := s
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", "", 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		var keep []string
+		block := rest[i+1 : j]
+		rest = rest[j+1:]
+		for _, pair := range splitLabelPairs(block) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", "", 0, fmt.Errorf("malformed label pair %q in %q", pair, s)
+			}
+			if !validName(k) {
+				return "", "", "", 0, fmt.Errorf("invalid label name %q in %q", k, s)
+			}
+			if k == "le" {
+				le = v[1 : len(v)-1]
+			} else {
+				keep = append(keep, pair)
+			}
+		}
+		labels = strings.Join(keep, ",")
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validName(name) {
+		return "", "", "", 0, fmt.Errorf("invalid metric name in %q", s)
+	}
+	rest = strings.TrimSpace(rest)
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", "", 0, fmt.Errorf("bad sample value %q in %q", rest, s)
+	}
+	return name, labels, le, value, nil
+}
+
+// splitLabelPairs splits a label block on commas outside quotes.
+func splitLabelPairs(block string) []string {
+	if block == "" {
+		return nil
+	}
+	var (
+		out     []string
+		start   int
+		inQuote bool
+	)
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, block[start:])
+}

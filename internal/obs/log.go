@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// LogConfig is the shared logging configuration of the dvsslack
+// binaries: every command registers the same -log-level / -log-format
+// flags and builds its logger through New, so log output is uniform
+// across the daemon and the CLIs.
+type LogConfig struct {
+	// Level is the minimum severity: debug, info, warn, or error.
+	Level string
+	// Format selects the slog handler: text or json.
+	Format string
+}
+
+// RegisterFlags installs the shared -log-level and -log-format flags
+// on fs (flag.CommandLine in the binaries).
+func (c *LogConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&c.Format, "log-format", "text", "log format: text, json")
+}
+
+// New builds the configured *slog.Logger writing to w.
+func (c LogConfig) New(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", c.Format)
+	}
+}
+
+// discardHandler drops every record (slog.DiscardHandler needs go
+// 1.24; this module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops everything; the default for
+// components whose caller configured no logger.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// reqPrefix distinguishes request IDs across process restarts so two
+// daemon incarnations never hand out the same ID.
+var reqPrefix = func() string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a process-unique request identifier of the
+// form <prefix>-<seq>, cheap enough for every HTTP request.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqCounter.Add(1))
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLogConfigLevelsAndFormats(t *testing.T) {
+	var b strings.Builder
+	log, err := LogConfig{Level: "warn", Format: "text"}.New(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("warn-level logger filtered wrong: %q", out)
+	}
+
+	b.Reset()
+	log, err = LogConfig{Level: "debug", Format: "json"}.New(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("payload", "answer", 42)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("json handler emitted non-JSON %q: %v", b.String(), err)
+	}
+	if rec["msg"] != "payload" || rec["answer"] != float64(42) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+
+	if _, err := (LogConfig{Level: "loud"}).New(&b); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := (LogConfig{Format: "xml"}).New(&b); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	// Must not panic and must report disabled at every level.
+	log := Discard()
+	log.Error("nobody hears this")
+	if log.Enabled(nil, 0) { //nolint:staticcheck // nil ctx fine for handler probe
+		t.Error("discard logger claims to be enabled")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %s", id)
+		}
+		seen[id] = true
+		if !strings.Contains(id, "-") {
+			t.Fatalf("unexpected id shape %q", id)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern: lock-free, allocation-free, and safe for concurrent use.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically non-decreasing metric. All methods are
+// safe for concurrent use and never allocate.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by v. Negative deltas are a programming
+// error (counters only go up) and panic.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter add of negative value %v", v))
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use and never allocate.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add moves the gauge by v (negative deltas decrease it).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric: bucket i counts
+// observations v with bounds[i-1] < v <= bounds[i], plus one overflow
+// bucket for v above the last bound (the Prometheus +Inf bucket).
+// Observe is lock-free and allocation-free — safe on simulation and
+// request hot paths.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last entry is the overflow
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %v is not finite", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %v", b))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds.
+	Bounds []float64
+	// Counts are the per-bucket (non-cumulative) sample counts;
+	// len(Bounds)+1, the last entry being the overflow bucket.
+	Counts []uint64
+	// Count is the total number of samples (the sum of Counts).
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+}
+
+// Snapshot captures the histogram's current state. The counts are
+// read bucket-by-bucket, so a snapshot taken concurrently with
+// observations is internally consistent as a set of buckets (Count is
+// derived from the same reads) even if it does not correspond to one
+// global instant.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile: the
+// bucket boundary at or above it, +Inf when the quantile falls in the
+// overflow bucket, and 0 with no samples.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Round away accumulated binary error so bounds like 0.15
+		// print as "0.15" in le labels, not "0.15000000000000002".
+		out[i] = math.Round((start+float64(i)*width)*1e9) / 1e9
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bucket bounds start, start·factor, ….
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

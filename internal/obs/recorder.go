@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dvsslack/internal/sim"
+)
+
+// Default bucket bounds of the Recorder histograms. Speeds and slack
+// fractions live in (0, 1], so 20 linear buckets resolve one DVS
+// level step; idle intervals span task periods across many orders of
+// magnitude, so they get a decade-spaced exponential ladder.
+var (
+	DefaultSpeedBuckets = LinearBuckets(0.05, 0.05, 20)
+	DefaultSlackBuckets = LinearBuckets(0.05, 0.05, 20)
+	DefaultIdleBuckets  = ExponentialBuckets(1e-3, 10, 8)
+)
+
+// Recorder is a sim.Observer that accumulates the scheduling
+// distributions the SimDVS-style evaluation argues from: the speed
+// level chosen at every dispatch, the slack each completion reclaims
+// (the unused fraction of the job's WCET budget — the quantity the
+// lpSHE analysis redistributes), idle-interval durations, and
+// preemption / context-switch / speed-switch counts.
+//
+// Every histogram is pre-sized at construction and every callback is
+// allocation-free, so attaching a Recorder does not perturb the
+// engine's allocation-free decision path (pinned by
+// TestRecorderSteadyStateAllocs). A Recorder observes one run at a
+// time; aggregate across runs by reusing it, or keep one per policy
+// for per-policy statistics (cmd/dvssim -stats).
+type Recorder struct {
+	// Speeds is the distribution of speeds chosen at dispatch points.
+	Speeds *Histogram
+	// Slack is the distribution of (WCET-Executed)/WCET over
+	// completions: the execution-time slack each job handed back.
+	Slack *Histogram
+	// Idle is the distribution of idle-interval durations.
+	Idle *Histogram
+
+	// Event counts over everything observed so far.
+	Releases        uint64
+	Dispatches      uint64
+	Completions     uint64
+	Misses          uint64
+	Preemptions     uint64
+	ContextSwitches uint64
+	SpeedSwitches   uint64
+	IdleTime        float64
+
+	last *sim.JobState // most recently dispatched, still incomplete
+}
+
+// NewRecorder returns a Recorder over the default bucket bounds.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		Speeds: newHistogram(DefaultSpeedBuckets),
+		Slack:  newHistogram(DefaultSlackBuckets),
+		Idle:   newHistogram(DefaultIdleBuckets),
+	}
+}
+
+// Reset clears the counters and the dispatch context but keeps the
+// histograms' accumulated samples; use a fresh Recorder for fully
+// independent statistics.
+func (r *Recorder) Reset() {
+	r.Releases, r.Dispatches, r.Completions, r.Misses = 0, 0, 0, 0
+	r.Preemptions, r.ContextSwitches, r.SpeedSwitches = 0, 0, 0
+	r.IdleTime = 0
+	r.last = nil
+}
+
+// ObserveRelease implements sim.Observer.
+func (r *Recorder) ObserveRelease(t float64, j *sim.JobState) { r.Releases++ }
+
+// ObserveDispatch implements sim.Observer.
+func (r *Recorder) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	r.Dispatches++
+	r.Speeds.Observe(speed)
+	if r.last != j {
+		if r.last != nil {
+			r.ContextSwitches++
+			if !r.last.Done && r.last.Started {
+				r.Preemptions++
+			}
+		}
+		r.last = j
+	}
+}
+
+// ObserveComplete implements sim.Observer.
+func (r *Recorder) ObserveComplete(t float64, j *sim.JobState, missed bool) {
+	r.Completions++
+	if missed {
+		r.Misses++
+	}
+	if j.WCET > 0 {
+		frac := (j.WCET - j.Executed) / j.WCET
+		if frac < 0 {
+			frac = 0
+		}
+		r.Slack.Observe(frac)
+	}
+	if r.last == j {
+		r.last = nil
+	}
+}
+
+// ObserveIdle implements sim.Observer.
+func (r *Recorder) ObserveIdle(t0, t1 float64) {
+	r.Idle.Observe(t1 - t0)
+	r.IdleTime += t1 - t0
+}
+
+// ObserveSwitch implements sim.Observer.
+func (r *Recorder) ObserveSwitch(t, from, to float64) { r.SpeedSwitches++ }
+
+// WriteText renders the recorder's statistics as an indented text
+// block (the cmd/dvssim -stats output).
+func (r *Recorder) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "  events: %d releases, %d dispatches, %d completions (%d missed)\n",
+		r.Releases, r.Dispatches, r.Completions, r.Misses)
+	fmt.Fprintf(w, "  switches: %d context, %d preemptions, %d speed changes; idle %.4f\n",
+		r.ContextSwitches, r.Preemptions, r.SpeedSwitches, r.IdleTime)
+	writeHistText(w, "speed chosen per dispatch", r.Speeds.Snapshot())
+	writeHistText(w, "slack reclaimed per completion (fraction of WCET)", r.Slack.Snapshot())
+	writeHistText(w, "idle interval duration", r.Idle.Snapshot())
+}
+
+// writeHistText prints the non-empty buckets of one histogram with
+// proportional bars.
+func writeHistText(w io.Writer, title string, s HistSnapshot) {
+	fmt.Fprintf(w, "  %s: n=%d mean=%.4f\n", title, s.Count, s.Mean())
+	if s.Count == 0 {
+		return
+	}
+	var max uint64
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmtFloat(s.Bounds[i])
+		}
+		bar := strings.Repeat("#", int(1+c*31/max))
+		fmt.Fprintf(w, "    le %-8s %8d %s\n", le, c, bar)
+	}
+}
+
+// multi fans observer events out to several observers.
+type multi []sim.Observer
+
+func (m multi) ObserveRelease(t float64, j *sim.JobState) {
+	for _, o := range m {
+		o.ObserveRelease(t, j)
+	}
+}
+
+func (m multi) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	for _, o := range m {
+		o.ObserveDispatch(t, j, speed)
+	}
+}
+
+func (m multi) ObserveComplete(t float64, j *sim.JobState, missed bool) {
+	for _, o := range m {
+		o.ObserveComplete(t, j, missed)
+	}
+}
+
+func (m multi) ObserveIdle(t0, t1 float64) {
+	for _, o := range m {
+		o.ObserveIdle(t0, t1)
+	}
+}
+
+func (m multi) ObserveSwitch(t, from, to float64) {
+	for _, o := range m {
+		o.ObserveSwitch(t, from, to)
+	}
+}
+
+// Multi combines observers into one, dropping nils: nil for none,
+// the observer itself for one, a fan-out for more.
+func Multi(obs ...sim.Observer) sim.Observer {
+	var out multi
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/dvs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+func recorderRunConfig(t *testing.T) sim.Config {
+	t.Helper()
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(8, 0.7, 1))
+	return sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    &dvs.CCEDF{},
+		Workload:  workload.Uniform{Lo: 0.5, Hi: 1, Seed: 1},
+	}
+}
+
+func TestRecorderMatchesResultCounters(t *testing.T) {
+	cfg := recorderRunConfig(t)
+	rec := NewRecorder()
+	cfg.Observer = rec
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Releases != uint64(res.JobsReleased) {
+		t.Errorf("releases: recorder %d, result %d", rec.Releases, res.JobsReleased)
+	}
+	if rec.Completions != uint64(res.JobsCompleted) {
+		t.Errorf("completions: recorder %d, result %d", rec.Completions, res.JobsCompleted)
+	}
+	if rec.Misses != uint64(res.DeadlineMisses) {
+		t.Errorf("misses: recorder %d, result %d", rec.Misses, res.DeadlineMisses)
+	}
+	if rec.Preemptions != uint64(res.Preemptions) {
+		t.Errorf("preemptions: recorder %d, result %d", rec.Preemptions, res.Preemptions)
+	}
+	if rec.SpeedSwitches != uint64(res.SpeedSwitches) {
+		t.Errorf("speed switches: recorder %d, result %d", rec.SpeedSwitches, res.SpeedSwitches)
+	}
+	if got, want := rec.IdleTime, res.IdleTime; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("idle time: recorder %v, result %v", got, want)
+	}
+	if rec.Speeds.Snapshot().Count != uint64(res.Decisions) {
+		t.Errorf("speed samples: %d, want one per decision (%d)",
+			rec.Speeds.Snapshot().Count, res.Decisions)
+	}
+	if rec.Slack.Snapshot().Count != uint64(res.JobsCompleted) {
+		t.Errorf("slack samples: %d, want one per completion (%d)",
+			rec.Slack.Snapshot().Count, res.JobsCompleted)
+	}
+	// The workload draws AET ~ U[0.5,1]·WCET, so reclaimed slack
+	// fractions must land in [0, 0.5] — nothing in the upper buckets.
+	slack := rec.Slack.Snapshot()
+	for i, c := range slack.Counts {
+		if i < len(slack.Bounds) && slack.Bounds[i] > 0.55 && c > 0 {
+			t.Errorf("slack fraction bucket le=%v has %d samples; workload caps slack at 0.5",
+				slack.Bounds[i], c)
+		}
+	}
+
+	var b strings.Builder
+	rec.WriteText(&b)
+	for _, want := range []string{"speed chosen per dispatch", "slack reclaimed", "idle interval"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("WriteText missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRecorderSteadyStateAllocs extends the engine's AllocsPerRun
+// guard to the instrumentation observer: a run with a Recorder
+// attached must stay within the same budget as a bare run — one
+// allocation per released job plus a constant setup term — proving
+// the observer callbacks are allocation-free.
+func TestRecorderSteadyStateAllocs(t *testing.T) {
+	cfg := recorderRunConfig(t)
+	rec := NewRecorder()
+	cfg.Observer = rec
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions < 50 || res.JobsReleased < 50 {
+		t.Fatalf("trivial run: %d decisions, %d jobs", res.Decisions, res.JobsReleased)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := sim.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The same budget shape as sim's TestEngineDecisionSteadyStateAllocs:
+	// the Recorder adds zero per-event allocations, so observing must
+	// not widen it.
+	budget := float64(res.JobsReleased) + 24
+	if allocs > budget {
+		t.Errorf("observed run allocates %v (budget %v for %d jobs, %d decisions): the observer is allocating",
+			allocs, budget, res.JobsReleased, res.Decisions)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	a, b := NewRecorder(), NewRecorder()
+	if Multi(a, nil) != sim.Observer(a) {
+		t.Error("Multi of one observer should return it unchanged")
+	}
+	cfg := recorderRunConfig(t)
+	cfg.Observer = Multi(a, b)
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.Releases == 0 || a.Releases != b.Releases || a.Dispatches != b.Dispatches {
+		t.Errorf("fan-out mismatch: a{rel %d dis %d} b{rel %d dis %d}",
+			a.Releases, a.Dispatches, b.Releases, b.Dispatches)
+	}
+}

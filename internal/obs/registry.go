@@ -1,0 +1,319 @@
+// Package obs is the observability layer shared by every dvsslack
+// binary: a stdlib-only metrics registry (counters, gauges,
+// fixed-bucket histograms with atomic hot paths) that renders the
+// Prometheus text exposition format, a shared log/slog configuration
+// with per-request IDs, and an allocation-free sim.Observer that
+// records per-run scheduling distributions (see Recorder).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format served by Registry.Handler.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one registered metric name: its metadata plus either a
+// single unlabelled child (key "") or one child per label value.
+type family struct {
+	name, help string
+	typ        metricType
+	label      string         // label name; "" for unlabelled families
+	bounds     []float64      // histogram bucket bounds
+	fn         func() float64 // value source for *Func families
+
+	mu       sync.RWMutex
+	children map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+// child returns the metric for one label value, creating it on first
+// use with mk.
+func (f *family) child(label string, mk func() any) any {
+	f.mu.RLock()
+	c, ok := f.children[label]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[label]; ok {
+		return c
+	}
+	c = mk()
+	f.children[label] = c
+	return c
+}
+
+// sortedChildren returns (label, metric) pairs in label order, for
+// deterministic rendering and snapshots.
+func (f *family) sortedChildren() ([]string, []any) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	labels := make([]string, 0, len(f.children))
+	for l := range f.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	vals := make([]any, len(labels))
+	for i, l := range labels {
+		vals[i] = f.children[l]
+	}
+	return labels, vals
+}
+
+// Registry holds a set of named metrics and renders them in the
+// Prometheus text exposition format. Registration methods panic on
+// duplicate or invalid names (programming errors); the read and write
+// paths of the registered metrics are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, typ metricType, label string, bounds []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if label != "" && !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, typ: typ, label: label,
+		bounds: bounds, fn: fn, children: map[string]any{}}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, "", nil, nil)
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers and returns an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, "", nil, nil)
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time (for totals owned by another component).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeCounter, "", nil, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, "", nil, fn)
+}
+
+// Histogram registers and returns an unlabelled histogram over the
+// given bucket upper bounds (strictly increasing, finite).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, "", bounds, nil)
+	return f.child("", func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// CounterVec is a family of counters partitioned by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, label, nil, nil)}
+}
+
+// With returns the counter for one label value, creating it on first
+// use.
+func (v *CounterVec) With(label string) *Counter {
+	return v.f.child(label, func() any { return &Counter{} }).(*Counter)
+}
+
+// Each calls fn for every child in label order.
+func (v *CounterVec) Each(fn func(label string, c *Counter)) {
+	labels, vals := v.f.sortedChildren()
+	for i, l := range labels {
+		fn(l, vals[i].(*Counter))
+	}
+}
+
+// HistogramVec is a family of histograms partitioned by one label,
+// all sharing the same bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	// Validate the bounds once, eagerly, so a bad registration fails
+	// at startup rather than at the first labelled observation.
+	newHistogram(bounds)
+	return &HistogramVec{f: r.register(name, help, typeHistogram, label, bounds, nil)}
+}
+
+// With returns the histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(label string) *Histogram {
+	return v.f.child(label, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Each calls fn for every child in label order.
+func (v *HistogramVec) Each(fn func(label string, h *Histogram)) {
+	labels, vals := v.f.sortedChildren()
+	for i, l := range labels {
+		fn(l, vals[i].(*Histogram))
+	}
+}
+
+// --- rendering ---
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format. Families are emitted in name order and children
+// in label order, so consecutive scrapes with no writes in between
+// are byte-identical.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.fn != nil {
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtFloat(f.fn()))
+			continue
+		}
+		labels, children := f.sortedChildren()
+		for i, lv := range labels {
+			switch m := children[i].(type) {
+			case *Counter:
+				writeSample(&b, f.name, f.label, lv, m.Value())
+			case *Gauge:
+				writeSample(&b, f.name, f.label, lv, m.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, f.label, lv, m.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition (the
+// /metrics.prom endpoint body).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		r.WriteProm(w)
+	})
+}
+
+func writeSample(b *strings.Builder, name, label, lv string, v float64) {
+	b.WriteString(name)
+	writeLabels(b, label, lv, "")
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(v))
+	b.WriteByte('\n')
+}
+
+func writeHistogram(b *strings.Builder, name, label, lv string, s HistSnapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmtFloat(s.Bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, label, lv, le)
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, label, lv, "")
+	fmt.Fprintf(b, " %s\n", fmtFloat(s.Sum))
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, label, lv, "")
+	fmt.Fprintf(b, " %d\n", cum)
+}
+
+// writeLabels emits the {label="value",le="..."} block, omitting
+// empty parts.
+func writeLabels(b *strings.Builder, label, lv, le string) {
+	if label == "" && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	if label != "" {
+		b.WriteString(label)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(lv))
+		b.WriteByte('"')
+		if le != "" {
+			b.WriteByte(',')
+		}
+	}
+	if le != "" {
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

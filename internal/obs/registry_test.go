@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func buildTestRegistry() (*Registry, *Counter, *CounterVec, *Gauge, *HistogramVec) {
+	r := NewRegistry()
+	c := r.Counter("test_sims_total", "simulations run")
+	cv := r.CounterVec("test_requests_total", "requests by endpoint", "endpoint")
+	g := r.Gauge("test_queue_depth", "queued work items")
+	hv := r.HistogramVec("test_latency_seconds", "latency by policy", "policy",
+		[]float64{0.001, 0.01, 0.1, 1})
+	r.GaugeFunc("test_uptime_seconds", "seconds since start", func() float64 { return 12.5 })
+	return r, c, cv, g, hv
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	return b.String()
+}
+
+func TestExpositionWellFormed(t *testing.T) {
+	r, c, cv, g, hv := buildTestRegistry()
+	c.Add(3)
+	cv.With("simulate").Inc()
+	cv.With("jobs.create").Add(2)
+	g.Set(-4) // gauges may be negative
+	hv.With("lpshe").Observe(0.004)
+	hv.With("lpshe").Observe(0.04)
+	hv.With("lpshe").Observe(50) // overflow bucket
+	hv.With("nonDVS").Observe(0.0005)
+
+	out := render(t, r)
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# HELP test_sims_total simulations run\n# TYPE test_sims_total counter\ntest_sims_total 3\n",
+		`test_requests_total{endpoint="jobs.create"} 2`,
+		`test_requests_total{endpoint="simulate"} 1`,
+		"test_queue_depth -4\n",
+		`test_latency_seconds_bucket{policy="lpshe",le="0.001"} 0`,
+		`test_latency_seconds_bucket{policy="lpshe",le="+Inf"} 3`,
+		`test_latency_seconds_count{policy="lpshe"} 3`,
+		`test_latency_seconds_bucket{policy="nonDVS",le="0.001"} 1`,
+		"test_uptime_seconds 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionHistogramInvariants pins the satellite checklist:
+// cumulative bucket counts are monotonically non-decreasing and the
+// +Inf bucket equals _count for every labelled series.
+func TestExpositionHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("inv_seconds", "h", "policy", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		hv.With("a").Observe(float64(i % 11))
+		hv.With("b").Observe(float64(i) / 10)
+	}
+	out := render(t, r)
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("invariants violated: %v\n%s", err, out)
+	}
+	// The validator itself must catch a non-cumulative document.
+	bad := strings.Join([]string{
+		"# HELP x_seconds h",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="1"} 5`,
+		`x_seconds_bucket{le="2"} 3`, // decreasing: malformed
+		`x_seconds_bucket{le="+Inf"} 5`,
+		"x_seconds_sum 9",
+		"x_seconds_count 5",
+	}, "\n")
+	if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+		t.Error("validator accepted non-cumulative buckets")
+	}
+	bad2 := strings.ReplaceAll(bad, `{le="2"} 3`, `{le="2"} 5`)
+	bad2 = strings.ReplaceAll(bad2, "x_seconds_count 5", "x_seconds_count 7")
+	if err := ValidateExposition(strings.NewReader(bad2)); err == nil {
+		t.Error("validator accepted +Inf bucket != _count")
+	}
+}
+
+func TestExpositionStableOrdering(t *testing.T) {
+	r, c, cv, _, hv := buildTestRegistry()
+	c.Inc()
+	cv.With("b").Inc()
+	cv.With("a").Inc()
+	hv.With("z").Observe(1)
+	hv.With("a").Observe(1)
+
+	first := render(t, r)
+	for i := 0; i < 5; i++ {
+		if got := render(t, r); got != first {
+			t.Fatalf("scrape %d differs with no writes in between:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if strings.Index(first, `endpoint="a"`) > strings.Index(first, `endpoint="b"`) {
+		t.Error("vec children not sorted by label value")
+	}
+}
+
+func TestValidatorRejectsMalformedLines(t *testing.T) {
+	cases := map[string]string{
+		"bare comment":      "# hello",
+		"sample before any": "orphan_total 1",
+		"bad value":         "# HELP a_total h\n# TYPE a_total counter\na_total one",
+		"bad name":          "# HELP 9bad h\n# TYPE 9bad counter\n9bad 1",
+		"unterminated":      "# HELP a_total h\n# TYPE a_total counter\na_total{x=\"1 2",
+		"type mismatch":     "# HELP a_total h\n# TYPE a_total counter\nb_total 1",
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, doc)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := s.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Errorf("p99 = %v, want +Inf (overflow bucket)", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if want := (0.5 + 1 + 1.5 + 3 + 100) / 5; s.Mean() != want {
+		t.Errorf("mean = %v, want %v", s.Mean(), want)
+	}
+}
+
+// TestRegistryConcurrency hammers the registry from parallel writers
+// and scrapers; run under -race (the whole suite is), this is the
+// registry half of the satellite concurrency check.
+func TestRegistryConcurrency(t *testing.T) {
+	r, c, cv, g, hv := buildTestRegistry()
+	stop := make(chan struct{})
+	var writers, scrapers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			labels := []string{"a", "b", "c", "d"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				cv.With(labels[i%len(labels)]).Add(2)
+				g.Add(1)
+				g.Add(-1)
+				hv.With(labels[(i+w)%len(labels)]).Observe(float64(i%100) / 50)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 50; i++ {
+				out := render(t, r)
+				if err := ValidateExposition(strings.NewReader(out)); err != nil {
+					t.Errorf("concurrent scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Scrapers run to completion against live writers, then the
+	// writers stop.
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+}

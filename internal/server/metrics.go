@@ -1,56 +1,125 @@
 package server
 
 import (
-	"math"
-	"sort"
-	"sync"
+	"io"
 	"time"
+
+	"dvsslack/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the latency
-// histogram, exponentially spaced from 100µs to ~100s.
+// histograms, exponentially spaced from 100µs to ~100s.
 var latencyBuckets = []float64{
 	1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10, 30, 100,
 }
 
-// histogram is a fixed-bucket latency histogram. Not safe for
-// concurrent use on its own; metrics serializes access.
-type histogram struct {
-	counts []uint64 // len(latencyBuckets)+1, last bucket = overflow
-	sum    float64
-	n      uint64
+// metrics aggregates the daemon's operational counters on the shared
+// obs.Registry: every figure is scrapeable as Prometheus text via
+// /metrics.prom and also folded into the legacy /metrics JSON
+// snapshot (whose shape predates the registry and is kept
+// byte-compatible).
+type metrics struct {
+	reg   *obs.Registry
+	start time.Time
+
+	requests    *obs.CounterVec // endpoint label -> count
+	errors      *obs.CounterVec // endpoint label -> non-2xx count
+	httpLatency *obs.HistogramVec
+
+	simsRun         *obs.Counter // fresh simulations executed
+	simsFailed      *obs.Counter // simulations that returned an error
+	simsAudited     *obs.Counter // fresh simulations run under the audit oracle
+	auditViolations *obs.Counter // total violations those audits reported
+	simSeconds      *obs.Counter // total simulated time of fresh runs
+	busySeconds     *obs.Counter // total wall-clock spent simulating (sums across workers)
+
+	queueDepth   *obs.Gauge // runnable work items waiting for a worker
+	inFlight     *obs.Gauge // work items currently executing
+	jobsCreated  *obs.Counter
+	jobsFinished *obs.Counter
+
+	policyLatency *obs.HistogramVec // fresh-run wall latency by policy
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+// newMetrics builds the registry. The cache exposes its own lifetime
+// counters, so its metrics are scrape-time reads rather than copies.
+func newMetrics(workers int, cache *resultCache) *metrics {
+	m := &metrics{reg: obs.NewRegistry(), start: time.Now()}
+	r := m.reg
+	r.GaugeFunc("dvsd_uptime_seconds", "seconds since the daemon started",
+		func() float64 { return time.Since(m.start).Seconds() })
+	r.GaugeFunc("dvsd_workers", "simulation worker-pool size",
+		func() float64 { return float64(workers) })
+
+	m.requests = r.CounterVec("dvsd_http_requests_total", "HTTP requests by endpoint", "endpoint")
+	m.errors = r.CounterVec("dvsd_http_request_errors_total", "non-2xx HTTP responses by endpoint", "endpoint")
+	m.httpLatency = r.HistogramVec("dvsd_http_request_seconds", "HTTP request wall time by endpoint",
+		"endpoint", latencyBuckets)
+
+	m.simsRun = r.Counter("dvsd_sims_total", "fresh (non-cached) simulations executed")
+	m.simsFailed = r.Counter("dvsd_sim_failures_total", "simulations that returned an error")
+	m.simsAudited = r.Counter("dvsd_sims_audited_total", "fresh simulations run under the audit oracle")
+	m.auditViolations = r.Counter("dvsd_audit_violations_total", "invariant violations reported by audited runs")
+	m.simSeconds = r.Counter("dvsd_sim_simulated_seconds_total", "simulated time covered by fresh runs")
+	m.busySeconds = r.Counter("dvsd_sim_busy_seconds_total", "wall-clock spent simulating, summed across workers")
+
+	m.queueDepth = r.Gauge("dvsd_queue_depth", "runnable work items waiting for a worker")
+	m.inFlight = r.Gauge("dvsd_inflight_runs", "work items currently executing")
+	m.jobsCreated = r.Counter("dvsd_jobs_created_total", "batch jobs accepted")
+	m.jobsFinished = r.Counter("dvsd_jobs_finished_total", "batch jobs reaching a terminal state")
+
+	m.policyLatency = r.HistogramVec("dvsd_policy_run_seconds", "fresh-run wall latency by policy",
+		"policy", latencyBuckets)
+
+	r.GaugeFunc("dvsd_cache_entries", "result-cache entries",
+		func() float64 { return float64(cache.Len()) })
+	r.CounterFunc("dvsd_cache_hits_total", "result-cache hits",
+		func() float64 { h, _ := cache.Stats(); return float64(h) })
+	r.CounterFunc("dvsd_cache_misses_total", "result-cache misses",
+		func() float64 { _, mi := cache.Stats(); return float64(mi) })
+	return m
 }
 
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	h.counts[i]++
-	h.sum += seconds
-	h.n++
-}
-
-// quantile returns an upper-bound estimate of the q-quantile (the
-// bucket boundary at or above it).
-func (h *histogram) quantile(q float64) float64 {
-	if h.n == 0 {
-		return 0
+func (m *metrics) request(endpoint string, ok bool) {
+	m.requests.With(endpoint).Inc()
+	if !ok {
+		m.errors.With(endpoint).Inc()
 	}
-	target := uint64(math.Ceil(q * float64(h.n)))
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= target {
-			if i < len(latencyBuckets) {
-				return latencyBuckets[i]
-			}
-			return math.Inf(1)
-		}
-	}
-	return math.Inf(1)
 }
+
+// httpDone records one instrumented request's wall time.
+func (m *metrics) httpDone(endpoint string, d time.Duration) {
+	m.httpLatency.With(endpoint).Observe(d.Seconds())
+}
+
+func (m *metrics) enqueue(delta int) { m.queueDepth.Add(float64(delta)) }
+
+func (m *metrics) running(delta int) { m.inFlight.Add(float64(delta)) }
+
+func (m *metrics) jobCreated() { m.jobsCreated.Inc() }
+
+func (m *metrics) jobFinished() { m.jobsFinished.Inc() }
+
+// auditDone records one audited simulation and its violation count.
+func (m *metrics) auditDone(violations int) {
+	m.simsAudited.Inc()
+	m.auditViolations.Add(float64(violations))
+}
+
+// simDone records one fresh (non-cached) simulation.
+func (m *metrics) simDone(policy string, simTime float64, wall time.Duration, err error) {
+	m.simsRun.Inc()
+	if err != nil {
+		m.simsFailed.Inc()
+		return
+	}
+	m.simSeconds.Add(simTime)
+	m.busySeconds.Add(wall.Seconds())
+	m.policyLatency.With(policy).Observe(wall.Seconds())
+}
+
+// writeProm renders the Prometheus text exposition (/metrics.prom).
+func (m *metrics) writeProm(w io.Writer) error { return m.reg.WriteProm(w) }
 
 // HistogramSnapshot is the wire form of one latency histogram.
 type HistogramSnapshot struct {
@@ -59,99 +128,6 @@ type HistogramSnapshot struct {
 	P50Sec  float64           `json:"p50_sec"`
 	P99Sec  float64           `json:"p99_sec"`
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
-}
-
-// metrics aggregates the daemon's operational counters.
-type metrics struct {
-	mu sync.Mutex
-
-	start time.Time
-
-	requests map[string]uint64 // endpoint label -> count
-	errors   map[string]uint64 // endpoint label -> non-2xx count
-
-	simsRun         uint64  // fresh simulations executed
-	simsFailed      uint64  // simulations that returned an error
-	simsAudited     uint64  // fresh simulations run under the audit oracle
-	auditViolations uint64  // total violations those audits reported
-	simSeconds      float64 // total simulated time of fresh runs
-	busySeconds     float64 // total wall-clock spent simulating (sums across workers)
-
-	queueDepth   int // runnable work items waiting for a worker
-	inFlight     int // work items currently executing
-	jobsCreated  uint64
-	jobsFinished uint64
-
-	perPolicy map[string]*histogram // fresh-run wall latency by policy
-}
-
-func newMetrics() *metrics {
-	return &metrics{
-		start:     time.Now(),
-		requests:  map[string]uint64{},
-		errors:    map[string]uint64{},
-		perPolicy: map[string]*histogram{},
-	}
-}
-
-func (m *metrics) request(endpoint string, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[endpoint]++
-	if !ok {
-		m.errors[endpoint]++
-	}
-}
-
-func (m *metrics) enqueue(delta int) {
-	m.mu.Lock()
-	m.queueDepth += delta
-	m.mu.Unlock()
-}
-
-func (m *metrics) running(delta int) {
-	m.mu.Lock()
-	m.inFlight += delta
-	m.mu.Unlock()
-}
-
-func (m *metrics) jobCreated() {
-	m.mu.Lock()
-	m.jobsCreated++
-	m.mu.Unlock()
-}
-
-func (m *metrics) jobFinished() {
-	m.mu.Lock()
-	m.jobsFinished++
-	m.mu.Unlock()
-}
-
-// auditDone records one audited simulation and its violation count.
-func (m *metrics) auditDone(violations int) {
-	m.mu.Lock()
-	m.simsAudited++
-	m.auditViolations += uint64(violations)
-	m.mu.Unlock()
-}
-
-// simDone records one fresh (non-cached) simulation.
-func (m *metrics) simDone(policy string, simTime float64, wall time.Duration, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.simsRun++
-	if err != nil {
-		m.simsFailed++
-		return
-	}
-	m.simSeconds += simTime
-	m.busySeconds += wall.Seconds()
-	h := m.perPolicy[policy]
-	if h == nil {
-		h = newHistogram()
-		m.perPolicy[policy] = h
-	}
-	h.observe(wall.Seconds())
 }
 
 // MetricsSnapshot is the JSON document /metrics serves.
@@ -176,7 +152,8 @@ type MetricsSnapshot struct {
 	AuditViolations uint64 `json:"audit_violations"`
 	// SimSpeedup is simulated seconds per wall-clock second of
 	// simulation work (summed across workers): the throughput figure
-	// of merit of the daemon.
+	// of merit of the daemon. Zero until the first fresh run
+	// completes (never a division by a zero denominator).
 	SimSpeedup float64 `json:"sim_speedup"`
 
 	CacheEntries int    `json:"cache_entries"`
@@ -196,53 +173,49 @@ type MetricsSnapshot struct {
 // snapshot captures a consistent view of the counters.
 func (m *metrics) snapshot(workers int, cache *resultCache) MetricsSnapshot {
 	hits, misses := cache.Stats()
-	entries := cache.Len()
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := MetricsSnapshot{
 		UptimeSec:       time.Since(m.start).Seconds(),
 		Requests:        map[string]uint64{},
 		Errors:          map[string]uint64{},
-		QueueDepth:      m.queueDepth,
-		InFlight:        m.inFlight,
+		QueueDepth:      int(m.queueDepth.Value()),
+		InFlight:        int(m.inFlight.Value()),
 		Workers:         workers,
-		SimsRun:         m.simsRun,
-		SimsFailed:      m.simsFailed,
-		SimSeconds:      m.simSeconds,
-		SimsAudited:     m.simsAudited,
-		AuditViolations: m.auditViolations,
-		CacheEntries:    entries,
+		SimsRun:         uint64(m.simsRun.Value()),
+		SimsFailed:      uint64(m.simsFailed.Value()),
+		SimSeconds:      m.simSeconds.Value(),
+		SimsAudited:     uint64(m.simsAudited.Value()),
+		AuditViolations: uint64(m.auditViolations.Value()),
+		CacheEntries:    cache.Len(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
-		JobsCreated:     m.jobsCreated,
-		JobsFinished:    m.jobsFinished,
+		JobsCreated:     uint64(m.jobsCreated.Value()),
+		JobsFinished:    uint64(m.jobsFinished.Value()),
 	}
-	for k, v := range m.requests {
-		s.Requests[k] = v
-	}
-	for k, v := range m.errors {
-		s.Errors[k] = v
-	}
-	if m.busySeconds > 0 {
-		s.SimSpeedup = m.simSeconds / m.busySeconds
+	m.requests.Each(func(label string, c *obs.Counter) {
+		s.Requests[label] = uint64(c.Value())
+	})
+	m.errors.Each(func(label string, c *obs.Counter) {
+		s.Errors[label] = uint64(c.Value())
+	})
+	// Derived ratios guard their denominators: a zero-traffic daemon
+	// reports 0, not NaN (which would also fail JSON encoding).
+	if busy := m.busySeconds.Value(); busy > 0 {
+		s.SimSpeedup = s.SimSeconds / busy
 	}
 	if total := hits + misses; total > 0 {
 		s.CacheHitRate = float64(hits) / float64(total)
 	}
-	if len(m.perPolicy) > 0 {
-		s.PolicyLatency = map[string]HistogramSnapshot{}
-		for name, h := range m.perPolicy {
-			hs := HistogramSnapshot{
-				Count:  h.n,
-				P50Sec: h.quantile(0.50),
-				P99Sec: h.quantile(0.99),
-			}
-			if h.n > 0 {
-				hs.MeanSec = h.sum / float64(h.n)
-			}
-			s.PolicyLatency[name] = hs
+	m.policyLatency.Each(func(name string, h *obs.Histogram) {
+		hs := h.Snapshot()
+		if s.PolicyLatency == nil {
+			s.PolicyLatency = map[string]HistogramSnapshot{}
 		}
-	}
+		s.PolicyLatency[name] = HistogramSnapshot{
+			Count:   hs.Count,
+			MeanSec: hs.Mean(),
+			P50Sec:  hs.Quantile(0.50),
+			P99Sec:  hs.Quantile(0.99),
+		}
+	})
 	return s
 }

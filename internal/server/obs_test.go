@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dvsslack/internal/obs"
+)
+
+// TestMetricsSnapshotZeroTraffic pins the /metrics JSON document of a
+// daemon that has served nothing: every counter is zero and every
+// derived ratio guards its zero denominator (0, not NaN — NaN would
+// also break JSON encoding).
+func TestMetricsSnapshotZeroTraffic(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 3})
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+	if m.UptimeSec <= 0 {
+		t.Errorf("uptime_sec = %v, want > 0", m.UptimeSec)
+	}
+	if m.Workers != 3 {
+		t.Errorf("workers = %d, want 3", m.Workers)
+	}
+	if len(m.Requests) != 0 || len(m.Errors) != 0 {
+		t.Errorf("zero-traffic requests/errors non-empty: %v / %v", m.Requests, m.Errors)
+	}
+	for name, v := range map[string]float64{
+		"queue_depth":      float64(m.QueueDepth),
+		"in_flight":        float64(m.InFlight),
+		"sims_run":         float64(m.SimsRun),
+		"sims_failed":      float64(m.SimsFailed),
+		"sim_seconds":      m.SimSeconds,
+		"sims_audited":     float64(m.SimsAudited),
+		"audit_violations": float64(m.AuditViolations),
+		"sim_speedup":      m.SimSpeedup,
+		"cache_entries":    float64(m.CacheEntries),
+		"cache_hits":       float64(m.CacheHits),
+		"cache_misses":     float64(m.CacheMisses),
+		"cache_hit_rate":   m.CacheHitRate,
+		"jobs_created":     float64(m.JobsCreated),
+		"jobs_finished":    float64(m.JobsFinished),
+	} {
+		if v != 0 {
+			t.Errorf("zero-traffic %s = %v, want 0", name, v)
+		}
+	}
+	if m.PolicyLatency != nil {
+		t.Errorf("zero-traffic policy_latency = %v, want absent", m.PolicyLatency)
+	}
+	// The legacy JSON keys are a wire contract (client.Metrics and
+	// dashboards decode them); pin their presence byte-wise.
+	for _, key := range []string{
+		`"uptime_sec"`, `"requests"`, `"queue_depth"`, `"in_flight"`, `"workers"`,
+		`"sims_run"`, `"sims_failed"`, `"sim_seconds"`, `"sims_audited"`,
+		`"audit_violations"`, `"sim_speedup"`, `"cache_entries"`, `"cache_hits"`,
+		`"cache_misses"`, `"cache_hit_rate"`, `"jobs_created"`, `"jobs_finished"`,
+	} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("snapshot JSON missing key %s:\n%s", key, raw)
+		}
+	}
+	if bytes.Contains(raw, []byte(`"errors"`)) || bytes.Contains(raw, []byte(`"policy_latency"`)) {
+		t.Errorf("zero-traffic snapshot should omit empty errors/policy_latency:\n%s", raw)
+	}
+}
+
+// TestMetricsPromExposition drives real traffic and checks the
+// Prometheus endpoint covers every metric group of the acceptance
+// criteria with a valid exposition.
+func TestMetricsPromExposition(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	// One fresh simulation, one cache hit, one audited run, one error.
+	decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", quickstartRequest("lpshe")), http.StatusOK)
+	decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", quickstartRequest("lpshe")), http.StatusOK)
+	audited := quickstartRequest("cc")
+	audited.Audit = true
+	decodeResp[SimResult](t, postJSON(t, hs.URL+"/v1/simulate", audited), http.StatusOK)
+	bad := quickstartRequest("no-such-policy")
+	resp := postJSON(t, hs.URL+"/v1/simulate", bad)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("bogus policy accepted")
+	}
+	batch := BatchRequest{Runs: []SimRequest{quickstartRequest("static")}}
+	info := decodeResp[JobInfo](t, postJSON(t, hs.URL+"/v1/jobs", batch), http.StatusAccepted)
+	if info.ID == "" {
+		t.Fatal("no job id")
+	}
+	// Wait the job out so the scrape below sees deterministic counts.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ji := decodeResp[JobInfo](t, mustGet(t, hs.URL+"/v1/jobs/"+info.ID), http.StatusOK)
+		if ji.State == JobDone {
+			break
+		}
+		if ji.State == JobFailed || ji.State == JobCancelled {
+			t.Fatalf("batch job ended in state %s", ji.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch job stuck in state %s", ji.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics.prom invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`dvsd_http_requests_total{endpoint="simulate"} 4`,
+		`dvsd_http_request_errors_total{endpoint="simulate"} 1`,
+		`dvsd_http_request_seconds_bucket{endpoint="simulate",le="+Inf"} 4`,
+		"dvsd_sims_total 3",
+		"dvsd_sims_audited_total 1",
+		"dvsd_cache_hits_total 1",
+		"dvsd_jobs_created_total 1",
+		"dvsd_jobs_finished_total 1",
+		`dvsd_policy_run_seconds_count{policy="lpSHE"} 1`,
+		`dvsd_policy_run_seconds_count{policy="staticEDF"} 1`,
+		`dvsd_policy_run_seconds_count{policy="ccEDF"} 1`,
+		"dvsd_uptime_seconds ",
+		"dvsd_workers 2",
+		"dvsd_queue_depth ",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics.prom missing %q", want)
+		}
+	}
+}
+
+// TestRequestIDAccessLog checks instrumented endpoints hand out
+// per-request IDs and log them through the configured logger.
+func TestRequestIDAccessLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &logBuf}, nil))
+	_, hs := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	resp := postJSON(t, hs.URL+"/v1/simulate", quickstartRequest("cc"))
+	id := resp.Header.Get("X-Request-ID")
+	resp.Body.Close()
+	if id == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	resp2 := postJSON(t, hs.URL+"/v1/simulate", quickstartRequest("cc"))
+	id2 := resp2.Header.Get("X-Request-ID")
+	resp2.Body.Close()
+	if id2 == id {
+		t.Errorf("request IDs repeat: %s", id)
+	}
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "id="+id) || !strings.Contains(logged, "endpoint=simulate") {
+		t.Errorf("access log missing request id %s:\n%s", id, logged)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestPprofGated checks /debug/pprof/ is present only behind
+// Config.EnablePprof.
+func TestPprofGated(t *testing.T) {
+	_, off := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof enabled: status %d, body %.80s", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsConcurrentScrapeAndWrite is the satellite concurrency
+// check: parallel simulate traffic (registry writers) races parallel
+// /metrics and /metrics.prom scrapers; run under -race by the tier-1
+// gate, and every scrape must stay well-formed.
+func TestMetricsConcurrentScrapeAndWrite(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 4})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			policies := []string{"cc", "static", "lpshe", "dra"}
+			for i := 0; i < 10; i++ {
+				req := quickstartRequest(policies[(i+w)%len(policies)])
+				req.Workload.Seed = uint64(w*100 + i + 11) // defeat the cache: fresh sims keep writers hot
+				resp := postJSON(t, hs.URL+"/v1/simulate", req)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(hs.URL + "/metrics.prom")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+					t.Errorf("concurrent scrape invalid: %v", err)
+					return
+				}
+				resp, err = http.Get(hs.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var m MetricsSnapshot
+				if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+					t.Errorf("concurrent /metrics decode: %v", err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
 )
 
@@ -27,6 +30,13 @@ type Config struct {
 	CacheSize int
 	// MaxBodyBytes bounds request bodies; <= 0 selects 32 MiB.
 	MaxBodyBytes int64
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ (cmd/dvsd -pprof). Off by default: profiling
+	// endpoints expose internals and cost CPU when hit.
+	EnablePprof bool
+	// Logger receives structured request and lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Server is the dvsd control plane: an http.Handler plus the worker
@@ -38,6 +48,7 @@ type Server struct {
 	jobs    *jobStore
 	cache   *resultCache
 	met     *metrics
+	log     *slog.Logger
 	mux     *http.ServeMux
 
 	draining atomic.Bool
@@ -62,8 +73,12 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	s := &Server{cfg: cfg, workers: workers}
-	s.met = newMetrics()
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
 	s.cache = newResultCache(cacheSize)
+	s.met = newMetrics(workers, s.cache)
 	s.pool = newPool(workers, cfg.QueueDepth, s.cache, s.met)
 	s.jobs = newJobStore(s.pool, s.met)
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
@@ -77,7 +92,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents) // SSE, self-instrumented
 	mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -125,12 +148,26 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting.
+// instrument wraps a handler with request counting, latency
+// recording, and request-ID access logging. The ID is returned in
+// X-Request-ID so client reports and daemon logs correlate.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := obs.NewRequestID()
+		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
 		h(sw, r)
+		dur := time.Since(start)
 		s.met.request(label, sw.code < 400)
+		s.met.httpDone(label, dur)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", label),
+			slog.Int("status", sw.code),
+			slog.Duration("dur", dur))
 	}
 }
 
@@ -342,6 +379,13 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 // handleMetrics answers GET /metrics with a JSON snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.met.snapshot(s.workers, s.cache))
+}
+
+// handleMetricsProm answers GET /metrics.prom with the Prometheus
+// text exposition of the registry.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.met.writeProm(w)
 }
 
 // handleHealthz answers GET /healthz.

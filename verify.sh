@@ -2,7 +2,8 @@
 # verify.sh — the repo's tier-1 gate: static checks, the full test
 # suite under the race detector, an end-to-end smoke test of the
 # dvsd daemon (start, run one lpSHE simulation over HTTP, assert zero
-# deadline misses, drain cleanly), and a dvscheck audit pass (corpus
+# deadline misses, scrape /metrics.prom and check the exposition is
+# well-formed, drain cleanly), and a dvscheck audit pass (corpus
 # replay, oracle self-test, and a 25-configuration fuzz smoke).
 set -eu
 
@@ -72,11 +73,45 @@ if ! grep -q '"deadline_misses": 0' "$RESP"; then
 fi
 rm -f "$RESP"
 
+# Observability smoke: scrape the Prometheus endpoint and fail on any
+# line that is neither a comment nor a `name{labels} value` sample,
+# then check the metric families the run above must have populated.
+PROM=$(mktemp -t dvsd.prom.XXXXXX)
+STATUS=$(curl -s -o "$PROM" -w '%{http_code}' --max-time 2 "http://$ADDR/metrics.prom")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: /metrics.prom returned HTTP $STATUS" >&2
+    rm -f "$PROM"
+    exit 1
+fi
+BAD=$(awk '!/^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / &&
+           !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9.eE+-]+|[+-]?Inf|NaN)$/' "$PROM")
+if [ -n "$BAD" ]; then
+    echo "FAIL: malformed /metrics.prom lines:" >&2
+    echo "$BAD" >&2
+    rm -f "$PROM"
+    exit 1
+fi
+for METRIC in dvsd_http_requests_total dvsd_sims_total dvsd_policy_run_seconds_bucket dvsd_cache_misses_total dvsd_uptime_seconds; do
+    grep -q "^$METRIC" "$PROM" || {
+        echo "FAIL: /metrics.prom missing $METRIC:" >&2
+        cat "$PROM" >&2
+        rm -f "$PROM"
+        exit 1
+    }
+done
+grep -q '^dvsd_sims_total 1$' "$PROM" || {
+    echo "FAIL: expected dvsd_sims_total 1 after one run:" >&2
+    grep '^dvsd_sims_total' "$PROM" >&2 || true
+    rm -f "$PROM"
+    exit 1
+}
+rm -f "$PROM"
+
 kill -TERM "$DVSD_PID"
 wait "$DVSD_PID" || { echo "FAIL: dvsd exited non-zero on SIGTERM" >&2; exit 1; }
 DVSD_PID=""
 grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain message" >&2; cat "$DVSD_LOG" >&2; exit 1; }
-echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, clean drain)"
+echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, metrics.prom well-formed, clean drain)"
 
 echo "==> dvscheck audit pass"
 # Corpus replay + mutation self-test (the default modes), then a
