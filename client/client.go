@@ -9,21 +9,30 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"dvsslack/internal/server"
 )
 
+// DefaultCallTimeout bounds Metrics and MetricsProm calls made with a
+// deadline-free context: a scrape against a wedged daemon returns an
+// error instead of hanging forever. Override with WithCallTimeout.
+const DefaultCallTimeout = 10 * time.Second
+
 // Client talks to one dvsd instance. The zero value is not usable;
 // construct with New. Client is safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	retry       *retrier
+	callTimeout time.Duration
 }
 
 // New returns a client for the daemon at addr (host:port or a full
@@ -44,10 +53,31 @@ func (c *Client) WithHTTPClient(h *http.Client) *Client {
 	return c
 }
 
+// WithRetry makes the client self-healing under the given policy:
+// idempotent calls that fail with transport errors or retryable
+// statuses (408/429/5xx) are re-attempted with jittered exponential
+// backoff, honoring the server's Retry-After hints, metered by a
+// retry budget and a circuit breaker. See RetryPolicy for which calls
+// qualify. Returns the client for chaining.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = newRetrier(p)
+	return c
+}
+
+// WithCallTimeout replaces DefaultCallTimeout for Metrics and
+// MetricsProm calls whose context carries no deadline. Returns the
+// client for chaining.
+func (c *Client) WithCallTimeout(d time.Duration) *Client {
+	c.callTimeout = d
+	return c
+}
+
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint, zero when absent.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -55,23 +85,66 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("dvsd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
-// do round-trips one JSON request. A nil in sends no body; a nil out
-// discards the response body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// readAPIError decodes a non-2xx response into an APIError, capturing
+// the Retry-After hint on shed/draining responses.
+func readAPIError(resp *http.Response) *APIError {
+	var eb server.ErrorBody
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	e := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// do round-trips one JSON request through the (possibly retrying)
+// transport. A nil in sends no body; a nil out discards the response
+// body; idem marks the call safe to replay.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idem bool) error {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	return c.roundTrip(ctx, method, path, body, idem, func(resp *http.Response) error {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+		return nil
+	})
+}
+
+// doOnce performs a single HTTP attempt. The caller's context
+// deadline, when set, is propagated as X-Request-Deadline so the
+// server can shed work it could never answer in time.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, receive func(*http.Response) error) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if left := time.Until(dl).Round(time.Millisecond); left > 0 {
+			req.Header.Set("X-Request-Deadline", left.String())
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -79,36 +152,42 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var eb server.ErrorBody
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return readAPIError(resp)
 	}
-	if out == nil {
+	if receive == nil {
 		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return receive(resp)
 }
 
 // Healthy reports whether the daemon answers /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
-// Simulate runs one simulation synchronously.
+// Ready reports whether the daemon answers /readyz: healthy, not
+// draining, and with admission headroom.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, true)
+}
+
+// Simulate runs one simulation synchronously. The call is idempotent
+// — the daemon memoizes results by request content — so it is retried
+// under a retry policy.
 func (c *Client) Simulate(ctx context.Context, req server.SimRequest) (server.SimResult, error) {
 	var res server.SimResult
-	err := c.do(ctx, http.MethodPost, "/v1/simulate", &req, &res)
+	err := c.do(ctx, http.MethodPost, "/v1/simulate", &req, &res, true)
 	return res, err
 }
 
-// CreateJob submits a batch and returns its initial status.
+// CreateJob submits a batch and returns its initial status. Never
+// retried (a replay would enqueue the batch twice); callers that need
+// at-most-once semantics with retries should check Jobs for a
+// matching name before re-submitting.
 func (c *Client) CreateJob(ctx context.Context, batch server.BatchRequest) (server.JobInfo, error) {
 	var info server.JobInfo
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", &batch, &info)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", &batch, &info, false)
 	return info, err
 }
 
@@ -119,20 +198,21 @@ func (c *Client) Job(ctx context.Context, id string, withResults bool) (server.J
 		path += "?results=1"
 	}
 	var info server.JobInfo
-	err := c.do(ctx, http.MethodGet, path, nil, &info)
+	err := c.do(ctx, http.MethodGet, path, nil, &info, true)
 	return info, err
 }
 
 // Jobs lists every job the daemon knows.
 func (c *Client) Jobs(ctx context.Context) ([]server.JobInfo, error) {
 	var out []server.JobInfo
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out, true)
 	return out, err
 }
 
-// CancelJob aborts a job's remaining runs.
+// CancelJob aborts a job's remaining runs. Cancelling twice is a
+// no-op server-side, so the call is retried under a retry policy.
 func (c *Client) CancelJob(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, true)
 }
 
 // WaitJob polls until the job reaches a terminal state (or ctx
@@ -160,40 +240,112 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (se
 	}
 }
 
-// Metrics fetches the daemon's metrics snapshot.
+// boundedCtx caps deadline-free scrape contexts with the call
+// timeout; contexts that already carry a deadline pass through.
+func (c *Client) boundedCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := c.callTimeout
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Metrics fetches the daemon's metrics snapshot. Calls without a
+// context deadline are bounded by the call timeout (DefaultCallTimeout
+// unless WithCallTimeout).
 func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
+	ctx, cancel := c.boundedCtx(ctx)
+	defer cancel()
 	var m server.MetricsSnapshot
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m, true)
 	return m, err
 }
 
 // MetricsProm fetches the daemon's Prometheus text exposition
-// (/metrics.prom) and returns the raw body.
+// (/metrics.prom) and returns the raw body. Bounded like Metrics.
 func (c *Client) MetricsProm(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics.prom", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var eb server.ErrorBody
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			msg = eb.Error
+	ctx, cancel := c.boundedCtx(ctx)
+	defer cancel()
+	var out []byte
+	err := c.roundTrip(ctx, http.MethodGet, "/metrics.prom", nil, true, func(resp *http.Response) error {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		out = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return io.ReadAll(resp.Body)
+	return out, nil
 }
 
+// errTruncatedStream marks an SSE stream that closed before its
+// terminal "end" event (connection drop, chaos truncation).
+var errTruncatedStream = errors.New("client: SSE stream ended before terminal event")
+
+// stopStreamError wraps an error the caller's fn returned, so the
+// reconnect loop can tell "caller said stop" from stream failures.
+type stopStreamError struct{ err error }
+
+func (e *stopStreamError) Error() string { return e.err.Error() }
+func (e *stopStreamError) Unwrap() error { return e.err }
+
 // StreamEvents subscribes to a job's SSE progress stream, invoking fn
-// for every event until the terminal "end" event, stream close, or
-// ctx cancellation. fn returning a non-nil error stops the stream.
+// for every event until the terminal "end" event or ctx cancellation.
+// fn returning a non-nil error stops the stream and is returned as-is.
+//
+// Under a retry policy the stream is self-healing: a connection that
+// drops before the "end" event is re-established with backoff (budget
+// rules apply; the circuit breaker does not gate long-lived streams).
+// Every (re)connection first delivers a snapshot event carrying the
+// job's cumulative progress, so fn may see the same totals twice but
+// never misses the final state. Without a retry policy a stream that
+// closes early returns nil, matching historical behaviour.
 func (c *Client) StreamEvents(ctx context.Context, id string, fn func(server.JobEvent) error) error {
+	rt := c.retry
+	attempts := 1
+	if rt != nil {
+		attempts = rt.policy.MaxAttempts
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		err = c.streamOnce(ctx, id, fn)
+		var stop *stopStreamError
+		if errors.As(err, &stop) {
+			return stop.err
+		}
+		if err == nil {
+			return nil
+		}
+		if rt == nil {
+			if errors.Is(err, errTruncatedStream) {
+				return nil
+			}
+			return err
+		}
+		if !retryable(err) || attempt+1 >= attempts {
+			return err
+		}
+		if !rt.spend() {
+			return fmt.Errorf("client: retry budget exhausted: %w", err)
+		}
+		if serr := rt.sleep(ctx, rt.delay(attempt, retryAfterHint(err))); serr != nil {
+			return serr
+		}
+	}
+	return err
+}
+
+// streamOnce runs a single SSE connection to completion.
+func (c *Client) streamOnce(ctx context.Context, id string, fn func(server.JobEvent) error) error {
+	if rt := c.retry; rt != nil {
+		rt.attempt()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
@@ -205,24 +357,19 @@ func (c *Client) StreamEvents(ctx context.Context, id string, fn func(server.Job
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var eb server.ErrorBody
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return readAPIError(resp)
 	}
 	dec := newSSEDecoder(resp.Body)
 	for {
 		ev, err := dec.next()
 		if err == io.EOF {
-			return nil
+			return errTruncatedStream
 		}
 		if err != nil {
 			return err
 		}
 		if err := fn(ev); err != nil {
-			return err
+			return &stopStreamError{err: err}
 		}
 		if ev.Type == "end" {
 			return nil

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dvsslack/internal/resilience"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// TestSelfHealingUnderChaos is the resilience acceptance check: a
+// retrying client completes a 50-request workload against a daemon in
+// chaos mode — ~30% of requests delayed, errored, dropped, or
+// truncated — with zero errors surfacing to the caller. Requests run
+// sequentially, so with fixed chaos and jitter seeds the injected
+// fault sequence and the retry schedule are both deterministic: this
+// test cannot flake, it can only regress.
+func TestSelfHealingUnderChaos(t *testing.T) {
+	chaos := resilience.DefaultChaos(42)
+	chaos.MaxDelay = 2 * time.Millisecond
+	srv := server.New(server.Config{Workers: 2, Chaos: &chaos})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	c := New(hs.URL).WithRetry(RetryPolicy{
+		MaxAttempts: 10,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond},
+		Budget:      500,
+		// The point of this test is riding out every fault, not
+		// failing fast, so the breaker stays effectively disabled.
+		BreakerThreshold: 1000,
+		Seed:             7,
+	})
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		req := server.SimRequest{
+			TaskSet:  rtm.Quickstart(),
+			Policy:   "lpshe",
+			Workload: server.WorkloadSpec{Kind: "uniform", Lo: 0.5, Hi: 1, Seed: uint64(i)},
+		}
+		res, err := c.Simulate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d surfaced an error despite retries: %v", i, err)
+		}
+		if res.Energy <= 0 {
+			t.Fatalf("request %d returned a degenerate result: %+v", i, res)
+		}
+	}
+
+	st := c.RetryStats()
+	if st.Attempts < n {
+		t.Fatalf("attempts = %d, want >= %d", st.Attempts, n)
+	}
+	// Chaos at ~30% fault probability over 50 requests must have
+	// forced at least one self-heal, or the harness isn't injecting.
+	if st.Retries == 0 {
+		t.Fatal("no retries happened: chaos injected nothing?")
+	}
+	if st.BudgetExhausted != 0 || st.BreakerRejects != 0 {
+		t.Fatalf("stats = %+v, want no budget/breaker interference", st)
+	}
+	t.Logf("chaos workload: %d requests, %d attempts, %d retries", n, st.Attempts, st.Retries)
+}

@@ -8,6 +8,8 @@
 //	dvsd -addr 127.0.0.1:9090 -workers 8
 //	dvsd -addr 127.0.0.1:0                # pick a free port (logged)
 //	dvsd -pprof -log-level debug -log-format json
+//	dvsd -request-timeout 30s -admit 64   # resilience knobs (docs/resilience.md)
+//	dvsd -chaos 42                        # deterministic fault injection (testing)
 //
 // Endpoints (see docs/api.md and docs/observability.md):
 //
@@ -22,6 +24,7 @@
 //	GET  /metrics.prom           Prometheus text exposition
 //	GET  /debug/pprof/*          profiling (with -pprof)
 //	GET  /healthz                liveness
+//	GET  /readyz                 readiness (drain/saturation aware)
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, jobs
 // in flight get -drain-timeout to finish, then stragglers are
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"dvsslack/internal/obs"
+	"dvsslack/internal/resilience"
 	"dvsslack/internal/server"
 )
 
@@ -52,7 +56,18 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "result cache entries (0 disables)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
-		logCfg    obs.LogConfig
+
+		reqTimeout = flag.Duration("request-timeout", 60*time.Second,
+			"per-request deadline; clients may tighten it with X-Request-Deadline (0 = unbounded)")
+		admit = flag.Int("admit", 0,
+			"max concurrently admitted synchronous simulations; excess is shed with 429 (0 = workers+queue)")
+		sseTimeout = flag.Duration("sse-write-timeout", 5*time.Second,
+			"per-event write deadline on SSE job streams; slow consumers are dropped")
+		chaosSeed = flag.Uint64("chaos", 0,
+			"enable deterministic fault injection with this seed (testing only; 0 = off)")
+		chaosDelay = flag.Duration("chaos-max-delay", 25*time.Millisecond,
+			"upper bound of chaos-injected delays (with -chaos)")
+		logCfg obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,12 +82,24 @@ func main() {
 	if cs == 0 {
 		cs = -1 // Config: 0 means default, -1 disables
 	}
+	var chaos *resilience.ChaosConfig
+	if *chaosSeed != 0 {
+		cc := resilience.DefaultChaos(*chaosSeed)
+		cc.MaxDelay = *chaosDelay
+		chaos = &cc
+		logger.Warn("dvsd: CHAOS MODE — injecting deterministic faults", "seed", *chaosSeed,
+			"max_delay", chaosDelay.String())
+	}
 	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheSize:   cs,
-		EnablePprof: *pprof,
-		Logger:      logger,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       cs,
+		EnablePprof:     *pprof,
+		Logger:          logger,
+		RequestTimeout:  *reqTimeout,
+		AdmitLimit:      *admit,
+		SSEWriteTimeout: *sseTimeout,
+		Chaos:           chaos,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,105 @@
+// Command dvshammer drives a dvsd daemon with a concurrent simulation
+// workload through the self-healing client and fails loudly if any
+// request error survives the retry layer. It is the smoke-test rig
+// for chaos mode (dvsd -chaos <seed>): a run that exits 0 proves the
+// client rode out every injected delay, error, drop, and truncation.
+//
+// Usage:
+//
+//	dvshammer -addr 127.0.0.1:8080 -n 50 -c 4 -seed 7
+//
+// Exit status: 0 when every request succeeded, 1 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvsslack/client"
+	"dvsslack/internal/resilience"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "dvsd address")
+		n       = flag.Int("n", 50, "total simulation requests")
+		conc    = flag.Int("c", 4, "concurrent request workers")
+		seed    = flag.Uint64("seed", 7, "retry-jitter seed and workload seed base")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		policy  = flag.String("policy", "lpshe", "DVS policy to simulate")
+	)
+	flag.Parse()
+	if *n < 1 || *conc < 1 {
+		fmt.Fprintln(os.Stderr, "dvshammer: -n and -c must be >= 1")
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := client.New(*addr).WithRetry(client.RetryPolicy{
+		MaxAttempts: 10,
+		Backoff:     resilience.Backoff{Base: 5 * time.Millisecond, Max: 250 * time.Millisecond},
+		Budget:      4 * *n,
+		// The hammer's job is to outlast every injected fault, not to
+		// fail fast, so the breaker threshold sits out of reach.
+		BreakerThreshold: 1 << 30,
+		Seed:             *seed,
+	})
+	if err := c.Healthy(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dvshammer: daemon not healthy at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Int64
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n || ctx.Err() != nil {
+					return
+				}
+				req := server.SimRequest{
+					TaskSet: rtm.Quickstart(),
+					Policy:  *policy,
+					// Distinct workload seeds force fresh simulations, so
+					// the hammer exercises the pool, not just the cache.
+					Workload: server.WorkloadSpec{Kind: "uniform", Lo: 0.5, Hi: 1, Seed: *seed + uint64(i)},
+				}
+				res, err := c.Simulate(ctx, req)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "dvshammer: request %d failed: %v\n", i, err)
+					continue
+				}
+				if res.Energy <= 0 {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "dvshammer: request %d returned degenerate energy %v\n", i, res.Energy)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.RetryStats()
+	fmt.Printf("dvshammer: %d requests in %v: %d failed, %d attempts, %d retries, %d budget-exhausted, breaker %s\n",
+		*n, time.Since(start).Round(time.Millisecond), failed.Load(),
+		st.Attempts, st.Retries, st.BudgetExhausted, c.BreakerState())
+	if failed.Load() > 0 || ctx.Err() != nil {
+		os.Exit(1)
+	}
+}

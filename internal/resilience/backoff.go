@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"math"
+	"time"
+)
+
+// Backoff computes exponential retry delays with full jitter: the
+// delay before retry attempt n (0-based) is uniform in
+// [0, min(Max, Base·Factor^n)). Full jitter (rather than
+// equal-jitter or none) desynchronizes retry storms: a burst of
+// clients that failed together does not come back together.
+//
+// The zero value is usable and selects Base 50ms, Factor 2, Max 5s.
+type Backoff struct {
+	// Base is the cap of the first delay.
+	Base time.Duration
+	// Max caps every delay.
+	Max time.Duration
+	// Factor is the per-attempt growth of the cap.
+	Factor float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Cap returns the un-jittered delay ceiling for attempt n:
+// min(Max, Base·Factor^n).
+func (b Backoff) Cap(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if d > float64(b.Max) || math.IsInf(d, 1) || math.IsNaN(d) {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// Delay returns the jittered delay for attempt n. u must be a uniform
+// variate in [0, 1) — the caller supplies it (typically from a forked
+// prng.Source) so delay sequences are deterministic under test and
+// independent across clients in production.
+func (b Backoff) Delay(attempt int, u float64) time.Duration {
+	if u < 0 || u >= 1 || math.IsNaN(u) {
+		u = 0.5
+	}
+	return time.Duration(u * float64(b.Cap(attempt)))
+}

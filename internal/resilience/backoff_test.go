@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"dvsslack/internal/prng"
+)
+
+func TestBackoffCapGrowth(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Cap(i); got != w {
+			t.Errorf("Cap(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Huge attempt counts must saturate at Max, not overflow.
+	if got := b.Cap(500); got != 2*time.Second {
+		t.Errorf("Cap(500) = %v, want cap at Max", got)
+	}
+	if got := b.Cap(-3); got != b.Cap(0) {
+		t.Errorf("negative attempt Cap = %v, want Cap(0) %v", got, b.Cap(0))
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Cap(0); got != 50*time.Millisecond {
+		t.Errorf("zero-value Cap(0) = %v, want 50ms", got)
+	}
+	if got := b.Cap(100); got != 5*time.Second {
+		t.Errorf("zero-value Cap(100) = %v, want 5s", got)
+	}
+}
+
+// TestBackoffFullJitter checks Delay stays in [0, Cap) and uses the
+// whole range: full jitter means a retrying fleet spreads out.
+func TestBackoffFullJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	rng := prng.New(42)
+	var lo, hi time.Duration = time.Hour, 0
+	for i := 0; i < 1000; i++ {
+		d := b.Delay(2, rng.Float64())
+		if d < 0 || d >= b.Cap(2) {
+			t.Fatalf("Delay out of [0, %v): %v", b.Cap(2), d)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo > 40*time.Millisecond || hi < 360*time.Millisecond {
+		t.Errorf("jitter not spread across the range: [%v, %v] over cap %v", lo, hi, b.Cap(2))
+	}
+	// Degenerate variates fall back rather than panic or go negative.
+	if d := b.Delay(0, -1); d < 0 || d >= b.Cap(0) {
+		t.Errorf("Delay with u=-1 = %v", d)
+	}
+}
+
+// TestBackoffDeterministic: the same variate stream gives the same
+// delay sequence — the property the chaos tests and the client's
+// seeded retry jitter rely on.
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2}
+	a, c := prng.New(7), prng.New(7)
+	for i := 0; i < 50; i++ {
+		if da, dc := b.Delay(i%6, a.Float64()), b.Delay(i%6, c.Float64()); da != dc {
+			t.Fatalf("attempt %d: %v != %v with identical seeds", i, da, dc)
+		}
+	}
+}

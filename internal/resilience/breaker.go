@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker. It closes (allows
+// calls) until Threshold consecutive failures are recorded, then
+// opens for Cooldown: Allow fails fast with ErrBreakerOpen. Once the
+// cooldown elapses the breaker goes half-open and admits a single
+// probe call; a successful probe closes the breaker, a failed probe
+// re-opens it for another cooldown.
+//
+// Breaker is safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int       // consecutive failures
+	openUntil time.Time // zero while closed
+	probing   bool      // a half-open probe is in flight
+	now       func() time.Time
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures for cooldown per trip. threshold < 1 selects
+// 5; cooldown <= 0 selects 1s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed: nil while closed or for
+// the single half-open probe, ErrBreakerOpen otherwise. Every
+// allowed call must be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return nil
+	}
+	if b.now().Before(b.openUntil) {
+		return ErrBreakerOpen
+	}
+	// Cooldown elapsed: half-open. Admit one probe at a time.
+	if b.probing {
+		return ErrBreakerOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// Record reports one call outcome. A success resets the failure run
+// and closes the breaker; a failure extends the run and (re)opens the
+// breaker at the threshold.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// State returns "closed", "open", or "half-open" (diagnostics only;
+// the answer may be stale by the time the caller acts on it).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.now().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock lets the tests move the breaker through its states
+// without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedBreaker(th int, cd time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(th, cd)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newClockedBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2/3 failures = %s, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false) // third consecutive failure trips it
+	if b.State() != "open" {
+		t.Fatalf("state after 3/3 failures = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call (err=%v)", err)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newClockedBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("call %d refused: %v", i, err)
+		}
+		b.Record(i%2 == 0) // alternating outcomes never reach 3 consecutive
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed under alternating outcomes", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newClockedBreaker(2, time.Second)
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker not open after threshold")
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	if b.State() != "half-open" {
+		t.Fatalf("state after cooldown = %s, want half-open", b.State())
+	}
+	// Exactly one probe is admitted.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens for a fresh cooldown.
+	b.Record(false)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Record(true) // successful probe closes it
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused a call: %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dvsslack/internal/prng"
+)
+
+// Fault is one injectable failure class.
+type Fault string
+
+// The fault vocabulary. Delay stalls the request before handling;
+// Error short-circuits it with a 5xx; Drop aborts the connection
+// before the handler runs (the client sees EOF / connection reset);
+// Truncate runs the handler against a byte-limited writer and aborts
+// the connection mid-body — which, on the SSE endpoint, is exactly a
+// truncated event stream.
+const (
+	FaultDelay    Fault = "delay"
+	FaultError    Fault = "error"
+	FaultDrop     Fault = "drop"
+	FaultTruncate Fault = "truncate"
+)
+
+// ChaosConfig tunes the deterministic fault injector.
+type ChaosConfig struct {
+	// Seed selects the fault sequence. The k-th injection decision is
+	// a pure function of (Seed, k), so a given seed always produces
+	// the same sequence of faults regardless of goroutine scheduling.
+	Seed uint64
+	// DelayP, ErrorP, DropP, TruncateP are the per-request injection
+	// probabilities of each fault class; their sum must be <= 1 and
+	// the remainder is served untouched.
+	DelayP, ErrorP, DropP, TruncateP float64
+	// MaxDelay bounds injected delays; <= 0 selects 25ms.
+	MaxDelay time.Duration
+	// TruncateBytes bounds how much of a truncated response is let
+	// through; <= 0 selects 256.
+	TruncateBytes int
+	// Exempt lists path prefixes never injected (health and metrics
+	// endpoints stay reliable so probes and scrapes tell the truth).
+	Exempt []string
+	// OnInject, when non-nil, observes every injected fault (the
+	// daemon counts them into dvsd_chaos_injected_total).
+	OnInject func(Fault)
+}
+
+// DefaultChaos returns the standard test mix for a seed: 10% delays
+// up to 25ms, 10% 5xx errors, 5% connection drops, 5% truncations —
+// aggressive enough that a 50-request workload sees every class, mild
+// enough that a retrying client always gets through.
+func DefaultChaos(seed uint64) ChaosConfig {
+	return ChaosConfig{
+		Seed:   seed,
+		DelayP: 0.10, ErrorP: 0.10, DropP: 0.05, TruncateP: 0.05,
+		MaxDelay: 25 * time.Millisecond,
+	}
+}
+
+// Chaos injects deterministic faults into an HTTP handler chain. Use
+// New to construct; the zero value injects nothing.
+type Chaos struct {
+	cfg ChaosConfig
+	n   atomic.Uint64 // injection points consumed
+	// sleep is swapped by tests to avoid real waiting.
+	sleep func(time.Duration)
+}
+
+// NewChaos validates cfg and returns an injector.
+func NewChaos(cfg ChaosConfig) (*Chaos, error) {
+	for _, p := range []float64{cfg.DelayP, cfg.ErrorP, cfg.DropP, cfg.TruncateP} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("resilience: chaos probability %v out of [0, 1]", p)
+		}
+	}
+	if sum := cfg.DelayP + cfg.ErrorP + cfg.DropP + cfg.TruncateP; sum > 1 {
+		return nil, fmt.Errorf("resilience: chaos probabilities sum to %v > 1", sum)
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 25 * time.Millisecond
+	}
+	if cfg.TruncateBytes <= 0 {
+		cfg.TruncateBytes = 256
+	}
+	return &Chaos{cfg: cfg, sleep: time.Sleep}, nil
+}
+
+// Plan returns the decision for the k-th injection point: the fault
+// ("" for none) and a magnitude in [0, 1) that scales the fault
+// (delay length, truncation point, error code choice). Plan is pure —
+// the whole sequence is reproducible from the seed alone.
+func (c *Chaos) Plan(k uint64) (Fault, float64) {
+	u := prng.Float64(prng.Hash3(c.cfg.Seed, int(k), 0))
+	v := prng.Float64(prng.Hash3(c.cfg.Seed, int(k), 1))
+	switch {
+	case u < c.cfg.DelayP:
+		return FaultDelay, v
+	case u < c.cfg.DelayP+c.cfg.ErrorP:
+		return FaultError, v
+	case u < c.cfg.DelayP+c.cfg.ErrorP+c.cfg.DropP:
+		return FaultDrop, v
+	case u < c.cfg.DelayP+c.cfg.ErrorP+c.cfg.DropP+c.cfg.TruncateP:
+		return FaultTruncate, v
+	}
+	return "", v
+}
+
+// next consumes one injection point. The atomic counter makes the
+// sequence of decisions deterministic even when requests race: the
+// k-th admitted request (in counter order) always draws decision k.
+func (c *Chaos) next() (Fault, float64) {
+	return c.Plan(c.n.Add(1) - 1)
+}
+
+func (c *Chaos) exempt(path string) bool {
+	for _, p := range c.cfg.Exempt {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Chaos) inject(f Fault) {
+	if c.cfg.OnInject != nil {
+		c.cfg.OnInject(f)
+	}
+}
+
+// Middleware wraps next with fault injection.
+func (c *Chaos) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c.exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		fault, mag := c.next()
+		switch fault {
+		case FaultDelay:
+			c.inject(fault)
+			c.sleep(time.Duration(mag * float64(c.cfg.MaxDelay)))
+		case FaultError:
+			c.inject(fault)
+			codes := []int{http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable}
+			code := codes[int(mag*float64(len(codes)))%len(codes)]
+			if code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, "{\"error\": \"chaos: injected %d\"}\n", code)
+			return
+		case FaultDrop:
+			c.inject(fault)
+			panic(http.ErrAbortHandler)
+		case FaultTruncate:
+			c.inject(fault)
+			w = &truncatingWriter{ResponseWriter: w, remaining: 1 + int(mag*float64(c.cfg.TruncateBytes))}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncatingWriter lets a bounded prefix of the response through,
+// then aborts the connection, leaving the client with a torn body.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (w *truncatingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) > w.remaining {
+		// Flush the allowed prefix so it actually reaches the wire
+		// before the abort tears the connection down.
+		w.ResponseWriter.Write(p[:w.remaining])
+		w.remaining = 0
+		if f, ok := w.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	w.remaining -= len(p)
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap keeps http.ResponseController working through the wrapper.
+func (w *truncatingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

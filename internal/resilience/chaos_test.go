@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministicSequence is the acceptance property: the
+// injected fault sequence is a pure function of the seed.
+func TestChaosDeterministicSequence(t *testing.T) {
+	a, err := NewChaos(DefaultChaos(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewChaos(DefaultChaos(42))
+	c, _ := NewChaos(DefaultChaos(43))
+	same := true
+	counts := map[Fault]int{}
+	for k := uint64(0); k < 500; k++ {
+		fa, ma := a.Plan(k)
+		fb, mb := b.Plan(k)
+		fc, _ := c.Plan(k)
+		if fa != fb || ma != mb {
+			t.Fatalf("decision %d differs for identical seeds: (%s,%v) vs (%s,%v)", k, fa, ma, fb, mb)
+		}
+		if fa != fc {
+			same = false
+		}
+		counts[fa]++
+	}
+	if same {
+		t.Error("different seeds produced identical 500-decision fault sequences")
+	}
+	// The default mix must exercise every fault class within 500
+	// decisions — otherwise the chaos smoke proves nothing.
+	for _, f := range []Fault{FaultDelay, FaultError, FaultDrop, FaultTruncate, ""} {
+		if counts[f] == 0 {
+			t.Errorf("fault %q never drawn in 500 decisions: %v", f, counts)
+		}
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	if _, err := NewChaos(ChaosConfig{DelayP: -0.1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewChaos(ChaosConfig{DelayP: 0.5, ErrorP: 0.6}); err == nil {
+		t.Error("probabilities summing over 1 accepted")
+	}
+}
+
+func okHandler() (http.Handler, *int) {
+	var hits int
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok": true}`)
+	}), &hits
+}
+
+// chaosFor builds an injector whose first decision is the wanted
+// fault, by scanning seeds. Failing to find one within 10k seeds
+// would mean the Plan distribution is broken.
+func chaosFor(t *testing.T, want Fault, cfg func(*ChaosConfig)) *Chaos {
+	t.Helper()
+	for seed := uint64(0); seed < 10000; seed++ {
+		c := DefaultChaos(seed)
+		if cfg != nil {
+			cfg(&c)
+		}
+		ch, err := NewChaos(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f, _ := ch.Plan(0); f == want {
+			return ch
+		}
+	}
+	t.Fatalf("no seed found whose first decision is %q", want)
+	return nil
+}
+
+func TestChaosErrorFault(t *testing.T) {
+	h, hits := okHandler()
+	var injected []Fault
+	ch := chaosFor(t, FaultError, func(c *ChaosConfig) {
+		c.OnInject = func(f Fault) { injected = append(injected, f) }
+	})
+	srv := httptest.NewServer(ch.Middleware(h))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Fatalf("status = %d, want injected 5xx", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("body %q does not identify the injected error", body)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 missing Retry-After")
+	}
+	if *hits != 0 {
+		t.Error("handler ran despite injected error")
+	}
+	if len(injected) != 1 || injected[0] != FaultError {
+		t.Errorf("OnInject saw %v, want [error]", injected)
+	}
+}
+
+func TestChaosDropFault(t *testing.T) {
+	h, _ := okHandler()
+	ch := chaosFor(t, FaultDrop, nil)
+	srv := httptest.NewServer(ch.Middleware(h))
+	defer srv.Close()
+
+	_, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+}
+
+func TestChaosTruncateFault(t *testing.T) {
+	big := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 64<<10)))
+	})
+	ch := chaosFor(t, FaultTruncate, nil)
+	srv := httptest.NewServer(ch.Middleware(big))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(body) == 64<<10 {
+			t.Fatal("truncate fault delivered the full body cleanly")
+		}
+	}
+}
+
+func TestChaosDelayFault(t *testing.T) {
+	h, hits := okHandler()
+	var slept time.Duration
+	ch := chaosFor(t, FaultDelay, nil)
+	ch.sleep = func(d time.Duration) { slept = d }
+	srv := httptest.NewServer(ch.Middleware(h))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || *hits != 1 {
+		t.Fatalf("delayed request: status %d hits %d", resp.StatusCode, *hits)
+	}
+	if slept <= 0 || slept > 25*time.Millisecond {
+		t.Errorf("injected delay %v outside (0, MaxDelay]", slept)
+	}
+}
+
+func TestChaosExemptPaths(t *testing.T) {
+	h, hits := okHandler()
+	cfg := ChaosConfig{Seed: 1, ErrorP: 1} // inject on every request
+	cfg.Exempt = []string{"/healthz", "/metrics"}
+	ch, err := NewChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ch.Middleware(h))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/metrics", "/metrics.prom"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("exempt path %s got injected status %d", path, resp.StatusCode)
+		}
+	}
+	if *hits != 3 {
+		t.Errorf("handler hits = %d, want 3", *hits)
+	}
+	resp, err := http.Get(srv.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 500 {
+		t.Errorf("non-exempt path escaped ErrorP=1 injection: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,45 @@
+package resilience
+
+import "sync/atomic"
+
+// Limiter is the admission-control primitive: a fixed budget of
+// concurrently admitted requests. TryAcquire never blocks — when the
+// budget is spent the request is shed immediately (the HTTP layer
+// turns that into 429 + Retry-After), which is what keeps an
+// overloaded server from accumulating goroutines behind a queue it
+// can never drain.
+//
+// Limiter is safe for concurrent use.
+type Limiter struct {
+	capacity int64
+	inUse    atomic.Int64
+}
+
+// NewLimiter returns a limiter admitting up to capacity concurrent
+// holders. capacity < 1 selects 1.
+func NewLimiter(capacity int) *Limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Limiter{capacity: int64(capacity)}
+}
+
+// TryAcquire takes one admission slot, reporting ErrShed (without
+// blocking) when none is free. Each successful acquire must be paired
+// with exactly one Release.
+func (l *Limiter) TryAcquire() error {
+	if l.inUse.Add(1) > l.capacity {
+		l.inUse.Add(-1)
+		return ErrShed
+	}
+	return nil
+}
+
+// Release returns one slot.
+func (l *Limiter) Release() { l.inUse.Add(-1) }
+
+// InUse returns the number of currently admitted holders.
+func (l *Limiter) InUse() int { return int(l.inUse.Load()) }
+
+// Capacity returns the admission budget.
+func (l *Limiter) Capacity() int { return int(l.capacity) }

@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimiterCapacity(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Capacity() != 2 {
+		t.Fatalf("capacity = %d", l.Capacity())
+	}
+	if err := l.TryAcquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TryAcquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TryAcquire(); !errors.Is(err, ErrShed) {
+		t.Fatalf("third acquire on capacity 2: err = %v, want ErrShed", err)
+	}
+	if l.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2 (failed acquire must not leak a slot)", l.InUse())
+	}
+	l.Release()
+	if err := l.TryAcquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterDegenerateCapacity(t *testing.T) {
+	l := NewLimiter(0)
+	if l.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", l.Capacity())
+	}
+}
+
+// TestLimiterConcurrent hammers the limiter from many goroutines and
+// checks the admission invariant (never more than capacity holders)
+// plus full accounting (everything released, nothing leaked). Run
+// under -race by the tier-1 gate.
+func TestLimiterConcurrent(t *testing.T) {
+	const capacity, goroutines, rounds = 8, 32, 200
+	l := NewLimiter(capacity)
+	var maxSeen atomic.Int64
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if l.TryAcquire() != nil {
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				if n := int64(l.InUse()); n > maxSeen.Load() {
+					maxSeen.Store(n)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() > capacity {
+		t.Errorf("observed %d concurrent holders, capacity %d", maxSeen.Load(), capacity)
+	}
+	if l.InUse() != 0 {
+		t.Errorf("InUse = %d after all releases, want 0", l.InUse())
+	}
+	if admitted.Load()+shed.Load() != goroutines*rounds {
+		t.Errorf("admitted %d + shed %d != %d attempts", admitted.Load(), shed.Load(), goroutines*rounds)
+	}
+}

@@ -1,0 +1,53 @@
+package resilience
+
+import "net/http"
+
+// Recover wraps next so a handler panic is contained to the request
+// that caused it: onPanic receives the recovered value (callers count
+// it and log the stack) and the client gets a 500 if no response was
+// started yet. http.ErrAbortHandler is re-panicked untouched — it is
+// the stdlib's (and the chaos injector's) sanctioned way to abort a
+// connection and must keep its semantics.
+func Recover(next http.Handler, onPanic func(v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v)
+			}
+			if !tw.wrote {
+				http.Error(tw, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter records whether the response was started, so the
+// recovery path knows if a 500 can still be written.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers behind this middleware keep Flush and
+// SetWriteDeadline support.
+func (w *trackingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRecoverConvertsPanicTo500(t *testing.T) {
+	var caught any
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}), func(v any) { caught = v })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if caught != "handler bug" {
+		t.Errorf("onPanic got %v, want the panic value", caught)
+	}
+
+	// The server survives: the next request is served normally.
+	resp2, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+}
+
+func TestRecoverMidResponsePanic(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("late bug")
+	}), nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// The 200 already went out; recovery must not try to write a 500
+	// on top (which would be a superfluous-WriteHeader bug). The
+	// request itself may or may not error at the transport level —
+	// either way the server must keep serving.
+	resp, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("status = %d, want the already-sent 200", resp.StatusCode)
+		}
+	}
+	resp2, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		resp2.Body.Close()
+	}
+}
+
+func TestRecoverPassesAbortHandlerThrough(t *testing.T) {
+	called := false
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), func(v any) { called = true })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/x"); err == nil {
+		t.Fatal("ErrAbortHandler did not abort the connection")
+	}
+	if called {
+		t.Error("onPanic fired for ErrAbortHandler (it is not a bug, it is flow control)")
+	}
+}

@@ -1,0 +1,31 @@
+// Package resilience is the failure-handling toolkit shared by the
+// dvsd serving stack and its client: exponential backoff with full
+// jitter, a consecutive-failure circuit breaker, an admission limiter
+// for load shedding, panic-recovery HTTP middleware, and a
+// deterministic seeded fault injector for chaos testing.
+//
+// Everything is stdlib-only and deterministic where it matters: the
+// jitter and the injected fault sequence are both driven by
+// internal/prng, so resilience behaviour can be pinned in tests the
+// same way simulation results are (same seed, same schedule — the
+// discipline the rest of the repo applies to workloads).
+//
+// The split of responsibilities mirrors the paper's offline/online
+// separation: admission control and per-request deadlines are the
+// "offline guarantee" (bounded queues, bounded waiting), while retry,
+// backoff, and the breaker are the "online adaptation" that spends
+// the remaining budget when reality misbehaves.
+package resilience
+
+import "errors"
+
+// ErrShed is returned by admission control when the accept queue is
+// at capacity: the caller should surface 429/503 with a Retry-After
+// hint rather than wait.
+var ErrShed = errors.New("resilience: overloaded, request shed")
+
+// ErrBreakerOpen is returned while the circuit breaker is open:
+// recent consecutive failures exceeded the threshold and the cooldown
+// has not elapsed, so calls fail fast instead of queueing up behind a
+// dead dependency.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")

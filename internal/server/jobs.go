@@ -2,7 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,6 +46,9 @@ type job struct {
 	created time.Time
 
 	cancel context.CancelFunc
+	// onLost observes every event dropped on a full subscriber
+	// buffer (the store wires it to the sse_lagged counter).
+	onLost func()
 
 	mu       sync.Mutex
 	state    string
@@ -98,14 +105,18 @@ func (j *job) subscribe() (ch chan JobEvent, snapshot JobEvent, unsub func()) {
 	}
 }
 
-// publish fans an event out to subscribers; slow subscribers drop
-// intermediate events (the terminal event is signalled by finished,
-// which nobody can miss).
+// publish fans an event out to subscribers. The send is never
+// blocking: a slow subscriber's full buffer drops the event (counted
+// through onLost) instead of stalling the broadcaster — the terminal
+// event is signalled by finished, which nobody can miss.
 func (j *job) publish(ev JobEvent) {
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
 		default:
+			if j.onLost != nil {
+				j.onLost()
+			}
 		}
 	}
 }
@@ -179,6 +190,7 @@ func (s *jobStore) Create(parent context.Context, name string, runs []SimRequest
 		name:     name,
 		created:  time.Now(),
 		cancel:   cancel,
+		onLost:   s.met.sseLagged.Inc,
 		state:    JobQueued,
 		runs:     runs,
 		subs:     map[chan JobEvent]struct{}{},
@@ -278,6 +290,85 @@ func (s *jobStore) WaitIdle(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// --- SSE streaming ---
+
+// sseSink is the response side of one SSE subscriber: a writer with
+// per-write deadlines and flushing. The HTTP handler backs it with
+// http.ResponseController; tests back it with fakes to exercise the
+// slow-consumer path deterministically.
+type sseSink interface {
+	io.Writer
+	// SetWriteDeadline arms a deadline for the next write; sinks that
+	// cannot enforce deadlines return http.ErrNotSupported (treated
+	// as best-effort, not fatal).
+	SetWriteDeadline(t time.Time) error
+	// Flush pushes buffered bytes to the consumer.
+	Flush() error
+}
+
+// streamJob pumps j's progress events into sink until the terminal
+// "end" event, ctx cancellation, or a failed/overdue write. Every
+// write is armed with writeTimeout (when positive), so a consumer
+// that stops reading is dropped — the returned error — instead of
+// parking this goroutine on a dead TCP connection; the broadcaster
+// itself is never in danger because publish is non-blocking.
+func streamJob(ctx context.Context, sink sseSink, j *job, snapshot JobEvent, ch chan JobEvent, writeTimeout time.Duration) error {
+	send := func(ev JobEvent) error {
+		if writeTimeout > 0 {
+			if err := sink.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				return err
+			}
+		}
+		if err := writeSSE(sink, ev); err != nil {
+			return err
+		}
+		return sink.Flush()
+	}
+	if err := send(snapshot); err != nil {
+		return err
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if err := send(ev); err != nil {
+				return err
+			}
+			if ev.Type == "end" {
+				return nil
+			}
+		case <-j.finished:
+			// Drain anything buffered, then emit the terminal event
+			// (publish is lossy for slow readers; this path is not).
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Type == "end" {
+						return send(ev)
+					}
+					if err := send(ev); err != nil {
+						return err
+					}
+				default:
+					info := j.info(false)
+					return send(JobEvent{Type: "end", State: info.State,
+						Total: info.Total, Done: info.Done, Failed: info.Failed, Error: info.Error})
+				}
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
 }
 
 // CancelAll aborts every job (shutdown path) and waits for their

@@ -39,6 +39,13 @@ type metrics struct {
 	jobsFinished *obs.Counter
 
 	policyLatency *obs.HistogramVec // fresh-run wall latency by policy
+
+	shed          *obs.Counter    // sync requests refused by admission control
+	panics        *obs.Counter    // handler panics converted to 500s
+	reqTimeouts   *obs.Counter    // requests that hit their deadline
+	sseDropped    *obs.Counter    // SSE consumers dropped for slow/failed writes
+	sseLagged     *obs.Counter    // SSE events lost to full subscriber buffers
+	chaosInjected *obs.CounterVec // injected fault counts by class (chaos mode)
 }
 
 // newMetrics builds the registry. The cache exposes its own lifetime
@@ -70,6 +77,13 @@ func newMetrics(workers int, cache *resultCache) *metrics {
 
 	m.policyLatency = r.HistogramVec("dvsd_policy_run_seconds", "fresh-run wall latency by policy",
 		"policy", latencyBuckets)
+
+	m.shed = r.Counter("dvsd_shed_total", "synchronous requests refused by admission control (429)")
+	m.panics = r.Counter("dvsd_panics_total", "handler panics recovered into 500 responses")
+	m.reqTimeouts = r.Counter("dvsd_request_timeouts_total", "requests that exhausted their deadline before completing")
+	m.sseDropped = r.Counter("dvsd_sse_dropped_total", "SSE subscribers dropped for slow or failed writes")
+	m.sseLagged = r.Counter("dvsd_sse_lagged_events_total", "SSE progress events lost to full subscriber buffers")
+	m.chaosInjected = r.CounterVec("dvsd_chaos_injected_total", "faults injected by the chaos middleware", "fault")
 
 	r.GaugeFunc("dvsd_cache_entries", "result-cache entries",
 		func() float64 { return float64(cache.Len()) })
@@ -165,6 +179,14 @@ type MetricsSnapshot struct {
 	JobsCreated  uint64 `json:"jobs_created"`
 	JobsFinished uint64 `json:"jobs_finished"`
 
+	// Resilience counters (omitted while zero so the pre-resilience
+	// snapshot shape is preserved byte for byte on a quiet daemon).
+	Shed            uint64 `json:"shed,omitempty"`
+	Panics          uint64 `json:"panics,omitempty"`
+	RequestTimeouts uint64 `json:"request_timeouts,omitempty"`
+	SSEDropped      uint64 `json:"sse_dropped,omitempty"`
+	SSELagged       uint64 `json:"sse_lagged,omitempty"`
+
 	// PolicyLatency maps policy name to its fresh-run wall-clock
 	// latency histogram.
 	PolicyLatency map[string]HistogramSnapshot `json:"policy_latency,omitempty"`
@@ -190,6 +212,11 @@ func (m *metrics) snapshot(workers int, cache *resultCache) MetricsSnapshot {
 		CacheMisses:     misses,
 		JobsCreated:     uint64(m.jobsCreated.Value()),
 		JobsFinished:    uint64(m.jobsFinished.Value()),
+		Shed:            uint64(m.shed.Value()),
+		Panics:          uint64(m.panics.Value()),
+		RequestTimeouts: uint64(m.reqTimeouts.Value()),
+		SSEDropped:      uint64(m.sseDropped.Value()),
+		SSELagged:       uint64(m.sseLagged.Value()),
 	}
 	m.requests.Each(func(label string, c *obs.Counter) {
 		s.Requests[label] = uint64(c.Value())

@@ -41,6 +41,7 @@ type pool struct {
 	closed    bool
 	producers sync.WaitGroup // callers inside a queue send
 	workers   int
+	depth     int // queue capacity
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -58,6 +59,7 @@ func newPool(workers, queueDepth int, cache *resultCache, met *metrics) *pool {
 		cache:   cache,
 		met:     met,
 		workers: workers,
+		depth:   queueDepth,
 	}
 	p.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -116,6 +118,26 @@ func (p *pool) execute(w *work) outcome {
 		p.cache.Put(w.key, res)
 	}
 	return outcome{res: res}
+}
+
+// Depth returns the queue capacity (sizes the admission budget).
+func (p *pool) Depth() int { return p.depth }
+
+// Lookup serves req from the result cache without touching the
+// queue. Admission control consults it first so an overloaded daemon
+// keeps answering cached requests while shedding fresh simulations.
+func (p *pool) Lookup(req *SimRequest) (SimResult, bool) {
+	key, err := req.CacheKey()
+	if err != nil || key == "" {
+		return SimResult{}, false
+	}
+	res, ok := p.cache.Get(key)
+	if !ok {
+		return SimResult{}, false
+	}
+	res.Cached = true
+	res.WallNanos = 0
+	return res, true
 }
 
 // Do runs one request through the pool and waits for its outcome.

@@ -15,6 +15,7 @@ import (
 
 	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
+	"dvsslack/internal/resilience"
 )
 
 // Config tunes the daemon.
@@ -37,6 +38,29 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs; nil
 	// discards them.
 	Logger *slog.Logger
+
+	// RequestTimeout bounds the handling of every non-streaming
+	// request (cmd/dvsd -request-timeout). Clients may tighten — but
+	// never loosen — it per request via an X-Request-Deadline header
+	// holding a Go duration ("750ms"). 0 disables the server-side
+	// bound (client deadlines still apply).
+	RequestTimeout time.Duration
+	// AdmitLimit caps concurrently admitted synchronous /v1/simulate
+	// requests; excess requests are shed immediately with 429 +
+	// Retry-After instead of piling up goroutines. <= 0 selects
+	// workers + queue depth (everything admitted can be running or
+	// queued; nothing admitted ever waits behind a full queue for
+	// long). Cache hits bypass admission: an overloaded daemon keeps
+	// serving memoized results while shedding fresh simulation work.
+	AdmitLimit int
+	// SSEWriteTimeout is the per-event write deadline of the SSE job
+	// stream; consumers that cannot absorb an event within it are
+	// dropped rather than allowed to park the stream goroutine on a
+	// dead connection. <= 0 selects 5s.
+	SSEWriteTimeout time.Duration
+	// Chaos, when non-nil, wraps the handler chain in the
+	// deterministic fault injector (cmd/dvsd -chaos). Testing only.
+	Chaos *resilience.ChaosConfig
 }
 
 // Server is the dvsd control plane: an http.Handler plus the worker
@@ -50,6 +74,10 @@ type Server struct {
 	met     *metrics
 	log     *slog.Logger
 	mux     *http.ServeMux
+	handler http.Handler // mux behind recovery (and chaos) middleware
+
+	admit      *resilience.Limiter // sync-request admission budget
+	sseTimeout time.Duration
 
 	draining atomic.Bool
 	baseCtx  context.Context
@@ -94,6 +122,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,14 +131,57 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mux = mux
+
+	// Admission budget: everything admitted fits in the pool (running
+	// or queued), so admitted synchronous requests never stack up
+	// behind a queue that cannot drain.
+	admitCap := cfg.AdmitLimit
+	if admitCap <= 0 {
+		admitCap = workers + s.pool.Depth()
+	}
+	s.admit = resilience.NewLimiter(admitCap)
+	s.met.reg.GaugeFunc("dvsd_admitted", "currently admitted synchronous requests",
+		func() float64 { return float64(s.admit.InUse()) })
+	s.met.reg.GaugeFunc("dvsd_admit_capacity", "admission budget for synchronous requests",
+		func() float64 { return float64(s.admit.Capacity()) })
+
+	s.sseTimeout = cfg.SSEWriteTimeout
+	if s.sseTimeout <= 0 {
+		s.sseTimeout = 5 * time.Second
+	}
+
+	// Middleware chain, outermost first: panic recovery (a handler
+	// bug costs one 500, not the process), then fault injection when
+	// configured. Ops endpoints are exempt from chaos so probes and
+	// scrapes stay truthful while everything else misbehaves.
+	s.handler = http.Handler(s.mux)
+	if cfg.Chaos != nil {
+		cc := *cfg.Chaos
+		if cc.Exempt == nil {
+			cc.Exempt = []string{"/healthz", "/readyz", "/metrics", "/debug/pprof/"}
+		}
+		if cc.OnInject == nil {
+			cc.OnInject = func(f resilience.Fault) { s.met.chaosInjected.With(string(f)).Inc() }
+		}
+		chaos, err := resilience.NewChaos(cc)
+		if err != nil {
+			panic(fmt.Sprintf("server: invalid chaos config: %v", err))
+		}
+		s.handler = chaos.Middleware(s.handler)
+	}
+	s.handler = resilience.Recover(s.handler, func(v any) {
+		s.met.panics.Inc()
+		s.log.Error("handler panic recovered", "panic", fmt.Sprint(v))
+	})
 	return s
 }
 
-// Handler returns the HTTP entry point.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP entry point (the mux behind the recovery
+// and chaos middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return s.workers }
@@ -148,17 +220,56 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap keeps http.ResponseController upgrades (flush, write
+// deadlines) working through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestDeadline resolves the effective deadline of one request:
+// the tighter of the server-wide RequestTimeout and the client's
+// X-Request-Deadline header (a Go duration, e.g. "750ms"). 0 means
+// unbounded.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	d := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Request-Deadline"); h != "" {
+		cd, err := time.ParseDuration(h)
+		if err != nil || cd <= 0 {
+			return 0, fmt.Errorf("server: invalid X-Request-Deadline %q (want a positive Go duration)", h)
+		}
+		if d == 0 || cd < d {
+			d = cd
+		}
+	}
+	return d, nil
+}
+
 // instrument wraps a handler with request counting, latency
-// recording, and request-ID access logging. The ID is returned in
-// X-Request-ID so client reports and daemon logs correlate.
+// recording, per-request deadline enforcement, and request-ID access
+// logging. The ID is returned in X-Request-ID so client reports and
+// daemon logs correlate.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := obs.NewRequestID()
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		deadline, err := s.requestDeadline(r)
+		if err != nil {
+			s.met.request(label, false)
+			writeError(sw, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ctx := r.Context()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		start := time.Now()
 		h(sw, r)
 		dur := time.Since(start)
+		if deadline > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.reqTimeouts.Inc()
+		}
 		s.met.request(label, sw.code < 400)
 		s.met.httpDone(label, dur)
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -200,8 +311,19 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
+// drainRetryAfter is the Retry-After hint (seconds) on draining 503s:
+// long enough for a load balancer to fail over, short enough that a
+// client retrying the same address after a rolling restart succeeds.
+const drainRetryAfter = "5"
+
+// shedRetryAfter is the Retry-After hint (seconds) on shed (429) and
+// deadline-exceeded (503) responses: overload is expected to clear on
+// the scale of in-flight run latency, not process lifetime.
+const shedRetryAfter = "1"
+
 func (s *Server) rejectIfDraining(w http.ResponseWriter) bool {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", drainRetryAfter)
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
 		return true
 	}
@@ -211,6 +333,10 @@ func (s *Server) rejectIfDraining(w http.ResponseWriter) bool {
 // --- handlers ---
 
 // handleSimulate answers POST /v1/simulate: one run, synchronously.
+// Fresh simulations pass admission control first; an overloaded
+// daemon sheds them with 429 + Retry-After while continuing to serve
+// cache hits, so degradation is graceful rather than a goroutine
+// pile-up.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfDraining(w) {
 		return
@@ -223,11 +349,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if res, ok := s.pool.Lookup(&req); ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if err := s.admit.TryAcquire(); err != nil {
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	defer s.admit.Release()
 	res, err := s.pool.Do(r.Context(), &req)
 	switch {
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", drainRetryAfter)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline (server -request-timeout or client
+		// X-Request-Deadline) expired before a worker finished the
+		// run: the work is abandoned to the cache and the client is
+		// told to come back.
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "server: request deadline exceeded")
+	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusRequestTimeout, "%v", err)
 	case err != nil:
 		// The request validated but the run failed (e.g. a strict
@@ -301,18 +446,15 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobEvents answers GET /v1/jobs/{id}/events with an SSE stream
-// of progress events, ending with an "end" event when the job
-// reaches a terminal state.
+// of progress events, ending with an "end" event when the job reaches
+// a terminal state. Every write is armed with the configured write
+// deadline: a consumer that stops reading is dropped (and counted in
+// dvsd_sse_dropped_total) instead of pinning this goroutine to a dead
+// connection.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "server: no such job %q", r.PathValue("id"))
-		s.met.request("jobs.events", false)
-		return
-	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusNotImplemented, "server: streaming unsupported")
 		s.met.request("jobs.events", false)
 		return
 	}
@@ -323,49 +465,34 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch, snapshot, unsub := j.subscribe()
 	defer unsub()
-	writeSSE(w, snapshot)
-	flusher.Flush()
-
-	for {
-		select {
-		case ev := <-ch:
-			writeSSE(w, ev)
-			flusher.Flush()
-			if ev.Type == "end" {
-				return
-			}
-		case <-j.finished:
-			// Drain anything buffered, then emit the terminal event
-			// (publish is lossy for slow readers; this path is not).
-			for {
-				select {
-				case ev := <-ch:
-					if ev.Type == "end" {
-						writeSSE(w, ev)
-						flusher.Flush()
-						return
-					}
-					writeSSE(w, ev)
-				default:
-					info := j.info(false)
-					writeSSE(w, JobEvent{Type: "end", State: info.State,
-						Total: info.Total, Done: info.Done, Failed: info.Failed, Error: info.Error})
-					flusher.Flush()
-					return
-				}
-			}
-		case <-r.Context().Done():
-			return
-		}
+	sink := &httpSSESink{w: w, rc: http.NewResponseController(w)}
+	if err := streamJob(r.Context(), sink, j, snapshot, ch, s.sseTimeout); err != nil {
+		s.met.sseDropped.Inc()
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "sse consumer dropped",
+			slog.String("job", j.id), slog.String("err", err.Error()))
 	}
 }
 
-func writeSSE(w io.Writer, ev JobEvent) {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return
+// httpSSESink adapts an http.ResponseWriter (through its
+// ResponseController, so write deadlines survive middleware
+// wrapping) to the sseSink interface streamJob consumes.
+type httpSSESink struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+}
+
+func (s *httpSSESink) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+func (s *httpSSESink) SetWriteDeadline(t time.Time) error { return s.rc.SetWriteDeadline(t) }
+
+func (s *httpSSESink) Flush() error {
+	err := s.rc.Flush()
+	if errors.Is(err, http.ErrNotSupported) {
+		// A buffering transport cannot stream, but the events still
+		// arrive when the response completes; not a dropped consumer.
+		return nil
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
 }
 
 // handlePolicies answers GET /v1/policies with the registry names.
@@ -388,11 +515,34 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	s.met.writeProm(w)
 }
 
-// handleHealthz answers GET /healthz.
+// handleHealthz answers GET /healthz (liveness: the process serves).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", drainRetryAfter)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz answers GET /readyz (readiness: this instance should
+// receive new traffic). Not ready while draining or while the
+// admission budget is at its high-water mark (90% spent) — a load
+// balancer watching /readyz steers new requests away before they
+// would be shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", drainRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	inUse, capacity := s.admit.InUse(), s.admit.Capacity()
+	if highWater := (capacity*9 + 9) / 10; inUse >= highWater {
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "saturated", "admitted": inUse, "capacity": capacity,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -449,11 +449,15 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("after drain: %+v, want done with 10 runs", got)
 	}
 
-	// And new work is rejected.
+	// And new work is rejected, with a Retry-After hint so well-behaved
+	// clients back off instead of hammering a draining daemon.
 	resp := postJSON(t, hs.URL+"/v1/simulate", quickstartRequest("lpshe"))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining 503 is missing the Retry-After header")
 	}
 }
 

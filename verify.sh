@@ -3,8 +3,11 @@
 # suite under the race detector, an end-to-end smoke test of the
 # dvsd daemon (start, run one lpSHE simulation over HTTP, assert zero
 # deadline misses, scrape /metrics.prom and check the exposition is
-# well-formed, drain cleanly), and a dvscheck audit pass (corpus
-# replay, oracle self-test, and a 25-configuration fuzz smoke).
+# well-formed, drain cleanly), a chaos smoke (daemon under
+# deterministic fault injection, hammered through the self-healing
+# client with zero surfaced errors, clean drain), and a dvscheck
+# audit pass (corpus replay, oracle self-test, and a
+# 25-configuration fuzz smoke).
 set -eu
 
 cd "$(dirname "$0")"
@@ -112,6 +115,46 @@ wait "$DVSD_PID" || { echo "FAIL: dvsd exited non-zero on SIGTERM" >&2; exit 1; 
 DVSD_PID=""
 grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain message" >&2; cat "$DVSD_LOG" >&2; exit 1; }
 echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, metrics.prom well-formed, clean drain)"
+
+echo "==> chaos smoke test (dvsd -chaos + self-healing client)"
+: >"$DVSD_LOG"
+"$DVSD_BIN" -addr 127.0.0.1:0 -chaos 42 >"$DVSD_LOG" 2>&1 &
+DVSD_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$DVSD_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: chaos dvsd did not start:" >&2
+    cat "$DVSD_LOG" >&2
+    exit 1
+fi
+# Every request must come back clean despite ~30% of them being
+# delayed, errored, dropped, or truncated by the injector: the retry
+# layer owns the recovery, dvshammer exits non-zero otherwise.
+go run ./cmd/dvshammer -addr "$ADDR" -n 50 -c 4 -seed 7 || {
+    echo "FAIL: chaos hammer surfaced unrecovered errors" >&2
+    cat "$DVSD_LOG" >&2
+    exit 1
+}
+# The injector must actually have fired, and the chaos daemon must
+# still drain cleanly.
+PROM=$(mktemp -t dvsd.prom.XXXXXX)
+curl -s --max-time 2 -o "$PROM" "http://$ADDR/metrics.prom"
+grep -q '^dvsd_chaos_injected_total{fault="' "$PROM" || {
+    echo "FAIL: chaos mode injected no faults:" >&2
+    grep '^dvsd_chaos' "$PROM" >&2 || true
+    rm -f "$PROM"
+    exit 1
+}
+rm -f "$PROM"
+kill -TERM "$DVSD_PID"
+wait "$DVSD_PID" || { echo "FAIL: chaos dvsd exited non-zero on SIGTERM" >&2; exit 1; }
+DVSD_PID=""
+grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain after chaos" >&2; cat "$DVSD_LOG" >&2; exit 1; }
+echo "    chaos smoke test OK ($ADDR, 50 requests self-healed, clean drain)"
 
 echo "==> dvscheck audit pass"
 # Corpus replay + mutation self-test (the default modes), then a
