@@ -1,0 +1,57 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestReady probes a live daemon through the real HTTP path: ready
+// while serving, 503 with a Retry-After hint once draining. The
+// dvsfleet health checker routes on exactly this call, so its error
+// shape (an *APIError carrying the status) is a contract, not a
+// convenience.
+func TestReady(t *testing.T) {
+	c, s := newPair(t)
+	ctx := context.Background()
+
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready on a fresh daemon: %v", err)
+	}
+
+	// Shutdown flips the daemon to draining: Ready must now fail with
+	// a typed 503 (and not, say, a transport error — the process is
+	// still up).
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	err := c.Ready(ctx)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("Ready on draining daemon = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", apiErr.StatusCode)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want a positive drain hint", apiErr.RetryAfter)
+	}
+}
+
+// TestReadyUnreachable pins the transport-error path the fleet's
+// passive down-detection relies on: a dead address yields a non-API
+// error.
+func TestReadyUnreachable(t *testing.T) {
+	c := New("127.0.0.1:1") // reserved port, nothing listens
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := c.Ready(ctx)
+	if err == nil {
+		t.Fatal("Ready against a dead address succeeded")
+	}
+	if _, ok := err.(*APIError); ok {
+		t.Fatalf("transport failure surfaced as *APIError: %v", err)
+	}
+}

@@ -1,21 +1,31 @@
-// Command dvshammer drives a dvsd daemon with a concurrent simulation
-// workload through the self-healing client and fails loudly if any
-// request error survives the retry layer. It is the smoke-test rig
-// for chaos mode (dvsd -chaos <seed>): a run that exits 0 proves the
-// client rode out every injected delay, error, drop, and truncation.
+// Command dvshammer drives a dvsd daemon — or a whole dvsfleet — with
+// a concurrent simulation workload through the self-healing client
+// and fails loudly if any request error survives the retry layer. It
+// is the smoke-test rig for chaos mode (dvsd -chaos <seed>) and for
+// the cluster coordinator: a run that exits 0 proves the client rode
+// out every injected delay, error, drop, and truncation.
 //
 // Usage:
 //
 //	dvshammer -addr 127.0.0.1:8080 -n 50 -c 4 -seed 7
+//	dvshammer -addr host1:8080,host2:8080 -n 200     # round-robin over targets
+//	dvshammer -addr 127.0.0.1:8090 -n 100 -json      # machine-readable summary
+//
+// With multiple comma-separated -addr targets, requests round-robin
+// across them (each target gets its own client, so per-target retry
+// budgets and breakers stay independent). -json emits the summary as
+// one JSON object on stdout for scripted smokes (verify.sh).
 //
 // Exit status: 0 when every request succeeded, 1 otherwise.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,36 +36,64 @@ import (
 	"dvsslack/internal/server"
 )
 
+// summary is the -json output: one line a script can parse instead of
+// scraping the human text.
+type summary struct {
+	Targets         []string `json:"targets"`
+	Requests        int      `json:"requests"`
+	Failed          int64    `json:"failed"`
+	DurationMS      int64    `json:"duration_ms"`
+	RPS             float64  `json:"rps"`
+	Attempts        uint64   `json:"attempts"`
+	Retries         uint64   `json:"retries"`
+	BudgetExhausted uint64   `json:"budget_exhausted"`
+	TimedOut        bool     `json:"timed_out,omitempty"`
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "dvsd address")
+		addr    = flag.String("addr", "127.0.0.1:8080", "dvsd or dvsfleet address(es), comma-separated for round-robin")
 		n       = flag.Int("n", 50, "total simulation requests")
 		conc    = flag.Int("c", 4, "concurrent request workers")
 		seed    = flag.Uint64("seed", 7, "retry-jitter seed and workload seed base")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 		policy  = flag.String("policy", "lpshe", "DVS policy to simulate")
+		jsonOut = flag.Bool("json", false, "emit the summary as JSON on stdout")
 	)
 	flag.Parse()
 	if *n < 1 || *conc < 1 {
 		fmt.Fprintln(os.Stderr, "dvshammer: -n and -c must be >= 1")
 		os.Exit(2)
 	}
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "dvshammer: -addr must name at least one target")
+		os.Exit(2)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	c := client.New(*addr).WithRetry(client.RetryPolicy{
-		MaxAttempts: 10,
-		Backoff:     resilience.Backoff{Base: 5 * time.Millisecond, Max: 250 * time.Millisecond},
-		Budget:      4 * *n,
-		// The hammer's job is to outlast every injected fault, not to
-		// fail fast, so the breaker threshold sits out of reach.
-		BreakerThreshold: 1 << 30,
-		Seed:             *seed,
-	})
-	if err := c.Healthy(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "dvshammer: daemon not healthy at %s: %v\n", *addr, err)
-		os.Exit(1)
+	clients := make([]*client.Client, len(targets))
+	for i, target := range targets {
+		clients[i] = client.New(target).WithRetry(client.RetryPolicy{
+			MaxAttempts: 10,
+			Backoff:     resilience.Backoff{Base: 5 * time.Millisecond, Max: 250 * time.Millisecond},
+			Budget:      4 * *n,
+			// The hammer's job is to outlast every injected fault, not to
+			// fail fast, so the breaker threshold sits out of reach.
+			BreakerThreshold: 1 << 30,
+			Seed:             *seed + uint64(i),
+		})
+		if err := clients[i].Healthy(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dvshammer: daemon not healthy at %s: %v\n", target, err)
+			os.Exit(1)
+		}
 	}
 
 	var (
@@ -80,7 +118,9 @@ func main() {
 					// the hammer exercises the pool, not just the cache.
 					Workload: server.WorkloadSpec{Kind: "uniform", Lo: 0.5, Hi: 1, Seed: *seed + uint64(i)},
 				}
-				res, err := c.Simulate(ctx, req)
+				// Round-robin by request index, so the spread over targets
+				// is even regardless of worker scheduling.
+				res, err := clients[i%len(clients)].Simulate(ctx, req)
 				if err != nil {
 					failed.Add(1)
 					fmt.Fprintf(os.Stderr, "dvshammer: request %d failed: %v\n", i, err)
@@ -94,12 +134,35 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
-	st := c.RetryStats()
-	fmt.Printf("dvshammer: %d requests in %v: %d failed, %d attempts, %d retries, %d budget-exhausted, breaker %s\n",
-		*n, time.Since(start).Round(time.Millisecond), failed.Load(),
-		st.Attempts, st.Retries, st.BudgetExhausted, c.BreakerState())
-	if failed.Load() > 0 || ctx.Err() != nil {
+	sum := summary{
+		Targets:    targets,
+		Requests:   *n,
+		Failed:     failed.Load(),
+		DurationMS: elapsed.Milliseconds(),
+		TimedOut:   ctx.Err() != nil,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		sum.RPS = float64(*n) / s
+	}
+	var breakers []string
+	for _, c := range clients {
+		st := c.RetryStats()
+		sum.Attempts += uint64(st.Attempts)
+		sum.Retries += uint64(st.Retries)
+		sum.BudgetExhausted += uint64(st.BudgetExhausted)
+		breakers = append(breakers, c.BreakerState())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(sum)
+	} else {
+		fmt.Printf("dvshammer: %d requests to %d target(s) in %v: %d failed, %d attempts, %d retries, %d budget-exhausted, breaker %s\n",
+			sum.Requests, len(targets), elapsed.Round(time.Millisecond), sum.Failed,
+			sum.Attempts, sum.Retries, sum.BudgetExhausted, strings.Join(breakers, ","))
+	}
+	if sum.Failed > 0 || sum.TimedOut {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dvsslack/client"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/server"
+)
+
+// testFleet is a full in-process cluster: n embedded dvsd workers, a
+// started coordinator, an httptest front end, and a client pointed at
+// it — the same wiring cmd/dvsfleet -embedded builds.
+type testFleet struct {
+	workers []*EmbeddedWorker
+	coord   *Coordinator
+	hs      *httptest.Server
+	c       *client.Client
+}
+
+func newTestFleet(t *testing.T, n int, cfg Config) *testFleet {
+	t.Helper()
+	workers, err := StartEmbedded(n, server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = Addrs(workers)
+	if cfg.Kill == nil {
+		cfg.Kill = KillFunc(workers)
+	}
+	coord := New(cfg)
+	coord.Start()
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		coord.Shutdown(ctx)
+		for _, w := range workers {
+			w.Drain(ctx)
+		}
+	})
+	return &testFleet{workers: workers, coord: coord, hs: hs, c: client.New(hs.URL)}
+}
+
+func testRequest(policy string, seed uint64) server.SimRequest {
+	return server.SimRequest{
+		TaskSet:  rtm.Quickstart(),
+		Policy:   policy,
+		Workload: server.WorkloadSpec{Kind: "uniform", Lo: 0.5, Hi: 1, Seed: seed},
+	}
+}
+
+// TestFleetRouteAffinity pins the cache-affinity property: the same
+// scenario routes to the same worker, so the second identical request
+// is served from that worker's result cache.
+func TestFleetRouteAffinity(t *testing.T) {
+	f := newTestFleet(t, 3, Config{})
+	ctx := context.Background()
+
+	req := testRequest("lpshe", 7)
+	first, err := f.c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request reported cached=true")
+	}
+	second, err := f.c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat of an identical scenario missed the worker cache: routing is not key-affine")
+	}
+	if first.Energy != second.Energy {
+		t.Fatalf("cached energy %v != first %v", second.Energy, first.Energy)
+	}
+}
+
+// TestFleetFailover kills the worker that owns a key and asserts the
+// request transparently lands on a ring successor, the dead worker is
+// evicted, and the failover counter moved.
+func TestFleetFailover(t *testing.T) {
+	f := newTestFleet(t, 3, Config{HealthInterval: time.Hour}) // active checker quiet: passive detection only
+	ctx := context.Background()
+
+	req := testRequest("cc", 11)
+	key, err := server.ScenarioKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := f.coord.ring.Lookup(key)
+	if !ok {
+		t.Fatal("ring empty after Start")
+	}
+	for _, w := range f.workers {
+		if w.Addr() == owner {
+			w.Kill()
+		}
+	}
+
+	res, err := f.c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatalf("simulate after owner kill: %v", err)
+	}
+	if res.Cached {
+		t.Fatal("failover request reported cached")
+	}
+	if f.coord.ring.Has(owner) {
+		t.Fatalf("dead worker %s still in ring after transport error", owner)
+	}
+	w, _ := f.coord.worker(owner)
+	if got := w.State(); got != WorkerDown {
+		t.Fatalf("dead worker state = %s, want %s", got, WorkerDown)
+	}
+	if n := f.coord.met.failovers.With(owner).Value(); n < 1 {
+		t.Fatalf("failovers{%s} = %v, want >= 1", owner, n)
+	}
+
+	// The new owner must be stable too: a repeat now hits its cache.
+	res2, err := f.c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("repeat after failover missed the successor's cache")
+	}
+	if res2.Energy != res.Energy {
+		t.Fatalf("successor energy %v != first %v (sim not deterministic across workers?)", res2.Energy, res.Energy)
+	}
+}
+
+// TestFleetCordonUncordon drives the admin plane end to end over HTTP.
+func TestFleetCordonUncordon(t *testing.T) {
+	f := newTestFleet(t, 3, Config{HealthInterval: time.Hour})
+	ctx := context.Background()
+	target := f.workers[0].Addr()
+
+	resp, err := f.hs.Client().Post(f.hs.URL+"/v1/cluster/cordon?worker="+target, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cordon status = %d", resp.StatusCode)
+	}
+	if f.coord.ring.Has(target) {
+		t.Fatal("cordoned worker still in ring")
+	}
+	if w, _ := f.coord.worker(target); w.State() != WorkerCordoned {
+		t.Fatalf("state = %s, want %s", w.State(), WorkerCordoned)
+	}
+
+	// The fleet still serves everything with a worker out.
+	if _, err := f.c.Simulate(ctx, testRequest("lpshe", 21)); err != nil {
+		t.Fatalf("simulate with cordoned worker: %v", err)
+	}
+
+	resp, err = f.hs.Client().Post(f.hs.URL+"/v1/cluster/uncordon?worker="+target, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Uncordon re-probes synchronously, so the healthy worker is back
+	// in the ring before the response arrives.
+	if !f.coord.ring.Has(target) {
+		t.Fatal("uncordoned healthy worker not back in ring")
+	}
+
+	// Unknown worker is a 404, not a silent no-op.
+	resp, err = f.hs.Client().Post(f.hs.URL+"/v1/cluster/cordon?worker=1.2.3.4:1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("cordon unknown worker status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetJobFanout runs a batch job through the coordinator and
+// checks the ordered merge: every outcome present, indexed, sorted,
+// and spread across more than one worker.
+func TestFleetJobFanout(t *testing.T) {
+	f := newTestFleet(t, 3, Config{})
+	ctx := context.Background()
+
+	var batch server.BatchRequest
+	batch.Name = "fanout"
+	const runs = 12
+	for i := 0; i < runs; i++ {
+		batch.Runs = append(batch.Runs, testRequest("lpshe", uint64(100+i)))
+	}
+	info, err := f.c.CreateJob(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sawEnd bool
+	if err := f.c.StreamEvents(ctx, info.ID, func(ev server.JobEvent) error {
+		if ev.Type == "end" {
+			sawEnd = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !sawEnd {
+		t.Fatal("SSE stream ended without an end event")
+	}
+
+	final, err := f.c.Job(ctx, info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.JobDone || final.Done != runs || final.Failed != 0 {
+		t.Fatalf("job = %+v, want done with %d runs", final, runs)
+	}
+	if len(final.Results) != runs {
+		t.Fatalf("results = %d, want %d", len(final.Results), runs)
+	}
+	for i, ro := range final.Results {
+		if ro.Index != i {
+			t.Fatalf("results[%d].Index = %d: outcomes not merged into submission order", i, ro.Index)
+		}
+		if ro.Result == nil {
+			t.Fatalf("results[%d] missing result: %s", i, ro.Error)
+		}
+	}
+
+	spread := 0
+	for _, wi := range f.coord.WorkerInfos() {
+		if wi.Routed > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("fan-out used %d workers, want >= 2", spread)
+	}
+}
+
+// TestFleetReadyz covers the readiness ladder: ready with a healthy
+// fleet, 503 when no worker is in the ring, 503 while draining.
+func TestFleetReadyz(t *testing.T) {
+	f := newTestFleet(t, 1, Config{HealthInterval: time.Hour})
+
+	if err := f.c.Ready(context.Background()); err != nil {
+		t.Fatalf("ready fleet not ready: %v", err)
+	}
+
+	f.coord.Cordon(f.workers[0].Addr())
+	err := f.c.Ready(context.Background())
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("readyz with empty ring = %v, want 503 APIError", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f.coord.Shutdown(ctx)
+	err = f.c.Ready(context.Background())
+	apiErr, ok = err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("readyz while draining = %v, want 503 APIError", err)
+	}
+	if _, err := f.c.Simulate(context.Background(), testRequest("lpshe", 1)); err == nil {
+		t.Fatal("simulate accepted while draining")
+	}
+}
+
+// TestFleetBadRequests pins local validation: malformed and invalid
+// scenarios are rejected at the coordinator without a worker hop.
+func TestFleetBadRequests(t *testing.T) {
+	f := newTestFleet(t, 1, Config{})
+	ctx := context.Background()
+
+	_, err := f.c.Simulate(ctx, server.SimRequest{Policy: "lpshe"})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("empty task set = %v, want 400 APIError", err)
+	}
+	before := f.coord.met.routed.With(f.workers[0].Addr()).Value()
+
+	_, err = f.c.CreateJob(ctx, server.BatchRequest{Name: "empty"})
+	apiErr, ok = err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 400 {
+		t.Fatalf("empty job = %v, want 400 APIError", err)
+	}
+	if after := f.coord.met.routed.With(f.workers[0].Addr()).Value(); after != before {
+		t.Fatalf("invalid requests reached a worker (routed %v -> %v)", before, after)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"dvsslack/internal/server"
+)
+
+// EmbeddedWorker is one in-process dvsd: a real server.Server behind
+// a real loopback TCP listener, so the coordinator exercises the
+// genuine wire path (HTTP dial, JSON, /readyz) while tests and
+// cmd/dvsfleet -embedded stand a whole fleet up deterministically in
+// one process.
+type EmbeddedWorker struct {
+	addr   string
+	srv    *server.Server
+	hs     *http.Server
+	killed atomic.Bool
+}
+
+// Addr returns the worker's listen address (host:port).
+func (w *EmbeddedWorker) Addr() string { return w.addr }
+
+// Kill hard-stops the worker: the listener and every open connection
+// close immediately, exactly what a crashed process looks like to the
+// coordinator. In-flight simulations are abandoned mid-connection so
+// failover (not graceful drain) handles their keys.
+func (w *EmbeddedWorker) Kill() {
+	if !w.killed.CompareAndSwap(false, true) {
+		return
+	}
+	w.hs.Close()
+}
+
+// Killed reports whether Kill ran.
+func (w *EmbeddedWorker) Killed() bool { return w.killed.Load() }
+
+// Drain shuts the worker down gracefully: stop accepting, finish
+// in-flight work up to ctx's deadline. A no-op after Kill.
+func (w *EmbeddedWorker) Drain(ctx context.Context) error {
+	if w.killed.Load() {
+		return nil
+	}
+	if err := w.hs.Shutdown(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return w.srv.Shutdown(ctx)
+}
+
+// StartEmbedded launches n in-process dvsd workers on loopback
+// listeners, each built from cfg (Workers/CacheSize/etc. apply to
+// every node). The caller owns their lifecycle: Drain or Kill each.
+func StartEmbedded(n int, cfg server.Config) ([]*EmbeddedWorker, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: embedded fleet needs at least 1 worker, got %d", n)
+	}
+	workers := make([]*EmbeddedWorker, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, w := range workers {
+				w.Kill()
+			}
+			return nil, fmt.Errorf("cluster: embedded worker %d: %w", i, err)
+		}
+		w := &EmbeddedWorker{
+			addr: ln.Addr().String(),
+			srv:  server.New(cfg),
+		}
+		w.hs = &http.Server{Handler: w.srv.Handler()}
+		go w.hs.Serve(ln)
+		workers = append(workers, w)
+	}
+	return workers, nil
+}
+
+// Addrs returns the address list of an embedded fleet.
+func Addrs(workers []*EmbeddedWorker) []string {
+	out := make([]string, len(workers))
+	for i, w := range workers {
+		out[i] = w.Addr()
+	}
+	return out
+}
+
+// KillFunc adapts an embedded fleet to Config.Kill: the coordinator's
+// POST /v1/cluster/kill endpoint hard-stops the named worker.
+func KillFunc(workers []*EmbeddedWorker) func(addr string) error {
+	return func(addr string) error {
+		for _, w := range workers {
+			if w.Addr() == addr {
+				w.Kill()
+				return nil
+			}
+		}
+		return fmt.Errorf("cluster: no embedded worker at %s", addr)
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dvsslack/client"
+	"dvsslack/internal/experiment"
+	"dvsslack/internal/server"
+	"dvsslack/internal/sim"
+)
+
+// coordExec mirrors cmd/dvsexp's remote executor: ship each
+// measurement to the coordinator, fall back to in-process execution
+// for configurations without a wire form.
+func coordExec(c *client.Client) experiment.Exec {
+	return func(cfg sim.Config) (sim.Result, error) {
+		req, err := server.RequestFromConfig(cfg)
+		if err != nil {
+			return sim.Run(cfg)
+		}
+		res, err := c.Simulate(context.Background(), req)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("fleet run: %w", err)
+		}
+		return res.Sim(), nil
+	}
+}
+
+// renderReport flattens a report to the exact bytes dvsexp would
+// print (text + CSV), the unit of the byte-identity guarantee.
+func renderReport(r *experiment.Report) []byte {
+	var buf bytes.Buffer
+	r.Print(&buf)
+	r.PrintCSV(&buf)
+	return buf.Bytes()
+}
+
+// TestFleetGridByteIdentical pins the acceptance criterion: the t2
+// experiment grid executed through a 3-worker fleet produces a report
+// byte-identical to the single-process run — including when a worker
+// is killed mid-grid, because routing and failover choose only WHERE
+// a deterministic simulation runs, and the harness merges cells in
+// submission order regardless of completion order.
+func TestFleetGridByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick t2 grid three times")
+	}
+	opts := experiment.Options{Quick: true, Seeds: 2}
+
+	local, err := experiment.Run("t2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReport(local)
+
+	t.Run("healthy fleet", func(t *testing.T) {
+		f := newTestFleet(t, 3, Config{})
+		opts := opts
+		opts.Exec = coordExec(f.c)
+		got, err := experiment.Run("t2", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(renderReport(got), want) {
+			t.Fatalf("fleet report differs from single-process report:\n--- local ---\n%s\n--- fleet ---\n%s",
+				want, renderReport(got))
+		}
+	})
+
+	t.Run("worker killed mid-grid", func(t *testing.T) {
+		f := newTestFleet(t, 3, Config{HealthInterval: time.Hour})
+		var once sync.Once
+		opts := opts
+		opts.Exec = coordExec(f.c)
+		opts.Progress = func(done, total int) {
+			// Kill a worker while the grid is in flight: the remaining
+			// cells must fail over with no effect on the report.
+			once.Do(func() { f.workers[1].Kill() })
+		}
+		got, err := experiment.Run("t2", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.workers[1].Killed() {
+			t.Fatal("kill hook never fired: grid ran no cells")
+		}
+		if !bytes.Equal(renderReport(got), want) {
+			t.Fatalf("fleet report with mid-grid worker kill differs from single-process report:\n--- local ---\n%s\n--- fleet ---\n%s",
+				want, renderReport(got))
+		}
+	})
+}
+
+// TestFleetFailoverMetric deterministically drives a request at a
+// killed worker's key and asserts the failover counter and /v1/cluster
+// reflect it (the probabilistic half of verify.sh's smoke, pinned
+// precisely here).
+func TestFleetFailoverMetric(t *testing.T) {
+	f := newTestFleet(t, 3, Config{HealthInterval: time.Hour})
+	ctx := context.Background()
+
+	victim := f.workers[2]
+	// Find a request whose key the victim owns; with 3 workers a
+	// handful of seeds always suffices.
+	var req server.SimRequest
+	found := false
+	for seed := uint64(0); seed < 64 && !found; seed++ {
+		r := testRequest("dra", seed)
+		key, err := server.ScenarioKey(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := f.coord.ring.Lookup(key); owner == victim.Addr() {
+			req, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("no key in 64 seeds owned by %s: ring distribution is broken", victim.Addr())
+	}
+
+	victim.Kill()
+	if _, err := f.c.Simulate(ctx, req); err != nil {
+		t.Fatalf("simulate at dead worker's key: %v", err)
+	}
+
+	if n := f.coord.met.failovers.With(victim.Addr()).Value(); n < 1 {
+		t.Fatalf("failovers{%s} = %v, want >= 1", victim.Addr(), n)
+	}
+	found = false
+	for _, wi := range f.coord.WorkerInfos() {
+		if wi.Addr != victim.Addr() {
+			continue
+		}
+		found = true
+		if wi.State != WorkerDown || wi.InRing || wi.FailedOver < 1 {
+			t.Fatalf("WorkerInfo for killed worker = %+v", wi)
+		}
+	}
+	if !found {
+		t.Fatalf("killed worker %s missing from WorkerInfos", victim.Addr())
+	}
+}

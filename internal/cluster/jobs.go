@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvsslack/internal/par"
+	"dvsslack/internal/server"
+)
+
+// This file is the fleet-wide experiment fan-out: the coordinator
+// owns batch jobs and spreads their runs across every worker —
+// each run routed by its own scenario key, so a 10k-run sweep lands
+// on the whole fleet (with per-run cache affinity) instead of
+// parking on whichever worker happened to receive the POST.
+//
+// The determinism discipline mirrors internal/experiment's cell
+// grid: run outcomes are recorded under their submission index and
+// sorted into submission order at finish, so the results of a fleet
+// job are byte-identical to the same batch run on a single daemon,
+// regardless of fan-out width, worker count, or mid-job failover
+// (simulations are deterministic — which worker executes a run never
+// changes its result).
+
+// fleetJob is one coordinator-owned batch.
+type fleetJob struct {
+	id      string
+	name    string
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	ended    time.Time
+	runs     []server.SimRequest
+	outcomes []server.RunOutcome
+	done     int
+	failed   int
+	firstErr string
+	subs     map[chan server.JobEvent]struct{}
+	finished chan struct{}
+}
+
+func (j *fleetJob) info(withResults bool) server.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := server.JobInfo{
+		ID:      j.id,
+		Name:    j.name,
+		State:   j.state,
+		Total:   len(j.runs),
+		Done:    j.done,
+		Failed:  j.failed,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Error:   j.firstErr,
+	}
+	if !j.started.IsZero() {
+		info.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.ended.IsZero() {
+		info.Ended = j.ended.UTC().Format(time.RFC3339Nano)
+	}
+	if withResults {
+		info.Results = append([]server.RunOutcome(nil), j.outcomes...)
+	}
+	return info
+}
+
+// publish fans an event to subscribers; sends never block (a slow
+// subscriber's full buffer drops the event — the terminal state is
+// signalled by finished, which nobody can miss).
+func (j *fleetJob) publish(ev server.JobEvent) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// recordRun stores one fanned-out run's outcome.
+func (j *fleetJob) recordRun(index int, res server.SimResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ro := server.RunOutcome{Index: index}
+	if err != nil {
+		ro.Error = err.Error()
+		j.failed++
+		if j.firstErr == "" {
+			j.firstErr = err.Error()
+		}
+	} else {
+		r := res
+		ro.Result = &r
+	}
+	j.outcomes = append(j.outcomes, ro)
+	j.done++
+	ev := server.JobEvent{
+		Type: "progress", State: j.state,
+		Total: len(j.runs), Done: j.done, Failed: j.failed,
+		Index: index,
+	}
+	if ro.Result != nil {
+		ev.Policy, ev.Energy = ro.Result.Policy, ro.Result.Energy
+	} else {
+		ev.Error = ro.Error
+	}
+	j.publish(ev)
+}
+
+// finish moves the job to a terminal state and sorts outcomes into
+// submission order — the ordered half of the fan-out's ordered merge.
+func (j *fleetJob) finish(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case server.JobDone, server.JobFailed, server.JobCancelled:
+		return
+	}
+	j.state = state
+	j.ended = time.Now()
+	sort.Slice(j.outcomes, func(a, b int) bool { return j.outcomes[a].Index < j.outcomes[b].Index })
+	j.publish(server.JobEvent{Type: "end", State: state,
+		Total: len(j.runs), Done: j.done, Failed: j.failed, Error: j.firstErr})
+	close(j.finished)
+}
+
+// stream pumps the job's SSE events to w until the terminal event or
+// ctx cancellation (wire-compatible with dvsd's job stream).
+func (j *fleetJob) stream(ctx context.Context, w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	send := func(ev server.JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		rc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		rc.Flush()
+		return true
+	}
+
+	ch := make(chan server.JobEvent, 64)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	snapshot := server.JobEvent{Type: "progress", State: j.state,
+		Total: len(j.runs), Done: j.done, Failed: j.failed}
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}()
+
+	if !send(snapshot) {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !send(ev) || ev.Type == "end" {
+				return
+			}
+		case <-j.finished:
+			// Drain buffered progress, then emit the terminal event
+			// (publish is lossy; this path is not).
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Type == "end" {
+						send(ev)
+						return
+					}
+					if !send(ev) {
+						return
+					}
+				default:
+					info := j.info(false)
+					send(server.JobEvent{Type: "end", State: info.State,
+						Total: info.Total, Done: info.Done, Failed: info.Failed, Error: info.Error})
+					return
+				}
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// fleetJobs owns every coordinator job and its fan-out goroutines.
+type fleetJobs struct {
+	coord  *Coordinator
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	jobs  map[string]*fleetJob
+	order []string
+}
+
+func newFleetJobs(c *Coordinator) *fleetJobs {
+	return &fleetJobs{coord: c, jobs: map[string]*fleetJob{}}
+}
+
+// width returns the fan-out concurrency: enough in-flight runs to
+// keep every worker's pool busy without overrunning its admission
+// budget from a single job.
+func (s *fleetJobs) width() int {
+	if w := s.coord.cfg.FanoutWidth; w > 0 {
+		return w
+	}
+	if n := 4 * s.coord.workerCount(); n > 0 {
+		return n
+	}
+	return 4
+}
+
+// Create registers a job and starts fanning its runs across the
+// fleet.
+func (s *fleetJobs) Create(name string, runs []server.SimRequest) *fleetJob {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &fleetJob{
+		id:       fmt.Sprintf("fj%d", s.nextID.Add(1)),
+		name:     name,
+		created:  time.Now(),
+		cancel:   cancel,
+		state:    server.JobQueued,
+		runs:     runs,
+		subs:     map[chan server.JobEvent]struct{}{},
+		finished: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.coord.met.jobsCreated.Inc()
+	go s.run(ctx, j)
+	return j
+}
+
+// run fans the job's runs out across the fleet. Failures are recorded
+// per outcome; cancellation is the only early stop.
+func (s *fleetJobs) run(ctx context.Context, j *fleetJob) {
+	j.mu.Lock()
+	j.state = server.JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	_ = par.ForEach(s.width(), len(j.runs), func(i int) error {
+		if ctx.Err() != nil {
+			return nil // cancelled: stop submitting further runs
+		}
+		req := &j.runs[i]
+		key, err := server.ScenarioKey(req)
+		if err != nil {
+			key = ""
+		}
+		s.coord.met.fanoutRuns.Inc()
+		res, err := s.coord.routeSimulate(ctx, req, key)
+		if ctx.Err() != nil && err != nil {
+			return nil // cancelled, not a run failure
+		}
+		j.recordRun(i, res, err)
+		return nil
+	})
+
+	state := server.JobDone
+	switch {
+	case ctx.Err() != nil:
+		state = server.JobCancelled
+	case func() bool { j.mu.Lock(); defer j.mu.Unlock(); return j.failed > 0 }():
+		state = server.JobFailed
+	}
+	j.finish(state)
+	s.coord.met.jobsFinished.Inc()
+}
+
+// Get returns a job by ID.
+func (s *fleetJobs) Get(id string) (*fleetJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns job summaries in creation order.
+func (s *fleetJobs) List() []server.JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]server.JobInfo, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Get(id); ok {
+			out = append(out, j.info(false))
+		}
+	}
+	return out
+}
+
+// Cancel aborts a job's remaining runs.
+func (s *fleetJobs) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// WaitIdle blocks until every job is terminal or ctx expires.
+func (s *fleetJobs) WaitIdle(ctx context.Context) error {
+	s.mu.Lock()
+	pending := make([]*fleetJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// CancelAll aborts every job (shutdown path).
+func (s *fleetJobs) CancelAll() {
+	s.mu.Lock()
+	pending := make([]*fleetJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.cancel()
+	}
+}

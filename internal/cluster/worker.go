@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dvsslack/client"
+)
+
+// Worker health states.
+const (
+	// WorkerHealthy: in the ring, receiving routed traffic.
+	WorkerHealthy = "healthy"
+	// WorkerDown: out of the ring after failed health checks or a
+	// routing-time transport error; its keys have failed over to their
+	// ring successors. Rejoins automatically when /readyz recovers.
+	WorkerDown = "down"
+	// WorkerDraining: the worker answered /readyz with a draining (or
+	// saturated) 503; it is out of the ring until readiness returns —
+	// the drain-aware half of rebalancing.
+	WorkerDraining = "draining"
+	// WorkerCordoned: manually removed from the ring (POST
+	// /v1/cluster/cordon). Health is still tracked but the worker gets
+	// no routed traffic until uncordoned.
+	WorkerCordoned = "cordoned"
+)
+
+// worker is the coordinator's view of one dvsd instance.
+type worker struct {
+	addr string
+	c    *client.Client
+
+	mu          sync.Mutex
+	state       string
+	consecFails int
+	lastErr     string
+	lastChecked time.Time
+}
+
+func newWorker(addr string) *worker {
+	// Workers start down and join the ring on their first successful
+	// probe, so a mistyped address never receives routed keys. Calls
+	// are bounded by per-request contexts (health-probe timeouts, the
+	// proxied request's own deadline), not a transport-wide timeout —
+	// a long simulation must be allowed to take long.
+	return &worker{addr: addr, c: client.New(addr), state: WorkerDown}
+}
+
+// Ready probes the worker's /readyz.
+func (w *worker) Ready(ctx context.Context) error { return w.c.Ready(ctx) }
+
+// State returns the current health state.
+func (w *worker) State() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// setState transitions the worker and returns the previous state.
+func (w *worker) setState(s string) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev := w.state
+	w.state = s
+	return prev
+}
+
+// WorkerInfo is the wire form of one worker's status (GET
+// /v1/cluster).
+type WorkerInfo struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// InRing reports whether the worker currently owns ring keys.
+	InRing bool `json:"in_ring"`
+	// ConsecFails is the consecutive failed health probes.
+	ConsecFails int    `json:"consec_fails,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	LastChecked string `json:"last_checked,omitempty"`
+	// Routed / FailedOver are lifetime routing counters for this
+	// worker (requests routed to it; requests that had to fail over
+	// away from it).
+	Routed     uint64 `json:"routed"`
+	FailedOver uint64 `json:"failed_over,omitempty"`
+}

@@ -110,13 +110,22 @@ func (r *SimRequest) Config() (sim.Config, error) {
 	}, nil
 }
 
-// CacheKey returns the canonical content hash of the request:
+// ScenarioKey returns the canonical content hash of a request:
 // identical simulation inputs — task set, processor, policy,
 // workload, horizon, jitter seed, strictness — hash identically
 // regardless of JSON field order or whitespace in the original
 // request body. encoding/json marshals struct fields in declaration
 // order, so the serialization is canonical by construction.
-func (r *SimRequest) CacheKey() (string, error) {
+//
+// The key is shared infrastructure: the daemon's result cache indexes
+// by it (CacheKey) and the dvsfleet coordinator consistent-hashes it
+// onto workers, so routing and caching can never disagree — the
+// worker a scenario routes to is exactly the worker whose cache holds
+// its result. The hash is pinned by a golden test
+// (scenariokey_test.go): changing the canonical form invalidates
+// every deployed cache AND reshuffles fleet routing, so it must be a
+// deliberate, versioned decision, never an accident.
+func ScenarioKey(r *SimRequest) (string, error) {
 	canon := struct {
 		TaskSet    *rtm.TaskSet
 		Policy     string
@@ -138,6 +147,10 @@ func (r *SimRequest) CacheKey() (string, error) {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// CacheKey is the result cache's index: an alias of ScenarioKey kept
+// as a method for the cache and pool call sites.
+func (r *SimRequest) CacheKey() (string, error) { return ScenarioKey(r) }
 
 // RequestFromConfig inverts Config for configurations assembled from
 // the shipped building blocks (registered policies, cubic/alpha/table

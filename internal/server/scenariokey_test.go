@@ -1,0 +1,131 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// goldenFixture is a wire-form simulate request frozen byte-for-byte;
+// goldenKey is its scenario hash as of the key's introduction.
+//
+// This pin is the cluster's routing/caching contract: dvsfleet
+// consistent-hashes ScenarioKey to pick a worker and the worker's
+// result cache indexes by the same value, so an accidental change to
+// the canonical form (field added to the canonical struct, JSON tag
+// renamed, alias table reshuffled) would silently re-shard every
+// fleet and invalidate every cache across a rolling upgrade. If this
+// test fails, you have changed the key's semantics: bump deliberately
+// and note the cache/ring invalidation in the commit, then refresh
+// the constant.
+const (
+	goldenFixture = `{
+  "task_set": {
+    "name": "golden",
+    "tasks": [
+      {"name": "t1", "wcet": 1, "period": 8},
+      {"name": "t2", "wcet": 2, "period": 10},
+      {"name": "t3", "wcet": 3, "period": 14}
+    ]
+  },
+  "policy": "lpshe",
+  "workload": {"kind": "uniform", "lo": 0.5, "hi": 1, "seed": 42}
+}`
+	goldenKey = "f334725ee52115c90a329e24215870e2a026c0dfd419241c86b4ff9d35026701"
+)
+
+func decodeFixture(t *testing.T, data string) SimRequest {
+	t.Helper()
+	var req SimRequest
+	if err := json.Unmarshal([]byte(data), &req); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestScenarioKeyGolden pins the canonical hash of a frozen request.
+func TestScenarioKeyGolden(t *testing.T) {
+	req := decodeFixture(t, goldenFixture)
+	got, err := ScenarioKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenKey {
+		t.Fatalf("ScenarioKey(golden fixture) = %s, want %s\n"+
+			"The canonical scenario form changed: this re-shards fleet routing and "+
+			"invalidates result caches. If intentional, update goldenKey.", got, goldenKey)
+	}
+}
+
+// TestScenarioKeyCacheKeyAgree pins the shared-key property: the
+// result cache and the fleet router can never disagree about request
+// identity because CacheKey IS ScenarioKey.
+func TestScenarioKeyCacheKeyAgree(t *testing.T) {
+	req := decodeFixture(t, goldenFixture)
+	ck, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := ScenarioKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck != sk {
+		t.Fatalf("CacheKey %s != ScenarioKey %s", ck, sk)
+	}
+}
+
+// TestScenarioKeyAliasCollapse pins alias canonicalization: every
+// accepted spelling of one policy hashes to one key (one worker, one
+// cache entry), and a genuinely different policy to a different key.
+func TestScenarioKeyAliasCollapse(t *testing.T) {
+	keyFor := func(policy string) string {
+		req := decodeFixture(t, goldenFixture)
+		req.Policy = policy
+		k, err := ScenarioKey(&req)
+		if err != nil {
+			t.Fatalf("ScenarioKey(policy=%q): %v", policy, err)
+		}
+		return k
+	}
+	for _, alias := range []string{"greedy", "lpshe-greedy", "LPSHE-GREEDY", " greedy "} {
+		if a, b := keyFor(alias), keyFor("lpshe-greedy"); a != b {
+			t.Fatalf("alias %q hashes to %s, canonical spelling to %s", alias, a, b)
+		}
+	}
+	if keyFor("lpshe") == keyFor("lpshe-greedy") {
+		t.Fatal("distinct policies collide on one scenario key")
+	}
+	if keyFor("edf") != keyFor("nondvs") {
+		t.Fatal("edf alias does not collapse onto nondvs")
+	}
+}
+
+// TestScenarioKeySensitivity ensures the key moves with every field
+// that changes simulation semantics.
+func TestScenarioKeySensitivity(t *testing.T) {
+	base := decodeFixture(t, goldenFixture)
+	baseKey, err := ScenarioKey(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*SimRequest){
+		"workload seed":  func(r *SimRequest) { r.Workload.Seed = 43 },
+		"workload kind":  func(r *SimRequest) { r.Workload.Kind = "bimodal" },
+		"horizon":        func(r *SimRequest) { r.Horizon = 1000 },
+		"strict":         func(r *SimRequest) { r.Strict = true },
+		"audit":          func(r *SimRequest) { r.Audit = true },
+		"processor smin": func(r *SimRequest) { r.Processor.SMin = 0.25 },
+		"task wcet":      func(r *SimRequest) { r.TaskSet.Tasks[0].WCET = 1.5 },
+	}
+	for name, mutate := range mutations {
+		req := decodeFixture(t, goldenFixture)
+		mutate(&req)
+		k, err := ScenarioKey(&req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == baseKey {
+			t.Fatalf("mutating %s did not change the scenario key", name)
+		}
+	}
+}

@@ -5,8 +5,11 @@
 # deadline misses, scrape /metrics.prom and check the exposition is
 # well-formed, drain cleanly), a chaos smoke (daemon under
 # deterministic fault injection, hammered through the self-healing
-# client with zero surfaced errors, clean drain), and a dvscheck
-# audit pass (corpus replay, oracle self-test, and a
+# client with zero surfaced errors, clean drain), a fleet smoke
+# (3-worker embedded dvsfleet: hammer through the router, dvsexp grid
+# byte-identical to the single-process run before AND after killing a
+# worker, failover observed in the metrics, clean drain), and a
+# dvscheck audit pass (corpus replay, oracle self-test, and a
 # 25-configuration fuzz smoke).
 set -eu
 
@@ -31,9 +34,13 @@ echo "==> dvsd smoke test"
 DVSD_BIN=$(mktemp -t dvsd.XXXXXX)
 DVSD_LOG=$(mktemp -t dvsd.log.XXXXXX)
 DVSD_PID=""
+FLEET_PID=""
+FLEET_TMP=""
 cleanup() {
     [ -n "$DVSD_PID" ] && kill "$DVSD_PID" 2>/dev/null || true
+    [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
     rm -f "$DVSD_BIN" "$DVSD_LOG"
+    [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
 }
 trap cleanup EXIT
 
@@ -155,6 +162,108 @@ wait "$DVSD_PID" || { echo "FAIL: chaos dvsd exited non-zero on SIGTERM" >&2; ex
 DVSD_PID=""
 grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain after chaos" >&2; cat "$DVSD_LOG" >&2; exit 1; }
 echo "    chaos smoke test OK ($ADDR, 50 requests self-healed, clean drain)"
+
+echo "==> fleet smoke test (dvsfleet -embedded, 3 workers)"
+FLEET_TMP=$(mktemp -d -t dvsfleet.XXXXXX)
+FLEET_LOG="$FLEET_TMP/fleet.log"
+go build -o "$FLEET_TMP/dvsfleet" ./cmd/dvsfleet
+go build -o "$FLEET_TMP/dvshammer" ./cmd/dvshammer
+go build -o "$FLEET_TMP/dvsexp" ./cmd/dvsexp
+
+"$FLEET_TMP/dvsfleet" -addr 127.0.0.1:0 -embedded -workers 3 >"$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+FADDR=""
+for _ in $(seq 1 50); do
+    FADDR=$(sed -n 's/.*dvsfleet: listening on \([0-9.:]*\).*/\1/p' "$FLEET_LOG" | head -n1)
+    [ -n "$FADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$FADDR" ]; then
+    echo "FAIL: dvsfleet did not start:" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+fi
+
+# Load through the router: every request must succeed, and the JSON
+# summary must say so explicitly.
+"$FLEET_TMP/dvshammer" -addr "$FADDR" -n 50 -c 4 -seed 9 -json >"$FLEET_TMP/hammer.json" || {
+    echo "FAIL: fleet hammer surfaced errors" >&2
+    cat "$FLEET_TMP/hammer.json" "$FLEET_LOG" >&2
+    exit 1
+}
+grep -q '"failed":0' "$FLEET_TMP/hammer.json" || {
+    echo "FAIL: fleet hammer summary reports failures:" >&2
+    cat "$FLEET_TMP/hammer.json" >&2
+    exit 1
+}
+
+# The determinism guarantee, end to end over real processes: the t2
+# grid through the fleet must be byte-identical to the in-process run.
+"$FLEET_TMP/dvsexp" -exp t2 -quick -seeds 2 >"$FLEET_TMP/local.out"
+"$FLEET_TMP/dvsexp" -exp t2 -quick -seeds 2 -addr "$FADDR" >"$FLEET_TMP/fleet.out"
+cmp -s "$FLEET_TMP/local.out" "$FLEET_TMP/fleet.out" || {
+    echo "FAIL: fleet t2 report differs from single-process report" >&2
+    diff "$FLEET_TMP/local.out" "$FLEET_TMP/fleet.out" >&2 || true
+    exit 1
+}
+
+# Kill one worker (the cluster endpoint hard-stops it, crash-style)
+# and rerun the grid: failover must keep the report byte-identical.
+VICTIM=$(curl -s --max-time 2 "http://$FADDR/v1/cluster" |
+    sed -n 's/.*"addr": "\([0-9.:]*\)".*/\1/p' | head -n1)
+if [ -z "$VICTIM" ]; then
+    echo "FAIL: /v1/cluster listed no workers" >&2
+    curl -s --max-time 2 "http://$FADDR/v1/cluster" >&2 || true
+    exit 1
+fi
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 -X POST "http://$FADDR/v1/cluster/kill?worker=$VICTIM")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: /v1/cluster/kill returned HTTP $STATUS" >&2
+    exit 1
+fi
+"$FLEET_TMP/dvsexp" -exp t2 -quick -seeds 2 -addr "$FADDR" >"$FLEET_TMP/fleet2.out"
+cmp -s "$FLEET_TMP/local.out" "$FLEET_TMP/fleet2.out" || {
+    echo "FAIL: fleet t2 report differs after killing worker $VICTIM" >&2
+    diff "$FLEET_TMP/local.out" "$FLEET_TMP/fleet2.out" >&2 || true
+    exit 1
+}
+
+# Failover must be observable: drive fresh-seed requests at the fleet
+# until the dead worker's failover counter moves (bounded — the ring
+# spreads keys, so a handful of seeds always hits the victim's share).
+FAILED_OVER=""
+i=0
+while [ $i -lt 50 ]; do
+    if curl -s --max-time 2 "http://$FADDR/metrics.prom" |
+        grep '^dvsfleet_failovers_total{' | grep -qv ' 0$'; then
+        FAILED_OVER=yes
+        break
+    fi
+    curl -s --max-time 5 -o /dev/null -d "{
+      \"task_set\": {\"tasks\": [{\"wcet\": 1, \"period\": 4}, {\"wcet\": 2, \"period\": 12}]},
+      \"policy\": \"lpshe\",
+      \"workload\": {\"kind\": \"uniform\", \"lo\": 0.5, \"hi\": 1, \"seed\": $i}
+    }" "http://$FADDR/v1/simulate" || true
+    i=$((i + 1))
+done
+if [ -z "$FAILED_OVER" ]; then
+    echo "FAIL: no failover recorded after killing $VICTIM:" >&2
+    curl -s --max-time 2 "http://$FADDR/metrics.prom" | grep '^dvsfleet_' >&2 || true
+    exit 1
+fi
+# The survivors must carry the fleet: with one worker dead, readyz
+# still says ready.
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 "http://$FADDR/readyz")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: fleet not ready after single-worker kill (HTTP $STATUS)" >&2
+    exit 1
+fi
+
+kill -TERM "$FLEET_PID"
+wait "$FLEET_PID" || { echo "FAIL: dvsfleet exited non-zero on SIGTERM" >&2; cat "$FLEET_LOG" >&2; exit 1; }
+FLEET_PID=""
+grep -q "drained, bye" "$FLEET_LOG" || { echo "FAIL: no clean fleet drain message" >&2; cat "$FLEET_LOG" >&2; exit 1; }
+echo "    fleet smoke test OK ($FADDR, hammer clean, t2 byte-identical incl. after worker kill, failover observed, clean drain)"
 
 echo "==> dvscheck audit pass"
 # Corpus replay + mutation self-test (the default modes), then a
