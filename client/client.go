@@ -76,6 +76,9 @@ func (c *Client) WithCallTimeout(d time.Duration) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Errors lists every problem when the server reported more than
+	// one (scenario validation responses); empty otherwise.
+	Errors []string
 	// RetryAfter is the server's Retry-After hint, zero when absent.
 	RetryAfter time.Duration
 }
@@ -93,7 +96,7 @@ func readAPIError(resp *http.Response) *APIError {
 	if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	e := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	e := &APIError{StatusCode: resp.StatusCode, Message: msg, Errors: eb.Errors}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 			e.RetryAfter = time.Duration(secs) * time.Second
@@ -179,6 +182,29 @@ func (c *Client) Simulate(ctx context.Context, req server.SimRequest) (server.Si
 	var res server.SimResult
 	err := c.do(ctx, http.MethodPost, "/v1/simulate", &req, &res, true)
 	return res, err
+}
+
+// RunScenario executes a declarative scenario document (raw YAML or
+// JSON bytes) via POST /v1/scenario and returns the verdict in its
+// canonical byte form — identical to a local `dvsscen run -json` of
+// the same document. Scenario execution is deterministic, so the
+// call is idempotent and rides the client's retry and deadline
+// plumbing like Simulate. Validation failures surface as an APIError
+// carrying every problem the validator found.
+func (c *Client) RunScenario(ctx context.Context, doc []byte) ([]byte, error) {
+	var out []byte
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/scenario", doc, true, func(resp *http.Response) error {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		out = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CreateJob submits a batch and returns its initial status. Never

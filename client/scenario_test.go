@@ -1,0 +1,82 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"dvsslack/internal/scenario"
+)
+
+const scenarioDoc = `version: 1
+name: client-smoke
+policies: [lpshe, nondvs]
+tasks:
+  - name: A
+    wcet: 1
+    period: 5
+  - name: B
+    wcet: 2
+    period: 10
+workload:
+  kind: constant
+  frac: 0.6
+assertions:
+  - kind: no_deadline_misses
+  - kind: audit_clean
+`
+
+// TestRunScenario pins the transport contract: the bytes RunScenario
+// returns are exactly what a local execution of the same document
+// produces.
+func TestRunScenario(t *testing.T) {
+	c, _ := newPair(t)
+	doc, errs := scenario.Parse("test", []byte(scenarioDoc))
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	v, err := scenario.Execute(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := v.JSON()
+
+	got, err := c.RunScenario(context.Background(), []byte(scenarioDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote verdict differs from local execution:\n%s\n---\n%s", got, want)
+	}
+}
+
+// TestRunScenarioInvalid pins that validation failures surface every
+// problem through APIError.Errors, not just the first.
+func TestRunScenarioInvalid(t *testing.T) {
+	c, _ := newPair(t)
+	bad := []byte(`version: 9
+name: bad doc
+policies: [nope]
+tasks:
+  - name: A
+    wcet: 0
+    period: 5
+assertions:
+  - kind: bogus
+`)
+	_, err := c.RunScenario(context.Background(), bad)
+	if err == nil {
+		t.Fatal("invalid document accepted")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error type %T, want *APIError", err)
+	}
+	if ae.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", ae.StatusCode)
+	}
+	if len(ae.Errors) < 3 {
+		t.Fatalf("Errors lists %d problems, want all (>= 3): %v", len(ae.Errors), ae.Errors)
+	}
+}

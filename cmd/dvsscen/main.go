@@ -1,0 +1,283 @@
+// Command dvsscen works with declarative scenario documents: versioned
+// YAML/JSON descriptions of a task set, a processor, a workload
+// timeline, and the assertions a run must satisfy.
+//
+// Usage:
+//
+//	dvsscen validate scenarios/*.yaml          # check documents, list every error
+//	dvsscen run scenarios/surge-overrun.yaml   # execute locally, report the verdict
+//	dvsscen run -json doc.yaml                 # canonical machine-readable verdict
+//	dvsscen run -addr http://host:8080 doc.yaml  # execute on a dvsd or dvsfleet
+//	dvsscen convert entry.json                 # lift a fuzz corpus entry to a scenario
+//	dvsscen convert -format json -out dir entry.json
+//
+// validate exits 2 on usage errors and 1 when any document fails,
+// after printing every validation error (not just the first). run
+// exits 1 when any verdict reports ok=false or a document fails to
+// execute; with -json the verdict's canonical bytes go to stdout —
+// byte-identical to what POST /v1/scenario answers for the same
+// document, so the two can be compared with cmp. convert writes the
+// scenario form of fuzz corpus entries to stdout or -out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dvsslack/client"
+	"dvsslack/internal/fuzz"
+	"dvsslack/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = cmdValidate(os.Args[2:], os.Stdout, os.Stderr)
+	case "run":
+		err = cmdRun(os.Args[2:], os.Stdout, os.Stderr)
+	case "convert":
+		err = cmdConvert(os.Args[2:], os.Stdout, os.Stderr)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "dvsscen: unknown subcommand %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		if _, harness := err.(failure); !harness {
+			fmt.Fprintf(os.Stderr, "dvsscen: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `dvsscen works with declarative scenario documents.
+
+Subcommands:
+  validate <files...>                 check documents, listing every error
+  run [-json] [-addr URL] <files...>  execute documents and report verdicts
+  convert [-format yaml|json] [-out dir] <entries...>
+                                      lift fuzz corpus entries into scenarios
+
+Run 'dvsscen <subcommand> -h' for flags.
+`)
+}
+
+// failure marks check failures whose diagnostics are already printed;
+// main maps them to exit 1 without the "dvsscen:" prefix.
+type failure string
+
+func (f failure) Error() string { return string(f) }
+
+// cmdValidate parses every named document and prints every error each
+// one carries, file:line-anchored. All files are checked even after
+// the first failure.
+func cmdValidate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress per-file ok lines")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("validate: no documents named")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		_, errs := scenario.Parse(path, data)
+		if len(errs) > 0 {
+			bad++
+			for _, e := range errs {
+				fmt.Fprintln(stderr, e.Error())
+			}
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "%s: ok\n", path)
+		}
+	}
+	if bad > 0 {
+		return failure(fmt.Sprintf("%d of %d documents failed validation", bad, fs.NArg()))
+	}
+	return nil
+}
+
+// cmdRun executes documents — locally, or on a remote dvsd/dvsfleet
+// when -addr is given (the remote path proves transport byte-identity:
+// the bytes printed by -json are exactly the server's response body).
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit each verdict's canonical JSON instead of text")
+	addr := fs.String("addr", "", "execute on this dvsd/dvsfleet base URL instead of locally")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("run: no documents named")
+	}
+	var remote *client.Client
+	if *addr != "" {
+		remote = client.New(*addr)
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		doc, errs := scenario.Parse(path, data)
+		if len(errs) > 0 {
+			failed++
+			for _, e := range errs {
+				fmt.Fprintln(stderr, e.Error())
+			}
+			continue
+		}
+		var raw []byte
+		if remote != nil {
+			raw, err = remote.RunScenario(context.Background(), data)
+			if err != nil {
+				var ae *client.APIError
+				if errors.As(err, &ae) && len(ae.Errors) > 0 {
+					for _, msg := range ae.Errors {
+						fmt.Fprintln(stderr, msg)
+					}
+					failed++
+					continue
+				}
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		} else {
+			v, err := scenario.Execute(context.Background(), doc)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			raw = v.JSON()
+		}
+		var v scenario.Verdict
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("%s: decoding verdict: %w", path, err)
+		}
+		if *jsonOut {
+			stdout.Write(raw)
+		} else {
+			printVerdict(stdout, path, &v)
+		}
+		if !v.Ok {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return failure(fmt.Sprintf("%d of %d scenarios failed", failed, fs.NArg()))
+	}
+	return nil
+}
+
+// printVerdict renders the human-readable report for one verdict.
+func printVerdict(w io.Writer, path string, v *scenario.Verdict) {
+	status := "PASS"
+	if !v.Ok {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "%s: %s (%s)\n", path, status, v.Scenario)
+	for _, p := range v.Policies {
+		if p.Err != "" {
+			fmt.Fprintf(w, "  %-12s error: %s\n", p.Policy, p.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s energy=%.4f misses=%d jobs=%d/%d violations=%d\n",
+			p.Policy, p.Energy, p.DeadlineMisses, p.JobsCompleted, p.JobsReleased, len(p.Violations))
+	}
+	for _, a := range v.Assertions {
+		mark := "ok"
+		if !a.Ok {
+			mark = "FAIL"
+		}
+		name := a.Kind
+		if a.Policy != "" {
+			name += "(" + a.Policy
+			if a.Reference != "" {
+				name += "/" + a.Reference
+			}
+			name += ")"
+		}
+		fmt.Fprintf(w, "  assert %-28s %s", name, mark)
+		if a.Detail != "" {
+			fmt.Fprintf(w, "  %s", a.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	if v.Chaos != nil {
+		fmt.Fprintf(w, "  chaos seed=%d faults=%v attempts=%v\n", v.Chaos.Seed, v.Chaos.Faults, v.Chaos.Attempts)
+	}
+}
+
+// cmdConvert lifts fuzz corpus entries into scenario documents whose
+// replay reproduces the entry's recorded fingerprint (pinned by the
+// generated fingerprint assertion).
+func cmdConvert(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	format := fs.String("format", "yaml", "output format: yaml or json")
+	outDir := fs.String("out", "", "write one file per entry into this directory instead of stdout")
+	fs.Parse(args)
+	if *format != "yaml" && *format != "json" {
+		return fmt.Errorf("convert: unknown format %q (want yaml or json)", *format)
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("convert: no corpus entries named")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		entry, err := fuzz.LoadEntry(path)
+		if err != nil {
+			return err
+		}
+		doc := fuzz.ToScenario(entry)
+		var data []byte
+		ext := ".yaml"
+		if *format == "json" {
+			data = scenario.DocJSON(doc)
+			ext = ".json"
+		} else {
+			data = scenario.MarshalYAML(doc)
+		}
+		// Converted output must itself round-trip the validator; a
+		// failure here is a bug, not a user error.
+		if _, errs := scenario.Parse(path, data); len(errs) > 0 {
+			msgs := make([]string, len(errs))
+			for i, e := range errs {
+				msgs[i] = e.Error()
+			}
+			return fmt.Errorf("convert: %s produced an invalid scenario:\n%s", path, strings.Join(msgs, "\n"))
+		}
+		if *outDir == "" {
+			stdout.Write(data)
+			continue
+		}
+		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		dst := filepath.Join(*outDir, base+ext)
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s -> %s\n", path, dst)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"dvsslack/client"
 	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
+	"dvsslack/internal/scenario"
 	"dvsslack/internal/server"
 )
 
@@ -120,6 +121,7 @@ func New(cfg Config) *Coordinator {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", c.instrument("simulate", c.handleSimulate))
+	mux.HandleFunc("POST /v1/scenario", c.instrument("scenario", c.handleScenario))
 	mux.HandleFunc("POST /v1/jobs", c.instrument("jobs.create", c.handleCreateJob))
 	mux.HandleFunc("GET /v1/jobs", c.instrument("jobs.list", c.handleListJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", c.instrument("jobs.get", c.handleGetJob))
@@ -450,6 +452,54 @@ func (c *Coordinator) routeSimulate(ctx context.Context, req *server.SimRequest,
 	return server.SimResult{}, fmt.Errorf("cluster: all %d candidate workers failed: %w", len(cands), lastErr)
 }
 
+// routeScenario runs one scenario document against the fleet with the
+// same failover ladder as routeSimulate: owner first, ring successors
+// on worker-side failures, 4xx propagated immediately. The document's
+// canonical key (scenario.DocKey) routes it, so re-submitting the same
+// document lands on the same worker. The worker's verdict bytes pass
+// through untouched — byte-identical to a local run by construction.
+func (c *Coordinator) routeScenario(ctx context.Context, body []byte, key string) ([]byte, error) {
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		c.met.proxyErrors.Inc()
+		return nil, ErrNoWorkers
+	}
+	var lastErr error
+	for _, addr := range cands {
+		w, ok := c.worker(addr)
+		if !ok {
+			continue
+		}
+		verdict, err := w.c.RunScenario(ctx, body)
+		if err == nil {
+			c.met.routed.With(addr).Inc()
+			return verdict, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			switch {
+			case apiErr.StatusCode == http.StatusTooManyRequests:
+				c.met.retries.Inc()
+				continue
+			case apiErr.StatusCode == http.StatusServiceUnavailable,
+				apiErr.StatusCode >= 500:
+				c.met.failovers.With(addr).Inc()
+				continue
+			default:
+				return nil, err
+			}
+		}
+		c.markDownPassive(w, err)
+		c.met.failovers.With(addr).Inc()
+	}
+	c.met.proxyErrors.Inc()
+	return nil, fmt.Errorf("cluster: all %d candidate workers failed: %w", len(cands), lastErr)
+}
+
 // --- HTTP plumbing (mirrors dvsd's instrument/writeJSON discipline) ---
 
 type statusWriter struct {
@@ -580,6 +630,42 @@ func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleScenario proxies POST /v1/scenario: parse and validate the
+// document locally (an invalid document never costs a worker
+// round-trip, and the 400 lists every error just as dvsd's would),
+// route the raw body by the document's canonical key, and stream the
+// worker's verdict bytes through verbatim.
+func (c *Coordinator) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if c.rejectIfDraining(w) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading scenario body: %v", err)
+		return
+	}
+	doc, errs := scenario.Parse("scenario", body)
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		writeJSON(w, http.StatusBadRequest, server.ErrorBody{
+			Error:  fmt.Sprintf("scenario failed validation with %d error(s): %s", len(errs), msgs[0]),
+			Errors: msgs,
+		})
+		return
+	}
+	verdict, err := c.routeScenario(r.Context(), body, scenario.DocKey(doc))
+	if err != nil {
+		writeRouteError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(verdict)
 }
 
 // handleCreateJob answers POST /v1/jobs by expanding the batch

@@ -1,0 +1,38 @@
+package fuzz
+
+import (
+	"dvsslack/internal/scenario"
+)
+
+// ToScenario lifts a corpus entry into a declarative scenario
+// document: the identical task set, processor, workload, and policy
+// list, with the entry's expected fingerprint as the document's
+// single assertion. Executing the document replays the entry
+// simulation-for-simulation (same engine configuration, same jitter
+// stream), so the scenario verdict's fingerprint equals the fuzz
+// replay's — `dvsscen convert` relies on this to turn reproducers
+// into corpus scenarios without changing what they pin.
+func ToScenario(e CorpusEntry) *scenario.Document {
+	doc := &scenario.Document{
+		Version:     scenario.Version,
+		Name:        e.Scenario.Name,
+		Description: e.Comment,
+		JitterSeed:  e.Scenario.JitterSeed,
+		Policies:    append([]string(nil), e.Scenario.Policies...),
+		Processor:   e.Scenario.Processor,
+		Workload:    e.Scenario.Workload,
+		Assertions: []scenario.Assertion{{
+			Kind:   "fingerprint",
+			Expect: append([]string{}, e.Expect...),
+		}},
+	}
+	if e.Scenario.TaskSet != nil {
+		for _, t := range e.Scenario.TaskSet.Tasks {
+			doc.Tasks = append(doc.Tasks, scenario.TaskSpec{
+				Name: t.Name, WCET: t.WCET, Period: t.Period,
+				Deadline: t.Deadline, Jitter: t.Jitter,
+			})
+		}
+	}
+	return doc
+}

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dvsslack/internal/scenario"
+)
+
+// TestToScenarioRoundTrip pins the corpus-to-scenario contract over
+// every committed corpus entry: the converted document validates, its
+// YAML form reparses to the same canonical key, and executing it
+// reproduces the entry's fingerprint exactly.
+func TestToScenarioRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus entries found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			entry, err := LoadEntry(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fuzzFP := Run(entry.Scenario).Fingerprint()
+
+			doc := ToScenario(entry)
+			// The converted document must survive a YAML round trip
+			// (this is what `dvsscen convert` writes to disk).
+			reparsed, errs := scenario.Parse(path, scenario.MarshalYAML(doc))
+			if len(errs) > 0 {
+				t.Fatalf("converted document does not validate: %v", errs)
+			}
+			if scenario.DocKey(doc) != scenario.DocKey(reparsed) {
+				t.Fatal("YAML round trip changed the document")
+			}
+
+			v, err := scenario.Execute(context.Background(), reparsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := v.Fingerprint(); !reflect.DeepEqual(got, fuzzFP) {
+				t.Fatalf("scenario fingerprint %v, fuzz fingerprint %v", got, fuzzFP)
+			}
+			if !v.Ok {
+				t.Fatalf("converted scenario verdict not ok: %s", v.JSON())
+			}
+		})
+	}
+}
+
+// TestToScenarioGenerated covers generator-produced scenarios (which
+// exercise jitter, stalls, discrete levels, and extended policy
+// lists) beyond the committed corpus.
+func TestToScenarioGenerated(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		sc := Generate(seed)
+		entry := CorpusEntry{Scenario: sc, Expect: Run(sc).Fingerprint()}
+		doc := ToScenario(entry)
+		reparsed, errs := scenario.Parse(sc.Name, scenario.MarshalYAML(doc))
+		if len(errs) > 0 {
+			t.Fatalf("seed %d: %v", seed, errs)
+		}
+		v, err := scenario.Execute(context.Background(), reparsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Fingerprint(); !reflect.DeepEqual(got, entry.Expect) {
+			t.Fatalf("seed %d: fingerprint %v, want %v", seed, got, entry.Expect)
+		}
+	}
+}

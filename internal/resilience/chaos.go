@@ -20,6 +20,8 @@ type Fault string
 // the connection mid-body — which, on the SSE endpoint, is exactly a
 // truncated event stream.
 const (
+	// FaultNone is the no-injection outcome of a Plan draw.
+	FaultNone     Fault = ""
 	FaultDelay    Fault = "delay"
 	FaultError    Fault = "error"
 	FaultDrop     Fault = "drop"

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedCorpus replays every document in the committed
+// scenarios/ corpus: each must validate cleanly and execute to an
+// ok verdict with its assertions enforced. This is the same check
+// verify.sh runs via dvsscen, kept in-tree so `go test ./...`
+// catches a broken corpus immediately.
+func TestShippedCorpus(t *testing.T) {
+	docs, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 10 {
+		t.Fatalf("shipped corpus has %d documents, want >= 10", len(docs))
+	}
+	for _, path := range docs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, errs := Parse(path, data)
+			if len(errs) > 0 {
+				t.Fatalf("validation: %v", errs)
+			}
+			v, err := Execute(context.Background(), doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Ok {
+				for _, a := range v.Assertions {
+					if !a.Ok {
+						t.Errorf("assertion %s failed: %s", a.Kind, a.Detail)
+					}
+				}
+				t.Fatal("corpus document does not pass its own assertions")
+			}
+			// The verdict must be byte-stable: replaying the same
+			// document yields identical canonical bytes.
+			v2, err := Execute(context.Background(), doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v.JSON()) != string(v2.JSON()) {
+				t.Fatal("replay produced different verdict bytes")
+			}
+		})
+	}
+}

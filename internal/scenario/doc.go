@@ -1,0 +1,841 @@
+// Package scenario implements the declarative scenario layer: a
+// versioned YAML/JSON document describing a task set, a processor
+// model, a timeline of runtime events (workload surges, per-job
+// actual-cycle overrides, task arrival/departure, chaos faults), and
+// the assertions the run must satisfy. Documents execute
+// deterministically through the sim engine with the audit oracle
+// attached and yield a canonical JSON Verdict — byte-identical
+// whether produced by `dvsscen run`, dvsd's /v1/scenario endpoint,
+// or a dvsfleet coordinator.
+//
+// See docs/scenarios.md for the format reference and scenarios/ for
+// the committed corpus.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/policies"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/wire"
+)
+
+// Version is the schema version this package reads and writes.
+const Version = 1
+
+// Document is one parsed scenario.
+type Document struct {
+	// Version is the schema version; must equal Version (1).
+	Version int `json:"version"`
+	// Name labels the scenario in verdicts and file names.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Horizon overrides the simulation length (0 = the engine
+	// default: one hyperperiod, or 32 max periods).
+	Horizon float64 `json:"horizon,omitempty"`
+	// JitterSeed selects the release-jitter stream for tasks that
+	// declare jitter.
+	JitterSeed uint64 `json:"jitter_seed,omitempty"`
+	// Policies lists the policy specs to run (internal/policies
+	// vocabulary, e.g. "lpshe", "nondvs", "lpshe+dual").
+	Policies []string `json:"policies"`
+	// Tasks is the periodic task set.
+	Tasks []TaskSpec `json:"tasks"`
+	// Processor and Workload are the dvsd wire specs (the zero
+	// processor is continuous with SMin 0.1; the zero workload is
+	// worst-case).
+	Processor wire.ProcessorSpec `json:"processor,omitempty"`
+	Workload  wire.WorkloadSpec  `json:"workload,omitempty"`
+	// Timeline lists runtime events in any order; execution sorts
+	// where ordering matters.
+	Timeline []Event `json:"timeline,omitempty"`
+	// Assertions lists the checks the verdict enforces (at least
+	// one is required).
+	Assertions []Assertion `json:"assertions"`
+}
+
+// TaskSpec is one periodic task (rtm.Task wire form).
+type TaskSpec struct {
+	Name   string  `json:"name,omitempty"`
+	WCET   float64 `json:"wcet"`
+	Period float64 `json:"period"`
+	// Deadline 0 means implicit (= period).
+	Deadline float64 `json:"deadline,omitempty"`
+	Jitter   float64 `json:"jitter,omitempty"`
+}
+
+// Event is one timeline entry; Event selects the kind and decides
+// which other fields are read.
+type Event struct {
+	// Event: "surge", "override", "arrive", "depart", or "chaos".
+	Event string `json:"event"`
+	// At is the event time. For surge it opens the interval; for
+	// arrive/depart it is the mode-change instant.
+	At float64 `json:"at,omitempty"`
+	// Until closes a surge interval (exclusive).
+	Until float64 `json:"until,omitempty"`
+	// Task names the affected task. Required for override, arrive,
+	// and depart; optional for surge (empty = every task).
+	Task string `json:"task,omitempty"`
+	// Job is the per-task job index an override targets.
+	Job int `json:"job,omitempty"`
+	// Frac is the actual-cycle fraction of WCET in (0, 1]. A surge
+	// raises each affected job's AET to at least Frac×WCET; an
+	// override sets it to exactly Frac×WCET.
+	Frac float64 `json:"frac,omitempty"`
+
+	// Chaos fields (event: chaos). The run retries each policy
+	// against the deterministic resilience fault plan until an
+	// attempt survives or MaxAttempts is exhausted.
+	Seed        uint64  `json:"seed,omitempty"`
+	PDelay      float64 `json:"p_delay,omitempty"`
+	PError      float64 `json:"p_error,omitempty"`
+	PDrop       float64 `json:"p_drop,omitempty"`
+	PTruncate   float64 `json:"p_truncate,omitempty"`
+	MaxAttempts int     `json:"max_attempts,omitempty"`
+
+	line int
+}
+
+// Assertion is one declarative check; Kind decides which other
+// fields are read.
+type Assertion struct {
+	// Kind: "no_deadline_misses", "max_deadline_misses",
+	// "audit_clean", "energy_max", "energy_ratio_max",
+	// "min_jobs_completed", "all_jobs_completed", "fingerprint", or
+	// "chaos_recovered".
+	Kind string `json:"kind"`
+	// Policy scopes the check to one policy (empty = every policy).
+	// Required for energy_max and energy_ratio_max.
+	Policy string `json:"policy,omitempty"`
+	// Reference is the denominator policy of energy_ratio_max.
+	Reference string `json:"reference,omitempty"`
+	// Max bounds energy (energy_max) or the energy ratio
+	// (energy_ratio_max).
+	Max float64 `json:"max,omitempty"`
+	// Count bounds misses (max_deadline_misses) or floors
+	// completions (min_jobs_completed).
+	Count int `json:"count,omitempty"`
+	// Expect is the exact failure fingerprint (fingerprint kind):
+	// sorted "policy/invariant" pairs as produced by the fuzz
+	// harness.
+	Expect []string `json:"expect,omitempty"`
+
+	line int
+}
+
+// Error is one validation problem, anchored to its source line when
+// the document came from YAML (JSON input has no line tracking, so
+// Line is 0 and the anchor is the file alone).
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string {
+	switch {
+	case e.File == "" && e.Line == 0:
+		return e.Msg
+	case e.Line == 0:
+		return e.File + ": " + e.Msg
+	default:
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+}
+
+// Parse decodes and validates a scenario document, returning every
+// problem found rather than stopping at the first. The document is
+// nil when errs is non-empty. Input starting with '{' is read as
+// JSON; anything else as the YAML subset.
+func Parse(filename string, data []byte) (*Document, []Error) {
+	var (
+		root *node
+		err  error
+	)
+	if isJSONDoc(data) {
+		root, err = parseJSON(data)
+	} else {
+		root, err = parseYAML(data)
+	}
+	if err != nil {
+		return nil, []Error{{File: filename, Msg: err.Error()}}
+	}
+	d := &decoder{file: filename}
+	doc := d.document(root)
+	if len(d.errs) == 0 {
+		d.validate(doc)
+	}
+	if len(d.errs) > 0 {
+		return nil, d.errs
+	}
+	return doc, nil
+}
+
+func isJSONDoc(data []byte) bool {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b == '{'
+		}
+	}
+	return false
+}
+
+// --- decoder ---
+
+// decoder walks the node tree into a Document, accumulating every
+// error instead of stopping. Field dispatch is by explicit key tables
+// so unknown keys are reported with their line.
+type decoder struct {
+	file string
+	errs []Error
+}
+
+func (d *decoder) errorf(line int, format string, args ...any) {
+	d.errs = append(d.errs, Error{File: d.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// mapping checks n is a mapping and reports unknown keys against the
+// allowed set. It returns nil when n is not a mapping.
+func (d *decoder) mapping(n *node, what string, allowed ...string) *node {
+	if !n.isMap() {
+		d.errorf(n.line, "%s must be a mapping", what)
+		return nil
+	}
+	for _, k := range n.keys {
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.errorf(n.fields[k].line, "%s: unknown field %q (known: %s)", what, k, strings.Join(allowed, ", "))
+		}
+	}
+	return n
+}
+
+func (d *decoder) str(n *node, what string) string {
+	if !n.isScalar() {
+		d.errorf(n.line, "%s must be a string", what)
+		return ""
+	}
+	return n.scalar.text
+}
+
+func (d *decoder) f64(n *node, what string) float64 {
+	if !n.isScalar() || n.scalar.quoted {
+		d.errorf(n.line, "%s must be a number", what)
+		return 0
+	}
+	v, err := strconv.ParseFloat(n.scalar.text, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		d.errorf(n.line, "%s: %q is not a finite number", what, n.scalar.text)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) u64(n *node, what string) uint64 {
+	if !n.isScalar() || n.scalar.quoted {
+		d.errorf(n.line, "%s must be an unsigned integer", what)
+		return 0
+	}
+	v, err := strconv.ParseUint(n.scalar.text, 10, 64)
+	if err != nil {
+		d.errorf(n.line, "%s: %q is not an unsigned integer", what, n.scalar.text)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) integer(n *node, what string) int {
+	if !n.isScalar() || n.scalar.quoted {
+		d.errorf(n.line, "%s must be an integer", what)
+		return 0
+	}
+	v, err := strconv.Atoi(n.scalar.text)
+	if err != nil {
+		d.errorf(n.line, "%s: %q is not an integer", what, n.scalar.text)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) boolean(n *node, what string) bool {
+	if n.isScalar() && !n.scalar.quoted {
+		switch n.scalar.text {
+		case "true":
+			return true
+		case "false":
+			return false
+		}
+	}
+	d.errorf(n.line, "%s must be true or false", what)
+	return false
+}
+
+func (d *decoder) strs(n *node, what string) []string {
+	if !n.isSeq() {
+		d.errorf(n.line, "%s must be a list", what)
+		return nil
+	}
+	out := make([]string, 0, len(n.seq))
+	for _, item := range n.seq {
+		out = append(out, d.str(item, what+" entry"))
+	}
+	return out
+}
+
+func (d *decoder) f64s(n *node, what string) []float64 {
+	if !n.isSeq() {
+		d.errorf(n.line, "%s must be a list of numbers", what)
+		return nil
+	}
+	out := make([]float64, 0, len(n.seq))
+	for _, item := range n.seq {
+		out = append(out, d.f64(item, what+" entry"))
+	}
+	return out
+}
+
+func (d *decoder) document(root *node) *Document {
+	doc := &Document{}
+	m := d.mapping(root, "document",
+		"version", "name", "description", "horizon", "jitter_seed",
+		"policies", "tasks", "processor", "workload", "timeline", "assertions")
+	if m == nil {
+		return doc
+	}
+	seen := func(k string) (*node, bool) { n, ok := m.fields[k]; return n, ok }
+	if n, ok := seen("version"); ok {
+		doc.Version = d.integer(n, "version")
+	} else {
+		d.errorf(root.line, "missing required field \"version\"")
+	}
+	if n, ok := seen("name"); ok {
+		doc.Name = d.str(n, "name")
+	} else {
+		d.errorf(root.line, "missing required field \"name\"")
+	}
+	if n, ok := seen("description"); ok {
+		doc.Description = d.str(n, "description")
+	}
+	if n, ok := seen("horizon"); ok {
+		doc.Horizon = d.f64(n, "horizon")
+	}
+	if n, ok := seen("jitter_seed"); ok {
+		doc.JitterSeed = d.u64(n, "jitter_seed")
+	}
+	if n, ok := seen("policies"); ok {
+		doc.Policies = d.strs(n, "policies")
+	} else {
+		d.errorf(root.line, "missing required field \"policies\"")
+	}
+	if n, ok := seen("tasks"); ok {
+		doc.Tasks = d.tasks(n)
+	} else {
+		d.errorf(root.line, "missing required field \"tasks\"")
+	}
+	if n, ok := seen("processor"); ok {
+		doc.Processor = d.processor(n)
+	}
+	if n, ok := seen("workload"); ok {
+		doc.Workload = d.workload(n)
+	}
+	if n, ok := seen("timeline"); ok {
+		doc.Timeline = d.timeline(n)
+	}
+	if n, ok := seen("assertions"); ok {
+		doc.Assertions = d.assertions(n)
+	} else {
+		d.errorf(root.line, "missing required field \"assertions\"")
+	}
+	return doc
+}
+
+func (d *decoder) tasks(n *node) []TaskSpec {
+	if !n.isSeq() {
+		d.errorf(n.line, "tasks must be a list")
+		return nil
+	}
+	out := make([]TaskSpec, 0, len(n.seq))
+	for i, item := range n.seq {
+		what := fmt.Sprintf("tasks[%d]", i)
+		m := d.mapping(item, what, "name", "wcet", "period", "deadline", "jitter")
+		if m == nil {
+			continue
+		}
+		var t TaskSpec
+		if f, ok := m.fields["name"]; ok {
+			t.Name = d.str(f, what+".name")
+		}
+		if f, ok := m.fields["wcet"]; ok {
+			t.WCET = d.f64(f, what+".wcet")
+		} else {
+			d.errorf(item.line, "%s: missing required field \"wcet\"", what)
+		}
+		if f, ok := m.fields["period"]; ok {
+			t.Period = d.f64(f, what+".period")
+		} else {
+			d.errorf(item.line, "%s: missing required field \"period\"", what)
+		}
+		if f, ok := m.fields["deadline"]; ok {
+			t.Deadline = d.f64(f, what+".deadline")
+		}
+		if f, ok := m.fields["jitter"]; ok {
+			t.Jitter = d.f64(f, what+".jitter")
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func (d *decoder) processor(n *node) wire.ProcessorSpec {
+	var p wire.ProcessorSpec
+	m := d.mapping(n, "processor",
+		"preset", "smin", "levels", "model", "alpha_vt", "alpha_idx",
+		"table", "table_name", "idle_power", "switch_time",
+		"switch_energy_coeff", "leakage_power", "sleep_enabled",
+		"sleep_power", "wake_energy")
+	if m == nil {
+		return p
+	}
+	for _, k := range m.keys {
+		f := m.fields[k]
+		what := "processor." + k
+		switch k {
+		case "preset":
+			p.Preset = d.str(f, what)
+		case "smin":
+			p.SMin = d.f64(f, what)
+		case "levels":
+			p.Levels = d.f64s(f, what)
+		case "model":
+			p.Model = d.str(f, what)
+		case "alpha_vt":
+			p.AlphaVt = d.f64(f, what)
+		case "alpha_idx":
+			p.AlphaIdx = d.f64(f, what)
+		case "table":
+			p.Table = d.table(f)
+		case "table_name":
+			p.TableName = d.str(f, what)
+		case "idle_power":
+			v := d.f64(f, what)
+			p.IdlePower = &v
+		case "switch_time":
+			p.SwitchTime = d.f64(f, what)
+		case "switch_energy_coeff":
+			p.SwitchEnergyCoeff = d.f64(f, what)
+		case "leakage_power":
+			p.LeakagePower = d.f64(f, what)
+		case "sleep_enabled":
+			p.SleepEnabled = d.boolean(f, what)
+		case "sleep_power":
+			p.SleepPower = d.f64(f, what)
+		case "wake_energy":
+			p.WakeEnergy = d.f64(f, what)
+		}
+	}
+	return p
+}
+
+func (d *decoder) table(n *node) []cpu.Level {
+	if !n.isSeq() {
+		d.errorf(n.line, "processor.table must be a list of {speed, voltage} levels")
+		return nil
+	}
+	out := make([]cpu.Level, 0, len(n.seq))
+	for i, item := range n.seq {
+		what := fmt.Sprintf("processor.table[%d]", i)
+		m := d.mapping(item, what, "speed", "voltage")
+		if m == nil {
+			continue
+		}
+		var lv cpu.Level
+		if f, ok := m.fields["speed"]; ok {
+			lv.Speed = d.f64(f, what+".speed")
+		} else {
+			d.errorf(item.line, "%s: missing required field \"speed\"", what)
+		}
+		if f, ok := m.fields["voltage"]; ok {
+			lv.Voltage = d.f64(f, what+".voltage")
+		} else {
+			d.errorf(item.line, "%s: missing required field \"voltage\"", what)
+		}
+		out = append(out, lv)
+	}
+	return out
+}
+
+func (d *decoder) workload(n *node) wire.WorkloadSpec {
+	var w wire.WorkloadSpec
+	m := d.mapping(n, "workload",
+		"kind", "lo", "hi", "frac", "mean", "std_dev", "light_frac",
+		"heavy_frac", "p_heavy", "amp", "period_jobs", "jitter", "seed")
+	if m == nil {
+		return w
+	}
+	for _, k := range m.keys {
+		f := m.fields[k]
+		what := "workload." + k
+		switch k {
+		case "kind":
+			w.Kind = d.str(f, what)
+		case "lo":
+			w.Lo = d.f64(f, what)
+		case "hi":
+			w.Hi = d.f64(f, what)
+		case "frac":
+			w.Frac = d.f64(f, what)
+		case "mean":
+			w.Mean = d.f64(f, what)
+		case "std_dev":
+			w.StdDev = d.f64(f, what)
+		case "light_frac":
+			w.LightFrac = d.f64(f, what)
+		case "heavy_frac":
+			w.HeavyFrac = d.f64(f, what)
+		case "p_heavy":
+			w.PHeavy = d.f64(f, what)
+		case "amp":
+			w.Amp = d.f64(f, what)
+		case "period_jobs":
+			w.PeriodJobs = d.f64(f, what)
+		case "jitter":
+			w.Jitter = d.f64(f, what)
+		case "seed":
+			w.Seed = d.u64(f, what)
+		}
+	}
+	return w
+}
+
+func (d *decoder) timeline(n *node) []Event {
+	if !n.isSeq() {
+		d.errorf(n.line, "timeline must be a list of events")
+		return nil
+	}
+	out := make([]Event, 0, len(n.seq))
+	for i, item := range n.seq {
+		what := fmt.Sprintf("timeline[%d]", i)
+		m := d.mapping(item, what,
+			"event", "at", "until", "task", "job", "frac",
+			"seed", "p_delay", "p_error", "p_drop", "p_truncate", "max_attempts")
+		if m == nil {
+			continue
+		}
+		ev := Event{line: item.line}
+		for _, k := range m.keys {
+			f := m.fields[k]
+			w := what + "." + k
+			switch k {
+			case "event":
+				ev.Event = d.str(f, w)
+			case "at":
+				ev.At = d.f64(f, w)
+			case "until":
+				ev.Until = d.f64(f, w)
+			case "task":
+				ev.Task = d.str(f, w)
+			case "job":
+				ev.Job = d.integer(f, w)
+			case "frac":
+				ev.Frac = d.f64(f, w)
+			case "seed":
+				ev.Seed = d.u64(f, w)
+			case "p_delay":
+				ev.PDelay = d.f64(f, w)
+			case "p_error":
+				ev.PError = d.f64(f, w)
+			case "p_drop":
+				ev.PDrop = d.f64(f, w)
+			case "p_truncate":
+				ev.PTruncate = d.f64(f, w)
+			case "max_attempts":
+				ev.MaxAttempts = d.integer(f, w)
+			}
+		}
+		if _, ok := m.fields["event"]; !ok {
+			d.errorf(item.line, "%s: missing required field \"event\"", what)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (d *decoder) assertions(n *node) []Assertion {
+	if !n.isSeq() {
+		d.errorf(n.line, "assertions must be a list")
+		return nil
+	}
+	out := make([]Assertion, 0, len(n.seq))
+	for i, item := range n.seq {
+		what := fmt.Sprintf("assertions[%d]", i)
+		m := d.mapping(item, what, "kind", "policy", "reference", "max", "count", "expect")
+		if m == nil {
+			continue
+		}
+		a := Assertion{line: item.line}
+		for _, k := range m.keys {
+			f := m.fields[k]
+			w := what + "." + k
+			switch k {
+			case "kind":
+				a.Kind = d.str(f, w)
+			case "policy":
+				a.Policy = d.str(f, w)
+			case "reference":
+				a.Reference = d.str(f, w)
+			case "max":
+				a.Max = d.f64(f, w)
+			case "count":
+				a.Count = d.integer(f, w)
+			case "expect":
+				a.Expect = d.strs(f, w)
+			}
+		}
+		if _, ok := m.fields["kind"]; !ok {
+			d.errorf(item.line, "%s: missing required field \"kind\"", what)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// --- validation ---
+
+// validate performs the semantic pass over a structurally decoded
+// document, again accumulating every problem.
+func (d *decoder) validate(doc *Document) {
+	if doc.Version != Version {
+		d.errorf(0, "version must be %d, got %d", Version, doc.Version)
+	}
+	if doc.Name == "" {
+		d.errorf(0, "name must be non-empty")
+	} else if strings.ContainsAny(doc.Name, " \t/") {
+		d.errorf(0, "name %q must not contain spaces or slashes", doc.Name)
+	}
+	if doc.Horizon < 0 {
+		d.errorf(0, "horizon must be non-negative, got %v", doc.Horizon)
+	}
+
+	if len(doc.Tasks) == 0 {
+		d.errorf(0, "at least one task is required")
+	}
+	ts := doc.taskSet()
+	byName := map[string]int{}
+	for i, t := range ts.Tasks {
+		if err := t.Validate(); err != nil {
+			d.errorf(0, "tasks[%d]: %v", i, err)
+		}
+		if prev, dup := byName[t.Name]; dup {
+			d.errorf(0, "tasks[%d]: name %q already used by tasks[%d]", i, t.Name, prev)
+		}
+		byName[t.Name] = i
+	}
+
+	if len(doc.Policies) == 0 {
+		d.errorf(0, "at least one policy is required")
+	}
+	inPolicies := map[string]bool{}
+	for i, spec := range doc.Policies {
+		if inPolicies[spec] {
+			d.errorf(0, "policies[%d]: duplicate policy %q", i, spec)
+		}
+		inPolicies[spec] = true
+		if _, err := policies.Lookup(spec); err != nil {
+			d.errorf(0, "policies[%d]: %v", i, err)
+		}
+	}
+
+	if _, err := doc.Processor.Build(); err != nil {
+		d.errorf(0, "processor: %v", err)
+	}
+	if _, err := doc.Workload.Build(); err != nil {
+		d.errorf(0, "workload: %v", err)
+	}
+
+	d.validateTimeline(doc, byName)
+	d.validateAssertions(doc, inPolicies)
+}
+
+func (d *decoder) validateTimeline(doc *Document, byName map[string]int) {
+	chaosSeen := false
+	type move struct {
+		at     float64
+		arrive bool
+		line   int
+	}
+	moves := map[string][]move{}
+	for i, ev := range doc.Timeline {
+		what := fmt.Sprintf("timeline[%d]", i)
+		requireTask := func() {
+			if ev.Task == "" {
+				d.errorf(ev.line, "%s: %s requires a task", what, ev.Event)
+			} else if _, ok := byName[ev.Task]; !ok {
+				d.errorf(ev.line, "%s: unknown task %q", what, ev.Task)
+			}
+		}
+		if ev.At < 0 {
+			d.errorf(ev.line, "%s: at must be non-negative, got %v", what, ev.At)
+		}
+		switch ev.Event {
+		case "surge":
+			if ev.Until <= ev.At {
+				d.errorf(ev.line, "%s: until (%v) must exceed at (%v)", what, ev.Until, ev.At)
+			}
+			if !(ev.Frac > 0 && ev.Frac <= 1) {
+				d.errorf(ev.line, "%s: frac must be in (0, 1], got %v", what, ev.Frac)
+			}
+			if ev.Task != "" {
+				if _, ok := byName[ev.Task]; !ok {
+					d.errorf(ev.line, "%s: unknown task %q", what, ev.Task)
+				}
+			}
+		case "override":
+			requireTask()
+			if ev.Job < 0 {
+				d.errorf(ev.line, "%s: job must be non-negative, got %d", what, ev.Job)
+			}
+			if !(ev.Frac > 0 && ev.Frac <= 1) {
+				d.errorf(ev.line, "%s: frac must be in (0, 1], got %v", what, ev.Frac)
+			}
+		case "arrive", "depart":
+			requireTask()
+			moves[ev.Task] = append(moves[ev.Task], move{at: ev.At, arrive: ev.Event == "arrive", line: ev.line})
+		case "chaos":
+			if chaosSeen {
+				d.errorf(ev.line, "%s: at most one chaos event per scenario", what)
+			}
+			chaosSeen = true
+			sum := 0.0
+			for _, p := range []struct {
+				name string
+				v    float64
+			}{{"p_delay", ev.PDelay}, {"p_error", ev.PError}, {"p_drop", ev.PDrop}, {"p_truncate", ev.PTruncate}} {
+				if p.v < 0 || p.v > 1 {
+					d.errorf(ev.line, "%s: %s must be in [0, 1], got %v", what, p.name, p.v)
+				}
+				sum += p.v
+			}
+			if sum > 1 {
+				d.errorf(ev.line, "%s: fault probabilities sum to %v (> 1)", what, sum)
+			}
+			if ev.MaxAttempts < 0 {
+				d.errorf(ev.line, "%s: max_attempts must be non-negative, got %d", what, ev.MaxAttempts)
+			}
+		case "":
+			// missing `event` already reported by the decoder
+		default:
+			d.errorf(ev.line, "%s: unknown event %q (known: surge, override, arrive, depart, chaos)", what, ev.Event)
+		}
+	}
+	// Arrivals and departures must alternate per task, in time order.
+	for task, ms := range moves {
+		for i := 1; i < len(ms); i++ {
+			if ms[i].at <= ms[i-1].at {
+				d.errorf(ms[i].line, "task %q: arrive/depart events must be in strictly increasing time order", task)
+			}
+			if ms[i].arrive == ms[i-1].arrive {
+				kind := "depart"
+				if ms[i].arrive {
+					kind = "arrive"
+				}
+				d.errorf(ms[i].line, "task %q: consecutive %s events (arrivals and departures must alternate)", task, kind)
+			}
+		}
+	}
+}
+
+func (d *decoder) validateAssertions(doc *Document, inPolicies map[string]bool) {
+	if len(doc.Assertions) == 0 {
+		d.errorf(0, "at least one assertion is required")
+	}
+	hasChaos := false
+	for _, ev := range doc.Timeline {
+		if ev.Event == "chaos" {
+			hasChaos = true
+		}
+	}
+	for i, a := range doc.Assertions {
+		what := fmt.Sprintf("assertions[%d]", i)
+		checkPolicy := func(name, field string, required bool) {
+			if name == "" {
+				if required {
+					d.errorf(a.line, "%s: %s requires %q", what, a.Kind, field)
+				}
+				return
+			}
+			if !inPolicies[name] {
+				d.errorf(a.line, "%s: %s %q is not in the policies list", what, field, name)
+			}
+		}
+		switch a.Kind {
+		case "no_deadline_misses", "audit_clean", "all_jobs_completed":
+			checkPolicy(a.Policy, "policy", false)
+		case "max_deadline_misses":
+			checkPolicy(a.Policy, "policy", false)
+			if a.Count < 0 {
+				d.errorf(a.line, "%s: count must be non-negative, got %d", what, a.Count)
+			}
+		case "min_jobs_completed":
+			checkPolicy(a.Policy, "policy", false)
+			if a.Count < 1 {
+				d.errorf(a.line, "%s: count must be at least 1, got %d", what, a.Count)
+			}
+		case "energy_max":
+			checkPolicy(a.Policy, "policy", true)
+			if !(a.Max > 0) {
+				d.errorf(a.line, "%s: max must be positive, got %v", what, a.Max)
+			}
+		case "energy_ratio_max":
+			checkPolicy(a.Policy, "policy", true)
+			checkPolicy(a.Reference, "reference", true)
+			if a.Policy != "" && a.Policy == a.Reference {
+				d.errorf(a.line, "%s: policy and reference must differ", what)
+			}
+			if !(a.Max > 0) {
+				d.errorf(a.line, "%s: max must be positive, got %v", what, a.Max)
+			}
+		case "fingerprint":
+			for j, e := range a.Expect {
+				if !strings.Contains(e, "/") {
+					d.errorf(a.line, "%s: expect[%d] %q is not a policy/invariant pair", what, j, e)
+				}
+			}
+		case "chaos_recovered":
+			if !hasChaos {
+				d.errorf(a.line, "%s: chaos_recovered requires a chaos event in the timeline", what)
+			}
+		case "":
+			// missing `kind` already reported by the decoder
+		default:
+			d.errorf(a.line, "%s: unknown assertion kind %q", what, a.Kind)
+		}
+	}
+}
+
+// taskSet builds the rtm task set the document describes. Tasks
+// without names get the rtm defaults (T1..Tn).
+func (doc *Document) taskSet() *rtm.TaskSet {
+	tasks := make([]rtm.Task, 0, len(doc.Tasks))
+	for _, t := range doc.Tasks {
+		tasks = append(tasks, rtm.Task{
+			Name: t.Name, WCET: t.WCET, Period: t.Period,
+			Deadline: t.Deadline, Jitter: t.Jitter,
+		})
+	}
+	return rtm.NewTaskSet(doc.Name, tasks...)
+}

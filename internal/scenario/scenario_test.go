@@ -1,0 +1,425 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+const minimalDoc = `version: 1
+name: minimal
+policies: [lpshe, nondvs]
+tasks:
+  - name: A
+    wcet: 1
+    period: 5
+  - name: B
+    wcet: 2
+    period: 10
+workload:
+  kind: constant
+  frac: 0.6
+assertions:
+  - kind: no_deadline_misses
+  - kind: audit_clean
+`
+
+func mustParse(t *testing.T, src string) *Document {
+	t.Helper()
+	doc, errs := Parse("test.yaml", []byte(src))
+	if len(errs) > 0 {
+		for _, e := range errs {
+			t.Log(e)
+		}
+		t.Fatalf("Parse failed with %d errors", len(errs))
+	}
+	return doc
+}
+
+func mustExecute(t *testing.T, doc *Document) *Verdict {
+	t.Helper()
+	v, err := Execute(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestParseMinimal(t *testing.T) {
+	doc := mustParse(t, minimalDoc)
+	if doc.Name != "minimal" || len(doc.Tasks) != 2 || len(doc.Policies) != 2 {
+		t.Fatalf("decoded %+v", doc)
+	}
+	if doc.Tasks[1].Name != "B" || doc.Tasks[1].Period != 10 {
+		t.Fatalf("tasks = %+v", doc.Tasks)
+	}
+	if doc.Workload.Kind != "constant" || doc.Workload.Frac != 0.6 {
+		t.Fatalf("workload = %+v", doc.Workload)
+	}
+}
+
+func TestExecuteMinimal(t *testing.T) {
+	v := mustExecute(t, mustParse(t, minimalDoc))
+	if !v.Ok {
+		t.Fatalf("verdict not ok: %s", v.JSON())
+	}
+	if len(v.Policies) != 2 || v.Policies[0].Policy != "lpshe" {
+		t.Fatalf("policies = %+v", v.Policies)
+	}
+	// Implicit policies_ran plus the two declared assertions.
+	if len(v.Assertions) != 3 || v.Assertions[0].Kind != "policies_ran" {
+		t.Fatalf("assertions = %+v", v.Assertions)
+	}
+	if v.Policies[0].Energy >= v.Policies[1].Energy {
+		t.Fatalf("lpshe energy %v not below nondvs %v", v.Policies[0].Energy, v.Policies[1].Energy)
+	}
+}
+
+func TestVerdictByteStable(t *testing.T) {
+	doc := mustParse(t, minimalDoc)
+	a := mustExecute(t, doc).JSON()
+	b := mustExecute(t, mustParse(t, minimalDoc)).JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("verdict bytes differ:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.HasSuffix(a, []byte("}\n")) {
+		t.Fatalf("verdict does not end in newline: %q", a[len(a)-4:])
+	}
+}
+
+// TestValidateCollectsAllErrors pins the all-errors contract: one
+// pass reports every problem, each anchored to its source line.
+func TestValidateCollectsAllErrors(t *testing.T) {
+	src := `version: 3
+name: bad doc
+policies: [lpshe, no-such-policy]
+tasks:
+  - name: A
+    wcet: 5
+    period: 2
+processor:
+  preset: no-such-preset
+workload:
+  kind: no-such-kind
+timeline:
+  - event: surge
+    at: 10
+    until: 5
+    frac: 2
+  - event: override
+    task: Z
+    frac: 0.5
+  - event: teleport
+assertions:
+  - kind: energy_ratio_max
+    policy: lpshe
+    reference: lpshe
+    max: 0
+  - kind: no_such_kind
+`
+	_, errs := Parse("bad.yaml", []byte(src))
+	wants := []string{
+		"version must be 1",
+		"must not contain spaces",
+		"no-such-policy",
+		"WCET 5 exceeds deadline",
+		"unknown processor preset",
+		"unknown workload kind",
+		"until (5) must exceed at (10)",
+		"frac must be in (0, 1], got 2",
+		"unknown task \"Z\"",
+		"unknown event \"teleport\"",
+		"policy and reference must differ",
+		"max must be positive",
+		"unknown assertion kind",
+	}
+	joined := make([]string, len(errs))
+	for i, e := range errs {
+		joined[i] = e.Error()
+	}
+	all := strings.Join(joined, "\n")
+	for _, want := range wants {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing error %q in:\n%s", want, all)
+		}
+	}
+	if len(errs) < len(wants) {
+		t.Fatalf("got %d errors, want at least %d:\n%s", len(errs), len(wants), all)
+	}
+	// Line anchoring: the surge event starts on line 13.
+	found := false
+	for _, e := range errs {
+		if strings.HasPrefix(e.Error(), "bad.yaml:13:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no error anchored to bad.yaml:13:\n%s", all)
+	}
+}
+
+func TestParseUnknownField(t *testing.T) {
+	src := strings.Replace(minimalDoc, "name: minimal", "name: minimal\nbogus: 1", 1)
+	_, errs := Parse("t.yaml", []byte(src))
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unknown field \"bogus\"") {
+		t.Fatalf("errs = %v", errs)
+	}
+	if errs[0].Line != 3 {
+		t.Fatalf("unknown field anchored to line %d, want 3", errs[0].Line)
+	}
+}
+
+func TestParseJSONDocument(t *testing.T) {
+	doc := mustParse(t, minimalDoc)
+	// The canonical JSON form must reparse to the same document.
+	jsonForm := docJSON(t, doc)
+	doc2, errs := Parse("t.json", jsonForm)
+	if len(errs) > 0 {
+		t.Fatalf("JSON reparse failed: %v", errs)
+	}
+	if DocKey(doc) != DocKey(doc2) {
+		t.Fatal("YAML and JSON forms hash to different DocKeys")
+	}
+}
+
+func TestMarshalYAMLRoundTrip(t *testing.T) {
+	src := `version: 1
+name: round-trip
+horizon: 120
+jitter_seed: 7
+policies: [lpshe, ccedf, nondvs]
+tasks:
+  - name: A
+    wcet: 1
+    period: 5
+    deadline: 4
+    jitter: 0.2
+  - name: B
+    wcet: 2
+    period: 10
+processor:
+  levels: [0.25, 0.5, 0.75, 1]
+  switch_time: 0.01
+workload:
+  kind: uniform
+  lo: 0.2
+  hi: 0.8
+  seed: 9
+timeline:
+  - event: surge
+    at: 40
+    until: 80
+    task: A
+    frac: 1
+  - event: override
+    task: B
+    job: 3
+    frac: 0.95
+  - event: arrive
+    at: 20
+    task: B
+  - event: chaos
+    seed: 11
+    p_error: 0.3
+    max_attempts: 6
+assertions:
+  - kind: no_deadline_misses
+    policy: lpshe
+  - kind: fingerprint
+    expect: [nondvs/deadline-miss]
+  - kind: chaos_recovered
+`
+	doc := mustParse(t, src)
+	out := MarshalYAML(doc)
+	doc2, errs := Parse("rt.yaml", out)
+	if len(errs) > 0 {
+		t.Fatalf("marshalled YAML does not reparse: %v\n%s", errs, out)
+	}
+	if DocKey(doc) != DocKey(doc2) {
+		t.Fatalf("round trip changed the document:\n%s\nvs\n%s", docJSON(t, doc), docJSON(t, doc2))
+	}
+}
+
+func TestSurgeRaisesEnergy(t *testing.T) {
+	base := mustParse(t, minimalDoc)
+	surged := mustParse(t, strings.Replace(minimalDoc, "assertions:", `timeline:
+  - event: surge
+    at: 0
+    until: 1000
+    frac: 1
+assertions:`, 1))
+	vb := mustExecute(t, base)
+	vs := mustExecute(t, surged)
+	if !vs.Ok {
+		t.Fatalf("surged verdict not ok: %s", vs.JSON())
+	}
+	// The surge forces every job to full WCET, strictly above the
+	// constant-0.6 base workload.
+	if vs.Policies[0].Energy <= vb.Policies[0].Energy {
+		t.Fatalf("surge did not raise lpshe energy: %v <= %v", vs.Policies[0].Energy, vb.Policies[0].Energy)
+	}
+}
+
+func TestOverrideTargetsOneJob(t *testing.T) {
+	with := mustParse(t, strings.Replace(minimalDoc, "assertions:", `timeline:
+  - event: override
+    task: A
+    job: 0
+    frac: 1
+assertions:`, 1))
+	v := mustExecute(t, with)
+	base := mustExecute(t, mustParse(t, minimalDoc))
+	if !v.Ok {
+		t.Fatalf("override verdict not ok: %s", v.JSON())
+	}
+	if v.Policies[0].Energy <= base.Policies[0].Energy {
+		t.Fatalf("override did not raise energy: %v <= %v", v.Policies[0].Energy, base.Policies[0].Energy)
+	}
+	if v.Policies[0].JobsReleased != base.Policies[0].JobsReleased {
+		t.Fatal("override changed the job population")
+	}
+}
+
+func TestArriveDepartChangesJobCount(t *testing.T) {
+	src := strings.Replace(minimalDoc, "assertions:", `horizon: 100
+timeline:
+  - event: depart
+    at: 50
+    task: B
+assertions:`, 1)
+	v := mustExecute(t, mustParse(t, src))
+	if !v.Ok {
+		t.Fatalf("verdict not ok: %s", v.JSON())
+	}
+	// A releases 20 jobs over 100; B only 5 (nominals 0..40).
+	if got := v.Policies[0].JobsReleased; got != 25 {
+		t.Fatalf("jobs released = %d, want 25", got)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	// Seed 4 injects faults against both policies yet recovers
+	// within the attempt budget (pinned by the probe below).
+	src := strings.Replace(minimalDoc, "assertions:", `timeline:
+  - event: chaos
+    seed: 4
+    p_error: 0.4
+    p_drop: 0.2
+    max_attempts: 8
+assertions:
+  - kind: chaos_recovered
+`, 1)
+	a := mustExecute(t, mustParse(t, src))
+	b := mustExecute(t, mustParse(t, src))
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatalf("chaos runs diverge:\n%s\n---\n%s", a.JSON(), b.JSON())
+	}
+	if !a.Ok {
+		t.Fatalf("chaos verdict not ok: %s", a.JSON())
+	}
+	if a.Chaos == nil || a.Chaos.Seed != 4 || a.Chaos.MaxAttempts != 8 {
+		t.Fatalf("chaos verdict = %+v", a.Chaos)
+	}
+	total := 0
+	for _, n := range a.Chaos.Faults {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("seed 4 should inject at least one fault")
+	}
+	for _, p := range a.Policies {
+		if p.Attempts < 1 || p.Err != "" {
+			t.Fatalf("policy %s did not recover: %+v", p.Policy, p)
+		}
+	}
+}
+
+func TestFingerprintAssertion(t *testing.T) {
+	// An overloaded set under nondvs misses deadlines; the
+	// fingerprint assertion pins exactly that failure.
+	src := `version: 1
+name: overload
+policies: [nondvs]
+tasks:
+  - name: A
+    wcet: 4
+    period: 5
+  - name: B
+    wcet: 4
+    period: 5
+assertions:
+  - kind: fingerprint
+    expect: [nondvs/deadline-miss]
+`
+	v := mustExecute(t, mustParse(t, src))
+	if !v.Ok {
+		t.Fatalf("fingerprint verdict not ok: %s", v.JSON())
+	}
+	// With a fingerprint assertion the implicit policies_ran check
+	// is suppressed.
+	for _, a := range v.Assertions {
+		if a.Kind == "policies_ran" {
+			t.Fatal("policies_ran present despite fingerprint assertion")
+		}
+	}
+}
+
+func TestEnergyRatioAssertion(t *testing.T) {
+	src := strings.Replace(minimalDoc, "  - kind: audit_clean",
+		`  - kind: audit_clean
+  - kind: energy_ratio_max
+    policy: lpshe
+    reference: nondvs
+    max: 0.99
+  - kind: all_jobs_completed
+  - kind: min_jobs_completed
+    count: 2`, 1)
+	v := mustExecute(t, mustParse(t, src))
+	if !v.Ok {
+		t.Fatalf("verdict not ok: %s", v.JSON())
+	}
+	// And a ratio bound that must fail.
+	tight := strings.Replace(src, "max: 0.99", "max: 0.0001", 1)
+	v2 := mustExecute(t, mustParse(t, tight))
+	if v2.Ok {
+		t.Fatalf("impossible ratio bound passed: %s", v2.JSON())
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab", "\tname: x", "tab character"},
+		{"empty", "\n\n# just a comment\n", "empty document"},
+		{"bad key", "version: 1\n[weird]: 2\n", "invalid mapping key"},
+		{"seq in map", "version: 1\n- 2\n", "sequence item in a mapping block"},
+		{"flow map", "version: 1\nprocessor: {smin: 0.1}\n", "flow mappings are not supported"},
+		{"unterminated", "policies: [a, b\n", "unterminated flow sequence"},
+		{"dup key", "version: 1\nversion: 2\n", "duplicate key"},
+	}
+	for _, tc := range cases {
+		_, errs := Parse("p.yaml", []byte(tc.src))
+		if len(errs) == 0 || !strings.Contains(errs[0].Error(), tc.want) {
+			t.Errorf("%s: errs = %v, want %q", tc.name, errs, tc.want)
+		}
+	}
+}
+
+func TestQuotedScalarsAndComments(t *testing.T) {
+	src := strings.Replace(minimalDoc, "name: minimal",
+		"name: \"minimal\"  # inline comment\ndescription: 'has: colon #not-a-comment'", 1)
+	doc := mustParse(t, src)
+	if doc.Name != "minimal" {
+		t.Fatalf("name = %q", doc.Name)
+	}
+	if doc.Description != "has: colon #not-a-comment" {
+		t.Fatalf("description = %q", doc.Description)
+	}
+}
+
+func docJSON(t *testing.T, doc *Document) []byte {
+	t.Helper()
+	return DocJSON(doc)
+}

@@ -1,0 +1,351 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The scenario file format is a YAML subset chosen so documents stay
+// hand-writable without pulling a YAML dependency into the module
+// (the repo is stdlib-only): block mappings, block sequences, compact
+// `- key: value` sequence items, flow sequences of scalars
+// (`[a, b, c]`), plain / single- / double-quoted scalars, and `#`
+// comments. Anchors, aliases, multi-line scalars, flow mappings, and
+// multi-document streams are out — the validator's job is precise
+// line-anchored errors, not full YAML.
+//
+// Every parsed node carries its 1-based source line so decode and
+// validation errors point at the offending line.
+
+// node is one parsed value.
+type node struct {
+	line int
+
+	// exactly one of the following is populated
+	scalar *scalarNode
+	seq    []*node
+	keys   []string         // mapping keys, in source order
+	fields map[string]*node // mapping values
+}
+
+type scalarNode struct {
+	text   string
+	quoted bool // quoted scalars never reparse as numbers/bools/null
+}
+
+func (n *node) isMap() bool    { return n.fields != nil }
+func (n *node) isSeq() bool    { return n.seq != nil }
+func (n *node) isScalar() bool { return n.scalar != nil }
+
+// parseYAML parses src into a node tree.
+func parseYAML(src []byte) (*node, error) {
+	lines := strings.Split(string(src), "\n")
+	p := &parser{lines: make([]line, 0, len(lines))}
+	for i, raw := range lines {
+		l, err := newLine(i+1, raw)
+		if err != nil {
+			return nil, err
+		}
+		if l.content == "" {
+			continue // blank or comment-only
+		}
+		p.lines = append(p.lines, l)
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("line 1: empty document")
+	}
+	root, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("line %d: content outside the document root (check indentation)", p.lines[next].n)
+	}
+	return root, nil
+}
+
+// line is one non-blank source line with its comment stripped.
+type line struct {
+	n       int // 1-based source line number
+	indent  int
+	content string // trimmed of indentation and trailing comment/space
+}
+
+func newLine(n int, raw string) (line, error) {
+	if i := strings.IndexByte(raw, '\t'); i >= 0 {
+		return line{}, fmt.Errorf("line %d: tab character (indent with spaces)", n)
+	}
+	indent := 0
+	for indent < len(raw) && raw[indent] == ' ' {
+		indent++
+	}
+	content := stripComment(raw[indent:])
+	content = strings.TrimRight(content, " ")
+	if content == "" {
+		return line{n: n}, nil
+	}
+	return line{n: n, indent: indent, content: content}, nil
+}
+
+// stripComment removes a trailing ` # ...` comment, honoring quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'' && !inD:
+			inS = !inS
+		case s[i] == '"' && !inS:
+			if inD && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inD = !inD
+		case s[i] == '#' && !inS && !inD && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+}
+
+// parseBlock parses the block value starting at lines[i], whose items
+// sit at exactly `indent`. It returns the node and the index of the
+// first line it did not consume.
+func (p *parser) parseBlock(i, indent int) (*node, int, error) {
+	l := p.lines[i]
+	if strings.HasPrefix(l.content, "- ") || l.content == "-" {
+		return p.parseSeq(i, indent)
+	}
+	return p.parseMap(i, indent)
+}
+
+func (p *parser) parseMap(i, indent int) (*node, int, error) {
+	n := &node{line: p.lines[i].n, fields: map[string]*node{}}
+	for i < len(p.lines) {
+		l := p.lines[i]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, 0, fmt.Errorf("line %d: unexpected indentation", l.n)
+			}
+			break
+		}
+		if strings.HasPrefix(l.content, "- ") || l.content == "-" {
+			return nil, 0, fmt.Errorf("line %d: sequence item in a mapping block", l.n)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := n.fields[key]; dup {
+			return nil, 0, fmt.Errorf("line %d: duplicate key %q", l.n, key)
+		}
+		var val *node
+		if rest != "" {
+			val, err = parseFlow(rest, l.n)
+			if err != nil {
+				return nil, 0, err
+			}
+			i++
+		} else if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+			val, i, err = p.parseBlock(i+1, p.lines[i+1].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+		} else {
+			// `key:` with nothing nested — an explicit empty value.
+			val = &node{line: l.n, scalar: &scalarNode{text: ""}}
+			i++
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = val
+	}
+	return n, i, nil
+}
+
+func (p *parser) parseSeq(i, indent int) (*node, int, error) {
+	n := &node{line: p.lines[i].n, seq: []*node{}}
+	for i < len(p.lines) {
+		l := p.lines[i]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, 0, fmt.Errorf("line %d: unexpected indentation", l.n)
+			}
+			break
+		}
+		if !strings.HasPrefix(l.content, "- ") && l.content != "-" {
+			return nil, 0, fmt.Errorf("line %d: mapping key in a sequence block", l.n)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.content, "-"), " ")
+		var item *node
+		var err error
+		switch {
+		case rest == "":
+			// `-` alone: the item is the nested block.
+			if i+1 >= len(p.lines) || p.lines[i+1].indent <= indent {
+				return nil, 0, fmt.Errorf("line %d: empty sequence item", l.n)
+			}
+			item, i, err = p.parseBlock(i+1, p.lines[i+1].indent)
+		case isCompactMapping(rest):
+			// `- key: value`: rewrite the dash to spaces and reparse
+			// this line (and the indented siblings that follow) as a
+			// mapping two columns deeper. Line numbers are preserved
+			// because the line records are reused.
+			idx := i
+			saved := p.lines[idx]
+			p.lines[idx] = line{n: l.n, indent: indent + 2, content: rest}
+			item, i, err = p.parseMap(idx, indent+2)
+			p.lines[idx] = saved
+		default:
+			item, err = parseFlow(rest, l.n)
+			i++
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		n.seq = append(n.seq, item)
+	}
+	return n, i, nil
+}
+
+// isCompactMapping reports whether a sequence-item body is a `key:
+// value` mapping entry rather than a plain scalar.
+func isCompactMapping(s string) bool {
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "[") {
+		return false
+	}
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+// splitKey splits a `key: value` mapping line.
+func splitKey(l line) (key, rest string, err error) {
+	s := l.content
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || (i != len(s)-1 && s[i+1] != ' ') {
+		return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", l.n, s)
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, "'\"[]{}") {
+		return "", "", fmt.Errorf("line %d: invalid mapping key %q", l.n, s[:i])
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// parseFlow parses an inline value: a scalar or a flow sequence of
+// scalars.
+func parseFlow(s string, ln int) (*node, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow sequence %q", ln, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		n := &node{line: ln, seq: []*node{}}
+		if inner == "" {
+			return n, nil
+		}
+		for _, part := range splitFlowItems(inner) {
+			item, err := parseScalar(strings.TrimSpace(part), ln)
+			if err != nil {
+				return nil, err
+			}
+			n.seq = append(n.seq, item)
+		}
+		return n, nil
+	}
+	return parseScalar(s, ln)
+}
+
+// splitFlowItems splits `a, b, "c,d"` on commas outside quotes.
+func splitFlowItems(s string) []string {
+	var parts []string
+	start, inS, inD := 0, false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'' && !inD:
+			inS = !inS
+		case s[i] == '"' && !inS && (i == 0 || s[i-1] != '\\'):
+			inD = !inD
+		case s[i] == ',' && !inS && !inD:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func parseScalar(s string, ln int) (*node, error) {
+	switch {
+	case strings.HasPrefix(s, "\""):
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad double-quoted scalar %s", ln, s)
+		}
+		return &node{line: ln, scalar: &scalarNode{text: u, quoted: true}}, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("line %d: bad single-quoted scalar %s", ln, s)
+		}
+		u := strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+		return &node{line: ln, scalar: &scalarNode{text: u, quoted: true}}, nil
+	case strings.ContainsAny(s, "{}"):
+		return nil, fmt.Errorf("line %d: flow mappings are not supported (write nested keys on their own lines)", ln)
+	default:
+		return &node{line: ln, scalar: &scalarNode{text: s}}, nil
+	}
+}
+
+// --- JSON front-end ---
+
+// parseJSON decodes a JSON document into the same node tree. JSON
+// input has no line tracking (nodes carry line 0), so errors anchor
+// to the file only.
+func parseJSON(src []byte) (*node, error) {
+	dec := json.NewDecoder(strings.NewReader(string(src)))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return jsonNode(v), nil
+}
+
+func jsonNode(v any) *node {
+	switch v := v.(type) {
+	case map[string]any:
+		n := &node{fields: map[string]*node{}}
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			n.keys = append(n.keys, k)
+			n.fields[k] = jsonNode(v[k])
+		}
+		return n
+	case []any:
+		n := &node{seq: []*node{}}
+		for _, item := range v {
+			n.seq = append(n.seq, jsonNode(item))
+		}
+		return n
+	case json.Number:
+		return &node{scalar: &scalarNode{text: v.String()}}
+	case string:
+		return &node{scalar: &scalarNode{text: v, quoted: true}}
+	case bool:
+		return &node{scalar: &scalarNode{text: strconv.FormatBool(v)}}
+	case nil:
+		return &node{scalar: &scalarNode{text: ""}}
+	default:
+		return &node{scalar: &scalarNode{text: fmt.Sprint(v)}}
+	}
+}

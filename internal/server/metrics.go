@@ -40,6 +40,8 @@ type metrics struct {
 
 	policyLatency *obs.HistogramVec // fresh-run wall latency by policy
 
+	scenariosRun *obs.Counter // scenario documents executed to a verdict
+
 	shed          *obs.Counter    // sync requests refused by admission control
 	panics        *obs.Counter    // handler panics converted to 500s
 	reqTimeouts   *obs.Counter    // requests that hit their deadline
@@ -77,6 +79,8 @@ func newMetrics(workers int, cache *resultCache) *metrics {
 
 	m.policyLatency = r.HistogramVec("dvsd_policy_run_seconds", "fresh-run wall latency by policy",
 		"policy", latencyBuckets)
+
+	m.scenariosRun = r.Counter("dvsd_scenarios_total", "scenario documents executed to a verdict")
 
 	m.shed = r.Counter("dvsd_shed_total", "synchronous requests refused by admission control (429)")
 	m.panics = r.Counter("dvsd_panics_total", "handler panics recovered into 500 responses")

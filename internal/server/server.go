@@ -113,6 +113,7 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/scenario", s.instrument("scenario", s.handleScenario))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs.create", s.handleCreateJob))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleListJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleGetJob))

@@ -45,6 +45,29 @@ type Config struct {
 	// priorities only with NonDVS/constant-speed policies or
 	// schedulability studies.
 	FixedPriorities []int
+	// ActiveWindows, when non-empty, restricts when each task
+	// releases jobs: entry i lists task i's activity windows, and a
+	// job is released iff its *nominal* release instant (index ×
+	// period) falls inside one of them. An empty per-task list means
+	// the task is always active. Length must equal the task count.
+	//
+	// Ineligible releases are skipped entirely — the cursors jump
+	// past them — so surviving jobs keep their k·Period release grid
+	// and every audit invariant holds unchanged. Mode changes (task
+	// arrival mid-run, departure, a task that pauses and resumes)
+	// are all expressible this way. Skipping future releases only
+	// removes demand the slack analysis would otherwise budget for,
+	// so the lpSHE deadline guarantee is preserved: the analysis
+	// stays conservative, never optimistic.
+	ActiveWindows [][]Window
+}
+
+// Window is a half-open activity interval [Start, End): a task with
+// activity windows releases exactly the jobs whose nominal release
+// instants fall inside one.
+type Window struct {
+	Start float64
+	End   float64
 }
 
 // DefaultHorizon returns the standard simulation length for a task
@@ -164,6 +187,30 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, fmt.Errorf("sim: FixedPriorities has %d entries for %d tasks",
 			len(cfg.FixedPriorities), n)
 	}
+	if len(cfg.ActiveWindows) != 0 {
+		if len(cfg.ActiveWindows) != n {
+			return nil, fmt.Errorf("sim: ActiveWindows has %d entries for %d tasks",
+				len(cfg.ActiveWindows), n)
+		}
+		for i, ws := range cfg.ActiveWindows {
+			prev := math.Inf(-1)
+			for k, w := range ws {
+				if !(w.Start >= 0) || math.IsInf(w.Start, 0) || math.IsNaN(w.End) || math.IsInf(w.End, 0) {
+					return nil, fmt.Errorf("sim: ActiveWindows[%d][%d] = [%v,%v) is not a finite non-negative interval",
+						i, k, w.Start, w.End)
+				}
+				if w.End <= w.Start {
+					return nil, fmt.Errorf("sim: ActiveWindows[%d][%d] = [%v,%v) is empty or inverted",
+						i, k, w.Start, w.End)
+				}
+				if w.Start < prev {
+					return nil, fmt.Errorf("sim: ActiveWindows[%d][%d] starts at %v, before the previous window ends (%v)",
+						i, k, w.Start, prev)
+				}
+				prev = w.End
+			}
+		}
+	}
 	e := &engine{
 		cfg:        cfg,
 		horizon:    horizon,
@@ -178,10 +225,47 @@ func newEngine(cfg Config) (*engine, error) {
 	e.active.jobs = make([]*JobState, 0, n)
 	for i := range cfg.TaskSet.Tasks {
 		e.actualNext[i] = e.jitteredRelease(i, 0)
+		e.skipInactive(i)
 	}
 	e.rel.dirty = true
 	e.res.Policy = cfg.Policy.Name()
 	return e, nil
+}
+
+// releaseEligible reports whether job k·Period of task i survives the
+// configured activity windows.
+func (e *engine) releaseEligible(task int, nominal float64) bool {
+	if len(e.cfg.ActiveWindows) == 0 {
+		return true
+	}
+	ws := e.cfg.ActiveWindows[task]
+	if len(ws) == 0 {
+		return true
+	}
+	for _, w := range ws {
+		if nominal >= w.Start && nominal < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// skipInactive advances task i's release cursors past every nominal
+// release the activity windows suppress, stopping at the first
+// eligible release (or the horizon). Surviving jobs keep their
+// nominal k·Period grid, so job indices and the audit oracle's
+// release-window invariant are untouched.
+func (e *engine) skipInactive(i int) {
+	if len(e.cfg.ActiveWindows) == 0 || len(e.cfg.ActiveWindows[i]) == 0 {
+		return
+	}
+	period := e.cfg.TaskSet.Tasks[i].Period
+	for e.nomNext[i] < e.horizon && !e.releaseEligible(i, e.nomNext[i]) {
+		e.nextIdx[i]++
+		e.nomNext[i] = float64(e.nextIdx[i]) * period
+		e.actualNext[i] = e.jitteredRelease(i, e.nextIdx[i])
+		e.rel.dirty = true
+	}
 }
 
 // jitteredRelease returns the actual release time of job k of task i:
@@ -338,6 +422,7 @@ func (e *engine) releaseDue() bool {
 			e.nomNext[i] = float64(e.nextIdx[i]) * ts.Tasks[i].Period
 			e.actualNext[i] = e.jitteredRelease(i, e.nextIdx[i])
 			e.rel.dirty = true
+			e.skipInactive(i)
 			heap.Push(&e.active, j)
 			e.res.JobsReleased++
 			released = true

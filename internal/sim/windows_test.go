@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/rtm"
+)
+
+// TestWindowsRestrictReleases pins the basic semantics: a task with
+// activity windows releases exactly the jobs whose nominal release
+// instants fall inside one.
+func TestWindowsRestrictReleases(t *testing.T) {
+	ts := rtm.NewTaskSet("win", rtm.Task{WCET: 1, Period: 4})
+	// Nominal releases over horizon 32: 0,4,8,...,28 (8 jobs).
+	// Window [8,20) keeps 8,12,16 — three jobs.
+	res := mustRun(t, Config{
+		TaskSet:       ts,
+		Processor:     cpu.Continuous(0.1),
+		Policy:        fixedSpeed{s: 1},
+		Horizon:       32,
+		ActiveWindows: [][]Window{{{Start: 8, End: 20}}},
+	})
+	if res.JobsReleased != 3 || res.JobsCompleted != 3 {
+		t.Fatalf("released/completed = %d/%d, want 3/3", res.JobsReleased, res.JobsCompleted)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("deadline misses = %d", res.DeadlineMisses)
+	}
+}
+
+// TestWindowsArrivalDeparture models a mode change: one task active
+// for the whole run, one arriving late, one departing early.
+func TestWindowsArrivalDeparture(t *testing.T) {
+	ts := rtm.NewTaskSet("mode",
+		rtm.Task{WCET: 1, Period: 8},  // always active: 8 jobs over 64
+		rtm.Task{WCET: 1, Period: 8},  // arrives at 32: jobs 32..56 = 4
+		rtm.Task{WCET: 1, Period: 16}, // departs at 32: jobs 0,16 = 2
+	)
+	res := mustRun(t, Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    fixedSpeed{s: 1},
+		Horizon:   64,
+		ActiveWindows: [][]Window{
+			nil, // empty list = always active
+			{{Start: 32, End: 64}},
+			{{Start: 0, End: 32}},
+		},
+	})
+	if want := 8 + 4 + 2; res.JobsReleased != want {
+		t.Fatalf("released = %d, want %d", res.JobsReleased, want)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("deadline misses = %d", res.DeadlineMisses)
+	}
+}
+
+// TestWindowsMultipleIntervals exercises a task that pauses and
+// resumes: two disjoint windows.
+func TestWindowsMultipleIntervals(t *testing.T) {
+	ts := rtm.NewTaskSet("pause", rtm.Task{WCET: 1, Period: 4})
+	res := mustRun(t, Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    fixedSpeed{s: 1},
+		Horizon:   32,
+		// Keeps 0,4 then 24,28 — four jobs.
+		ActiveWindows: [][]Window{{{Start: 0, End: 8}, {Start: 24, End: 32}}},
+	})
+	if res.JobsReleased != 4 {
+		t.Fatalf("released = %d, want 4", res.JobsReleased)
+	}
+}
+
+// TestWindowsDeterministic pins that windowed runs are reproducible,
+// including under release jitter (surviving jobs draw the same jitter
+// as they would in an unwindowed run).
+func TestWindowsDeterministic(t *testing.T) {
+	cfg := Config{
+		TaskSet: rtm.NewTaskSet("det",
+			rtm.Task{WCET: 1, Period: 5, Jitter: 0.5},
+			rtm.Task{WCET: 2, Period: 10}),
+		Processor:     cpu.Continuous(0.1),
+		Policy:        fixedSpeed{s: 1},
+		Horizon:       100,
+		JitterSeed:    42,
+		ActiveWindows: [][]Window{{{Start: 20, End: 80}}, nil},
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("windowed runs diverge:\n%+v\n%+v", a, b)
+	}
+	if a.JobsReleased != 12+10 {
+		t.Fatalf("released = %d, want 22", a.JobsReleased)
+	}
+}
+
+// TestWindowsValidation pins the config error surface.
+func TestWindowsValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			TaskSet:   oneTask(1, 4),
+			Processor: cpu.Continuous(0.1),
+			Policy:    fixedSpeed{s: 1},
+			Horizon:   8,
+		}
+	}
+	cases := []struct {
+		name string
+		ws   [][]Window
+		want string
+	}{
+		{"wrong length", [][]Window{nil, nil}, "ActiveWindows has 2 entries for 1 tasks"},
+		{"inverted", [][]Window{{{Start: 4, End: 2}}}, "empty or inverted"},
+		{"empty interval", [][]Window{{{Start: 2, End: 2}}}, "empty or inverted"},
+		{"negative start", [][]Window{{{Start: -1, End: 2}}}, "finite non-negative"},
+		{"overlap", [][]Window{{{Start: 0, End: 4}, {Start: 2, End: 6}}}, "before the previous window ends"},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		cfg.ActiveWindows = tc.ws
+		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWindowsAllSuppressed runs a task set whose only task never
+// becomes active: the run idles out the horizon with zero jobs.
+func TestWindowsAllSuppressed(t *testing.T) {
+	res := mustRun(t, Config{
+		TaskSet:       oneTask(1, 4),
+		Processor:     cpu.Continuous(0.1),
+		Policy:        fixedSpeed{s: 1},
+		Horizon:       16,
+		ActiveWindows: [][]Window{{{Start: 100, End: 200}}},
+	})
+	if res.JobsReleased != 0 || res.IdleTime != 16 {
+		t.Fatalf("released=%d idle=%v, want 0 jobs and 16 idle", res.JobsReleased, res.IdleTime)
+	}
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/workload"
+)
+
+// TestProcessorSpecRoundTrip pins Build ∘ SpecFromProcessor = id for
+// the constructions the library ships.
+func TestProcessorSpecRoundTrip(t *testing.T) {
+	procs := map[string]*cpu.Processor{
+		"continuous": cpu.Continuous(0.2),
+		"xscale":     cpu.XScale(),
+		"uniform4":   cpu.UniformLevels(4),
+	}
+	withExtras := cpu.Continuous(0.1)
+	withExtras.SwitchTime = 0.01
+	withExtras.LeakagePower = 0.2
+	withExtras.SleepEnabled = true
+	withExtras.SleepPower = 0.01
+	withExtras.WakeEnergy = 0.05
+	procs["extras"] = withExtras
+
+	for name, p := range procs {
+		spec, err := SpecFromProcessor(p)
+		if err != nil {
+			t.Fatalf("%s: SpecFromProcessor: %v", name, err)
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		if !reflect.DeepEqual(p.Levels(), back.Levels()) {
+			t.Errorf("%s: levels %v != %v", name, back.Levels(), p.Levels())
+		}
+		if back.SMin != p.SMin || back.SleepEnabled != p.SleepEnabled ||
+			back.LeakagePower != p.LeakagePower || back.SwitchTime != p.SwitchTime {
+			t.Errorf("%s: round-trip changed processor fields", name)
+		}
+		// The power models must agree numerically.
+		for _, s := range []float64{0.25, 0.5, 1} {
+			if got, want := back.Power(s), p.Power(s); got != want {
+				t.Errorf("%s: Power(%v) = %v, want %v", name, s, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkloadSpecRoundTrip pins Build ∘ SpecFromGenerator = id for
+// every shipped generator kind.
+func TestWorkloadSpecRoundTrip(t *testing.T) {
+	gens := []workload.Generator{
+		workload.WorstCase{},
+		workload.Uniform{Lo: 0.3, Hi: 0.9, Seed: 7},
+		workload.Constant{Frac: 0.5},
+		workload.Normal{Mean: 0.6, StdDev: 0.1, Seed: 3},
+		workload.Bimodal{LightFrac: 0.2, HeavyFrac: 0.9, PHeavy: 0.25, Seed: 9},
+		workload.Sinusoidal{Mean: 0.5, Amp: 0.3, PeriodJobs: 16, Seed: 5},
+	}
+	for _, g := range gens {
+		spec, err := SpecFromGenerator(g)
+		if err != nil {
+			t.Fatalf("%s: SpecFromGenerator: %v", g.Name(), err)
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: Build: %v", g.Name(), err)
+		}
+		for task := 0; task < 3; task++ {
+			for job := 0; job < 8; job++ {
+				if got, want := back.AET(task, job, 2.5), g.AET(task, job, 2.5); got != want {
+					t.Fatalf("%s: AET(%d, %d) = %v, want %v", g.Name(), task, job, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecErrors pins the validation errors of the wire layer.
+func TestSpecErrors(t *testing.T) {
+	cases := []ProcessorSpec{
+		{Preset: "no-such-preset"},
+		{Preset: "xscale", Model: "cubic"},
+		{Model: "no-such-model"},
+	}
+	for i, s := range cases {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("case %d: invalid spec built", i)
+		}
+	}
+	bad := WorkloadSpec{Kind: "no-such-kind"}
+	if _, err := bad.Build(); err == nil {
+		t.Error("unknown workload kind built")
+	}
+}

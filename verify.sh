@@ -8,9 +8,12 @@
 # client with zero surfaced errors, clean drain), a fleet smoke
 # (3-worker embedded dvsfleet: hammer through the router, dvsexp grid
 # byte-identical to the single-process run before AND after killing a
-# worker, failover observed in the metrics, clean drain), and a
-# dvscheck audit pass (corpus replay, oracle self-test, and a
-# 25-configuration fuzz smoke).
+# worker, failover observed in the metrics, clean drain), a scenario
+# pass (dvsscen validates and replays the whole scenarios/ corpus
+# with assertions enforced, and one document must produce
+# byte-identical verdicts via dvsscen run, dvsd /v1/scenario, and the
+# dvsfleet coordinator), and a dvscheck audit pass (corpus replay,
+# oracle self-test, and a 25-configuration fuzz smoke).
 set -eu
 
 cd "$(dirname "$0")"
@@ -32,6 +35,8 @@ go test -run '^$' -bench . -benchtime=1x ./... >/dev/null
 
 echo "==> dvsd smoke test"
 DVSD_BIN=$(mktemp -t dvsd.XXXXXX)
+SCEN_BIN=$(mktemp -t dvsscen.XXXXXX)
+SCEN_TMP=$(mktemp -d -t dvsscen.XXXXXX)
 DVSD_LOG=$(mktemp -t dvsd.log.XXXXXX)
 DVSD_PID=""
 FLEET_PID=""
@@ -39,12 +44,14 @@ FLEET_TMP=""
 cleanup() {
     [ -n "$DVSD_PID" ] && kill "$DVSD_PID" 2>/dev/null || true
     [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
-    rm -f "$DVSD_BIN" "$DVSD_LOG"
+    rm -f "$DVSD_BIN" "$SCEN_BIN" "$DVSD_LOG"
+    rm -rf "$SCEN_TMP"
     [ -n "$FLEET_TMP" ] && rm -rf "$FLEET_TMP"
 }
 trap cleanup EXIT
 
 go build -o "$DVSD_BIN" ./cmd/dvsd
+go build -o "$SCEN_BIN" ./cmd/dvsscen
 "$DVSD_BIN" -addr 127.0.0.1:0 >"$DVSD_LOG" 2>&1 &
 DVSD_PID=$!
 
@@ -82,6 +89,24 @@ if ! grep -q '"deadline_misses": 0' "$RESP"; then
     exit 1
 fi
 rm -f "$RESP"
+
+# Scenario transport byte-identity, leg 1: the daemon's /v1/scenario
+# response must equal the local `dvsscen run -json` of the same file
+# byte for byte.
+SCEN_DOC=scenarios/baseline-quickstart.yaml
+"$SCEN_BIN" run -json "$SCEN_DOC" >"$SCEN_TMP/local.json"
+STATUS=$(curl -s -o "$SCEN_TMP/dvsd.json" -w '%{http_code}' --max-time 10 \
+    --data-binary @"$SCEN_DOC" "http://$ADDR/v1/scenario")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: /v1/scenario returned HTTP $STATUS:" >&2
+    cat "$SCEN_TMP/dvsd.json" >&2
+    exit 1
+fi
+cmp -s "$SCEN_TMP/local.json" "$SCEN_TMP/dvsd.json" || {
+    echo "FAIL: dvsd scenario verdict differs from local dvsscen run" >&2
+    diff "$SCEN_TMP/local.json" "$SCEN_TMP/dvsd.json" >&2 || true
+    exit 1
+}
 
 # Observability smoke: scrape the Prometheus endpoint and fail on any
 # line that is neither a comment nor a `name{labels} value` sample,
@@ -121,7 +146,7 @@ kill -TERM "$DVSD_PID"
 wait "$DVSD_PID" || { echo "FAIL: dvsd exited non-zero on SIGTERM" >&2; exit 1; }
 DVSD_PID=""
 grep -q "drained, bye" "$DVSD_LOG" || { echo "FAIL: no clean drain message" >&2; cat "$DVSD_LOG" >&2; exit 1; }
-echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, metrics.prom well-formed, clean drain)"
+echo "    dvsd smoke test OK ($ADDR, lpSHE run, 0 misses, scenario verdict byte-identical, metrics.prom well-formed, clean drain)"
 
 echo "==> chaos smoke test (dvsd -chaos + self-healing client)"
 : >"$DVSD_LOG"
@@ -207,6 +232,22 @@ cmp -s "$FLEET_TMP/local.out" "$FLEET_TMP/fleet.out" || {
     exit 1
 }
 
+# Scenario transport byte-identity, leg 2: the same document through
+# the fleet coordinator (validated locally, routed by document key,
+# verdict bytes streamed through) must match the local run too.
+STATUS=$(curl -s -o "$FLEET_TMP/scen.json" -w '%{http_code}' --max-time 10 \
+    --data-binary @"$SCEN_DOC" "http://$FADDR/v1/scenario")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: fleet /v1/scenario returned HTTP $STATUS:" >&2
+    cat "$FLEET_TMP/scen.json" >&2
+    exit 1
+fi
+cmp -s "$SCEN_TMP/local.json" "$FLEET_TMP/scen.json" || {
+    echo "FAIL: fleet scenario verdict differs from local dvsscen run" >&2
+    diff "$SCEN_TMP/local.json" "$FLEET_TMP/scen.json" >&2 || true
+    exit 1
+}
+
 # Kill one worker (the cluster endpoint hard-stops it, crash-style)
 # and rerun the grid: failover must keep the report byte-identical.
 VICTIM=$(curl -s --max-time 2 "http://$FADDR/v1/cluster" |
@@ -263,7 +304,32 @@ kill -TERM "$FLEET_PID"
 wait "$FLEET_PID" || { echo "FAIL: dvsfleet exited non-zero on SIGTERM" >&2; cat "$FLEET_LOG" >&2; exit 1; }
 FLEET_PID=""
 grep -q "drained, bye" "$FLEET_LOG" || { echo "FAIL: no clean fleet drain message" >&2; cat "$FLEET_LOG" >&2; exit 1; }
-echo "    fleet smoke test OK ($FADDR, hammer clean, t2 byte-identical incl. after worker kill, failover observed, clean drain)"
+echo "    fleet smoke test OK ($FADDR, hammer clean, t2 byte-identical incl. after worker kill, scenario verdict byte-identical, failover observed, clean drain)"
+
+echo "==> scenario pass (dvsscen validate + full corpus replay)"
+# Every committed document must validate (all errors would be listed)
+# and replay green with its assertions enforced — dvsscen exits
+# non-zero on any validation error or failing verdict.
+"$SCEN_BIN" validate -q scenarios/*.yaml
+"$SCEN_BIN" run scenarios/*.yaml >"$SCEN_TMP/corpus.out" || {
+    echo "FAIL: scenario corpus replay failed:" >&2
+    cat "$SCEN_TMP/corpus.out" >&2
+    exit 1
+}
+N_DOCS=$(ls scenarios/*.yaml | wc -l)
+if [ "$N_DOCS" -lt 10 ]; then
+    echo "FAIL: scenario corpus has $N_DOCS documents, want >= 10" >&2
+    exit 1
+fi
+# convert round-trip: a fuzz corpus entry lifted to a scenario must
+# itself validate and replay green (its fingerprint assertion pins
+# the entry's recorded failure set).
+"$SCEN_BIN" convert -out "$SCEN_TMP" internal/fuzz/testdata/corpus/repro-overload-min.json >/dev/null
+"$SCEN_BIN" run "$SCEN_TMP/repro-overload-min.yaml" >/dev/null || {
+    echo "FAIL: converted fuzz entry does not replay to its fingerprint" >&2
+    exit 1
+}
+echo "    scenario pass OK ($N_DOCS documents validated and replayed, convert round-trip green)"
 
 echo "==> dvscheck audit pass"
 # Corpus replay + mutation self-test (the default modes), then a
