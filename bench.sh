@@ -10,9 +10,17 @@
 # Usage:
 #   ./bench.sh                # default benchtime
 #   ./bench.sh -benchtime 2s  # extra args pass through to 'go test'
+#   ./bench.sh -gate          # additionally FAIL on >20% ns/op
+#                             # regression of AnalyzerSlack or
+#                             # EngineDecision vs the most recent
+#                             # committed BENCH_*.json (CI guard)
 #   BENCH_OUT=custom.json ./bench.sh
 #   BENCH_RAW=raw.txt ./bench.sh   # also keep the raw 'go test' output
 #                                  # (benchstat-compatible)
+#
+# After recording, the fresh results are diffed against the most
+# recent committed BENCH_*.json and per-benchmark ns/op deltas are
+# printed, so every run shows the perf trajectory at a glance.
 #
 # The JSON records ns/op, B/op, allocs/op, and any custom metrics per
 # benchmark, plus the toolchain and commit, so two files from
@@ -21,6 +29,12 @@
 # benchstat).
 set -eu
 cd "$(dirname "$0")"
+
+gate=0
+if [ "${1:-}" = "-gate" ]; then
+    gate=1
+    shift
+fi
 
 date_tag=$(date +%Y-%m-%d)
 out=${BENCH_OUT:-BENCH_${date_tag}.json}
@@ -69,3 +83,46 @@ if [ "$count" -eq 0 ]; then
     exit 1
 fi
 echo "bench.sh: wrote $out ($count benchmarks)" >&2
+
+# Delta report vs the most recent committed BENCH file (ignoring the
+# file just written and any uncommitted ones): per-benchmark ns/op
+# change, and with -gate a hard failure on >20% regression of the two
+# hot-path guards.
+prev=$(git ls-files 'BENCH_*.json' 2>/dev/null | grep -vx "$out" | sort | tail -n 1 || true)
+if [ -z "$prev" ] || [ ! -f "$prev" ]; then
+    echo "bench.sh: no committed BENCH_*.json to compare against" >&2
+    exit 0
+fi
+echo "bench.sh: ns/op deltas vs $prev:" >&2
+regressions=$(awk -v gate="$gate" '
+function val(line, key,   s) {
+    # Extract the number following "key": on a result line.
+    s = line
+    if (!sub(".*\"" key "\": *", "", s)) return ""
+    sub("[,}].*", "", s)
+    return s
+}
+/"name"/ {
+    name = val($0, "name")
+    sub("^\"", "", name); sub("\".*", "", name)
+    ns = val($0, "ns_per_op") + 0
+    if (FILENAME == ARGV[1]) { old[name] = ns; next }
+    if (!(name in old) || old[name] <= 0) {
+        printf "  %-28s %12.0f  (new)\n", name, ns > "/dev/stderr"
+        next
+    }
+    pct = (ns - old[name]) / old[name] * 100
+    printf "  %-28s %12.0f -> %-12.0f %+7.1f%%\n", name, old[name], ns, pct > "/dev/stderr"
+    if (pct > 20 && name ~ /^(AnalyzerSlack|EngineDecision)$/)
+        printf "%s %.1f%%\n", name, pct
+}
+' "$prev" "$out")
+if [ -n "$regressions" ]; then
+    echo "bench.sh: hot-path regression(s) over 20%:" >&2
+    echo "$regressions" | sed 's/^/  /' >&2
+    if [ "$gate" -eq 1 ]; then
+        echo "bench.sh: -gate: FAIL" >&2
+        exit 1
+    fi
+    echo "bench.sh: (advisory; re-run with -gate to enforce)" >&2
+fi

@@ -91,9 +91,10 @@ func TestAnalyzeZeroAllocsWithPhantoms(t *testing.T) {
 
 // TestSelectSpeedZeroSteadyStateAllocs: a full lpSHE scheduling
 // decision — slack analysis plus the pacing pass — allocates nothing
-// per call after Reset.
+// per call after Reset. Rescan (the crosscheck oracle) must hold the
+// property too: differential runs lean on it heavily.
 func TestSelectSpeedZeroSteadyStateAllocs(t *testing.T) {
-	for _, v := range []Variant{Full, Greedy} {
+	for _, v := range []Variant{Full, Greedy, Rescan} {
 		sys := newAllocSystem(t, 12)
 		p := NewLpSHEVariant(v)
 		p.Reset(sys)
@@ -105,5 +106,26 @@ func TestSelectSpeedZeroSteadyStateAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("variant %v: SelectSpeed allocates %v per call in steady state, want 0", v, allocs)
 		}
+	}
+}
+
+// TestStaircaseZeroSteadyStateAllocs: the incremental fast path —
+// analysis with stair capture on, then credits and bound queries
+// between analyses — allocates nothing once the capture buffers and
+// the sparse table have grown to the scan depth.
+func TestStaircaseZeroSteadyStateAllocs(t *testing.T) {
+	sys := newAllocSystem(t, 12)
+	an := NewAnalyzer(sys.ts)
+	an.SetStairCapture(true)
+	nextRel := sys.NextReleaseOf
+	an.Analyze(sys.now, sys.jobs, nextRel) // warm scratch + staircase
+	dl := sys.jobs[0].AbsDeadline
+	allocs := testing.AllocsPerRun(100, func() {
+		an.Analyze(sys.now, sys.jobs, nextRel)
+		an.StairCredit(sys.now, dl, 0.01)
+		an.StairBound(sys.now)
+	})
+	if allocs != 0 {
+		t.Errorf("staircase cycle allocates %v per round, want 0", allocs)
 	}
 }

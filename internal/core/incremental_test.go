@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/prng"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// fabricateState builds a plausible mid-simulation state for a task
+// set: a random time, a random subset of tasks with an active
+// (partially executed) current job, and the periodic next-release
+// map. Shared by the differential tests below.
+func fabricateState(ts *rtm.TaskSet, seed uint64) (now float64, active []*sim.JobState, nextRel func(int) float64) {
+	src := prng.New(seed)
+	now = src.Range(0, 300)
+	rel := make([]float64, len(ts.Tasks))
+	for i, task := range ts.Tasks {
+		k := math.Floor(now / task.Period)
+		rel[i] = (k + 1) * task.Period
+		if src.Float64() < 0.6 {
+			js := &sim.JobState{Job: ts.JobOf(i, int(k))}
+			if maxExec := math.Min(task.WCET, now-k*task.Period); maxExec > 0 {
+				js.Executed = src.Float64() * maxExec
+			}
+			active = append(active, js)
+		}
+	}
+	return now, active, func(i int) float64 { return rel[i] }
+}
+
+// TestIncrementalMatchesRescanExactly pins the central contract of
+// the incremental analyzer: in default (exact) mode, the grid
+// certificate must stop scans WITHOUT changing either reading by even
+// an ulp relative to the full-rescan oracle. Equality here is ==, not
+// a tolerance.
+func TestIncrementalMatchesRescanExactly(t *testing.T) {
+	f := func(seed uint64, nRaw, uRaw, stateRaw uint8) bool {
+		n := 1 + int(nRaw)%7
+		u := 0.2 + 0.75*float64(uRaw)/255
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, u, seed))
+		if err != nil {
+			return false
+		}
+		now, active, nextRel := fabricateState(ts, seed^uint64(stateRaw)<<8)
+
+		inc := NewAnalyzer(ts)
+		ora := NewAnalyzer(ts)
+		ora.SetFullRescan(true)
+
+		gotL, gotS := inc.Analyze(now, active, nextRel)
+		wantL, wantS := ora.Analyze(now, active, nextRel)
+		if gotL != wantL || gotS != wantS {
+			t.Logf("seed=%d n=%d u=%.3f now=%.3f: incremental (%v, %v) != rescan (%v, %v)",
+				seed, n, u, now, gotL, gotS, wantL, wantS)
+			return false
+		}
+		// The slack-only entry point skips the intensity certification
+		// clauses; the slack reading must still be bit-identical.
+		if sl := inc.Slack(now, active, nextRel); sl != ora.Slack(now, active, nextRel) {
+			t.Logf("seed=%d now=%.3f: Slack() diverges from rescan", seed, now)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalMatchesRescanWithPhantoms repeats the exactness
+// check with phantom demand registered (the no-reclaim ablation
+// path), which exercises the phantom clauses of the certificate.
+func TestIncrementalMatchesRescanWithPhantoms(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%5
+		ts, err := rtm.Generate(rtm.DefaultGenConfig(n, 0.6, seed))
+		if err != nil {
+			return false
+		}
+		now, active, nextRel := fabricateState(ts, seed*31+7)
+		src := prng.New(seed ^ 0x9e3779b9)
+
+		inc := NewAnalyzer(ts)
+		ora := NewAnalyzer(ts)
+		ora.SetFullRescan(true)
+		for k := 0; k < 3; k++ {
+			d := now + src.Range(1, 100)
+			w := src.Range(0.1, 2)
+			inc.AddPhantom(d, w)
+			ora.AddPhantom(d, w)
+		}
+		gotL, gotS := inc.Analyze(now, active, nextRel)
+		wantL, wantS := ora.Analyze(now, active, nextRel)
+		if gotL != wantL || gotS != wantS {
+			t.Logf("seed=%d: with phantoms (%v, %v) != rescan (%v, %v)", seed, gotL, gotS, wantL, wantS)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// stairCheckPolicy wraps the production lpSHE policy and, at every
+// decision the fast path serves, crosschecks the staircase bound
+// against a fresh full-rescan analysis of the same instant: the bound
+// must never exceed the true system slack (soundness), since the fast
+// path substitutes it into the floor computation.
+type stairCheckPolicy struct {
+	*LpSHE
+	t      *testing.T
+	oracle *Analyzer
+	checks int
+}
+
+func (p *stairCheckPolicy) Reset(sys sim.System) {
+	p.LpSHE.Reset(sys)
+	p.oracle = NewAnalyzer(sys.TaskSet())
+	p.oracle.SetFullRescan(true)
+}
+
+func (p *stairCheckPolicy) SelectSpeed(j *sim.JobState) float64 {
+	s := p.LpSHE.SelectSpeed(j)
+	if p.haveL {
+		now := p.sys.Now()
+		lb := p.analyzer.StairBound(now)
+		truth := p.oracle.Slack(now, p.sys.ActiveJobs(), p.sys.NextReleaseOf)
+		if lb > truth+1e-6 {
+			p.t.Errorf("t=%v: stair bound %v exceeds true slack %v", now, lb, truth)
+		}
+		p.checks++
+	}
+	return s
+}
+
+// TestStairBoundSoundInSimulation drives full simulations and
+// verifies at every scheduling point that the staircase lower bound
+// (credits, expiry cursors, grid tail and all) never exceeds the
+// slack a from-scratch analysis reports.
+func TestStairBoundSoundInSimulation(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(2+int(seed%6), 0.5+0.05*float64(seed%5), seed))
+		p := &stairCheckPolicy{LpSHE: NewLpSHE(), t: t}
+		res, err := sim.Run(sim.Config{
+			TaskSet:   ts,
+			Processor: cpu.Continuous(0.1),
+			Policy:    p,
+			Workload:  workload.Uniform{Lo: 0.3, Hi: 1, Seed: seed},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Errorf("seed %d: %d misses", seed, res.DeadlineMisses)
+		}
+		if p.checks == 0 {
+			t.Errorf("seed %d: staircase never checked", seed)
+		}
+	}
+}
+
+// TestStairCreditOverflowStaysSound floods the staircase with credits
+// at many distinct deadlines — far past maxStairLifts — so the
+// boundary list must compact and fold. Every fold direction is
+// required to be conservative, which the in-simulation soundness
+// check above already enforces; here we pin the unit-level property
+// directly on a fabricated state.
+func TestStairCreditOverflowStaysSound(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(6, 0.6, 3))
+	now, active, nextRel := fabricateState(ts, 99)
+
+	a := NewAnalyzer(ts)
+	a.SetStairCapture(true)
+	base, _ := a.Analyze(now, active, nextRel)
+
+	// Reference analyzer sees the same state; the staircase only ever
+	// receives zero-work credits here, so its bound must stay at or
+	// below the unchanged true slack no matter how the lift list
+	// saturates, compacts, or folds.
+	src := prng.New(4242)
+	t1 := now
+	for k := 0; k < 200; k++ {
+		t1 += src.Range(0, 0.5)
+		a.StairCredit(t1, now+src.Range(0.1, 400), 0)
+		if lb := a.StairBound(t1); lb > base-(t1-now)+1e-9 {
+			// Demand only decays at rate 1 with zero credits, so the
+			// bound may never exceed the t0 slack minus elapsed time...
+			// except when cursor expiry legitimately RAISES it past the
+			// decayed t0 floor (the recovery property). Crosscheck
+			// against a fresh analysis instead of failing outright.
+			truth := NewAnalyzer(ts).Slack(t1, nil, nextRelAfter(ts, t1))
+			if lb > truth+1e-6 {
+				t.Fatalf("step %d t=%v: bound %v exceeds decay floor and true slack %v", k, t1, lb, truth)
+			}
+		}
+	}
+
+	// Nonzero credits at the front deadline must accumulate uniformly.
+	a2 := NewAnalyzer(ts)
+	a2.SetStairCapture(true)
+	l0, _ := a2.Analyze(now, active, nextRel)
+	lb0 := a2.StairBound(now)
+	if lb0 > l0+1e-9 {
+		t.Fatalf("immediate bound %v exceeds analyzed slack %v", lb0, l0)
+	}
+	a2.StairCredit(now, now+0.01, 0.25) // at/before every covered deadline
+	if got := a2.StairBound(now); math.Abs(got-(lb0+0.25)) > 1e-9 {
+		t.Fatalf("uniform credit: bound %v, want %v", got, lb0+0.25)
+	}
+}
+
+// nextRelAfter returns the periodic next-release map for an idle
+// system at time t (every task's current job window has passed).
+func nextRelAfter(ts *rtm.TaskSet, t float64) func(int) float64 {
+	return func(i int) float64 {
+		p := ts.Tasks[i].Period
+		return (math.Floor(t/p) + 1) * p
+	}
+}
+
+// TestAdaptiveHorizonSoundAndCounted verifies the adaptive horizon
+// (off by default) degrades conservatively: the reading with the cap
+// enabled never exceeds the exact slack, intensity never drops below
+// the exact one, and the truncation counter moves on at least one of
+// the probed states.
+func TestAdaptiveHorizonSoundAndCounted(t *testing.T) {
+	// Non-harmonic periods defeat the grid certificate cheaply, so
+	// scans run deep enough for the adaptive cap to fire.
+	cfg := rtm.DefaultGenConfig(6, 0.85, 11)
+	cfg.Periods = []float64{70, 105, 110, 154, 165, 231}
+	ts := rtm.MustGenerate(cfg)
+
+	ad := NewAnalyzer(ts)
+	ad.SetAdaptiveHorizon(true)
+	var truncations float64
+	for seed := uint64(1); seed <= 40; seed++ {
+		now, active, nextRel := fabricateState(ts, seed*977)
+		exactL, exactS := NewAnalyzer(ts).Analyze(now, active, nextRel)
+		gotL, gotS := ad.Analyze(now, active, nextRel)
+		if gotL > exactL+1e-9 {
+			t.Fatalf("seed %d: adaptive slack %v above exact %v", seed, gotL, exactL)
+		}
+		if gotS < exactS-1e-9 {
+			t.Fatalf("seed %d: adaptive intensity %v below exact %v", seed, gotS, exactS)
+		}
+		truncations = ad.Counters()["slack_adaptive_capped"]
+	}
+	if truncations == 0 {
+		t.Error("adaptive cap never fired across 40 probes; test lost its bite")
+	}
+	if off := NewAnalyzer(ts); off.adaptive {
+		t.Error("adaptive horizon must be off by default")
+	}
+}
+
+// TestLpSHEFullMatchesRescanEndToEnd runs whole simulations under the
+// default incremental+staircase policy and the full-rescan oracle
+// variant: every engine-level observable must be bit-identical, which
+// is the end-to-end form of the fast path's "byte-identical skip"
+// claim.
+func TestLpSHEFullMatchesRescanEndToEnd(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		ts := rtm.MustGenerate(rtm.DefaultGenConfig(2+int(seed)%7, 0.45+0.05*float64(seed%8), seed))
+		run := func(v Variant) sim.Result {
+			res, err := sim.Run(sim.Config{
+				TaskSet:   ts,
+				Processor: cpu.Continuous(0.1),
+				Policy:    NewLpSHEVariant(v),
+				Workload:  workload.Uniform{Lo: 0.2, Hi: 1, Seed: seed * 3},
+			})
+			if err != nil {
+				t.Fatalf("seed %d variant %v: %v", seed, v, err)
+			}
+			return res
+		}
+		full, rescan := run(Full), run(Rescan)
+		if full.Energy != rescan.Energy ||
+			full.SpeedTimeIntegral != rescan.SpeedTimeIntegral ||
+			full.SpeedSwitches != rescan.SpeedSwitches ||
+			full.DeadlineMisses != rescan.DeadlineMisses ||
+			full.Decisions != rescan.Decisions {
+			t.Errorf("seed %d: full vs rescan diverge: energy %v/%v integral %v/%v switches %d/%d misses %d/%d decisions %d/%d",
+				seed, full.Energy, rescan.Energy,
+				full.SpeedTimeIntegral, rescan.SpeedTimeIntegral,
+				full.SpeedSwitches, rescan.SpeedSwitches,
+				full.DeadlineMisses, rescan.DeadlineMisses,
+				full.Decisions, rescan.Decisions)
+		}
+	}
+}
+
+// TestAnalyzerReuseFor pins the cross-run reuse contract: reusing for
+// an equal task set keeps results identical to a fresh build, and a
+// different task set refuses the reuse.
+func TestAnalyzerReuseFor(t *testing.T) {
+	ts1 := rtm.MustGenerate(rtm.DefaultGenConfig(5, 0.6, 2))
+	ts1b := rtm.MustGenerate(rtm.DefaultGenConfig(5, 0.6, 2)) // equal content, distinct allocation
+	ts2 := rtm.MustGenerate(rtm.DefaultGenConfig(5, 0.6, 9))
+
+	a := NewAnalyzer(ts1)
+	now, active, nextRel := fabricateState(ts1, 7)
+	a.SetStairCapture(true)
+	a.Analyze(now, active, nextRel)
+	a.StairCredit(now, now+1, 0.5)
+
+	if !a.ReuseFor(ts1b) {
+		t.Fatal("ReuseFor rejected an identical task set")
+	}
+	gotL, gotS := a.Analyze(now, active, nextRel)
+	wantL, wantS := NewAnalyzer(ts1b).Analyze(now, active, nextRel)
+	if gotL != wantL || gotS != wantS {
+		t.Errorf("reused analyzer (%v, %v) != fresh (%v, %v)", gotL, gotS, wantL, wantS)
+	}
+	if c := a.Counters()["slack_calls"]; c != 1 {
+		t.Errorf("reuse kept stale counters: slack_calls = %v", c)
+	}
+	if a.ReuseFor(ts2) {
+		t.Error("ReuseFor accepted a different task set")
+	}
+}
+
+// TestCountersMapReused pins the satellite fix: Counters() refreshes
+// one analyzer-owned map in place instead of allocating per scrape.
+func TestCountersMapReused(t *testing.T) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(4, 0.5, 1))
+	a := NewAnalyzer(ts)
+	now, active, nextRel := fabricateState(ts, 5)
+	a.Analyze(now, active, nextRel)
+
+	c1 := a.Counters()
+	c2 := a.Counters()
+	if &c1 == &c2 {
+		// Map headers are handles; compare identity by mutation.
+		t.Skip("unreachable")
+	}
+	c1["__probe"] = 42
+	if c2["__probe"] != 42 {
+		t.Fatal("Counters() returned distinct maps")
+	}
+	delete(c1, "__probe")
+	if got := testing.AllocsPerRun(50, func() { a.Counters() }); got > 0 {
+		t.Errorf("Counters() allocates %v per scrape, want 0", got)
+	}
+	for _, key := range []string{"slack_calls", "slack_incremental_hits", "slack_rebuilds", "slack_adaptive_capped"} {
+		if _, ok := c1[key]; !ok {
+			t.Errorf("counter %q missing", key)
+		}
+	}
+}

@@ -33,6 +33,11 @@ const (
 	Horizon8
 	// Horizon32 truncates the analysis scan to 32 deadlines.
 	Horizon32
+	// Rescan disables the incremental certificate and walks the full
+	// deadline axis to the classic cutoffs at every decision — the
+	// pre-incremental behavior, kept as the crosscheck oracle for
+	// differential testing (results must be byte-identical to Full).
+	Rescan
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +53,8 @@ func (v Variant) String() string {
 		return "horizon8"
 	case Horizon32:
 		return "horizon32"
+	case Rescan:
+		return "rescan"
 	default:
 		return fmt.Sprintf("variant(%d)", int(v))
 	}
@@ -101,6 +108,20 @@ type LpSHE struct {
 	sys      sim.System
 	analyzer *Analyzer
 	decided  float64
+	// Fast-path state (Full variant only): the analyzer's slack
+	// staircase (SetStairCapture) holds a sound lower bound on the
+	// current slack between analyses; this policy only has to feed
+	// it credits. runJob/runExec identify the running job and its
+	// executed work at the last harvest, so the credit is ground
+	// truth — correct even when a wrapper or a discrete level set
+	// runs the job at a different speed than this policy returned.
+	// haveL records that a first analysis populated the staircase;
+	// fastHits counts decisions served from the bound without
+	// re-analyzing.
+	runJob   *sim.JobState
+	runExec  float64
+	haveL    bool
+	fastHits float64
 	// lastUsage[i] is the actual work the most recent completed job
 	// of task i performed (initialized to the WCET). It feeds only
 	// the pacing heuristic, never the guarantee.
@@ -113,8 +134,21 @@ type LpSHE struct {
 	// nothing. Like the Analyzer's scratch, they make an LpSHE
 	// instance single-goroutine (one policy instance per concurrent
 	// run — what the engine and harness already guarantee).
+	// invPeriod caches 1/Period so the per-decision pacing loop
+	// multiplies instead of dividing.
 	expected  []float64
 	hasActive []bool
+	invPeriod []float64
+	touched   []int
+	// basePace is Σ lastUsage[i]/Period[i], maintained incrementally
+	// as completions update lastUsage so paceFill only has to adjust
+	// for the currently active tasks instead of walking every task.
+	basePace float64
+	// sMin and reserve cache the processor constants (floor speed and
+	// the two-stall transition reserve) — fixed for a run, read every
+	// decision.
+	sMin    float64
+	reserve float64
 }
 
 // NewLpSHE returns the paper's algorithm in its standard (Full)
@@ -135,21 +169,46 @@ func (p *LpSHE) Name() string {
 // Reset implements sim.Policy.
 func (p *LpSHE) Reset(sys sim.System) {
 	p.sys = sys
-	p.analyzer = NewAnalyzer(sys.TaskSet())
+	ts := sys.TaskSet()
+	if p.analyzer == nil || !p.analyzer.ReuseFor(ts) {
+		p.analyzer = NewAnalyzer(ts)
+	}
 	p.nextReleaseOf = sys.NextReleaseOf
 	p.decided = 0
-	n := sys.TaskSet().N()
-	p.lastUsage = make([]float64, n)
-	p.expected = make([]float64, n)
-	p.hasActive = make([]bool, n)
-	for i, t := range sys.TaskSet().Tasks {
+	p.runJob, p.runExec, p.haveL, p.fastHits = nil, 0, false, 0
+	n := ts.N()
+	if len(p.lastUsage) != n {
+		// One backing array for the per-task float scratch: three
+		// fewer allocations per construction, and the hot pacing loop
+		// touches one cache neighborhood instead of three.
+		buf := make([]float64, 3*n)
+		p.lastUsage = buf[:n:n]
+		p.expected = buf[n : 2*n : 2*n]
+		p.invPeriod = buf[2*n:]
+		p.hasActive = make([]bool, n)
+		p.touched = make([]int, 0, n)
+	}
+	proc := sys.Processor()
+	p.sMin = proc.SMin
+	p.reserve = 0
+	if proc.SwitchTime > 0 {
+		p.reserve = 2 * proc.SwitchTime
+	}
+	p.basePace = 0
+	for i, t := range ts.Tasks {
 		p.lastUsage[i] = t.WCET
+		p.invPeriod[i] = 1 / t.Period
+		p.basePace += t.WCET * p.invPeriod[i]
 	}
 	switch p.Variant {
+	case Full:
+		p.analyzer.SetStairCapture(true)
 	case Horizon8:
 		p.analyzer.SetMaxScan(8)
 	case Horizon32:
 		p.analyzer.SetMaxScan(32)
+	case Rescan:
+		p.analyzer.SetFullRescan(true)
 	}
 }
 
@@ -157,12 +216,46 @@ func (p *LpSHE) Reset(sys sim.System) {
 // pacing heuristic; the no-reclaim ablation additionally pins the
 // unused allowance of early finishers as phantom demand.
 func (p *LpSHE) OnComplete(j *sim.JobState) {
-	p.lastUsage[j.TaskIndex] = j.Executed
+	i := j.TaskIndex
+	p.basePace += (j.Executed - p.lastUsage[i]) * p.invPeriod[i]
+	p.lastUsage[i] = j.Executed
+	if p.Variant == Full && p.haveL {
+		// Harvest the completed job's final executed work into the
+		// staircase, then stop crediting: the queue may drain after
+		// this completion and the processor idle until the next
+		// release. If another job is dispatched instead, SelectSpeed
+		// runs at this same instant and re-establishes the credit.
+		now := p.sys.Now()
+		p.harvest(now)
+		p.runJob = nil
+		if rem := j.RemainingWCET(); rem > 0 {
+			// The job is gone from h entirely: its unused allowance
+			// lifts the staircase too (StairCredit verifies the
+			// lift applies to every surviving candidate).
+			p.analyzer.StairCredit(now, j.AbsDeadline, rem)
+		}
+	}
 	if p.Variant != NoReclaim {
 		return
 	}
 	if rem := j.WCET - j.Executed; rem > 0 {
 		p.analyzer.AddPhantom(j.AbsDeadline, rem)
+	}
+}
+
+// harvest credits the staircase with the running job's executed work
+// observed since the last harvest — ground truth from the engine,
+// immune to stalls, discrete-level clamps, and wrappers that run the
+// job at a speed other than the one this policy returned. With
+// runJob nil (idle, or a completed job already harvested by
+// OnComplete) there is nothing to credit; the staircase still decays
+// at rate 1 through StairBound's −t1 term.
+func (p *LpSHE) harvest(now float64) {
+	if p.runJob != nil {
+		if x := p.runJob.Executed - p.runExec; x > 0 {
+			p.analyzer.StairCredit(now, p.runJob.AbsDeadline, x)
+			p.runExec = p.runJob.Executed
+		}
 	}
 }
 
@@ -173,12 +266,16 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 	if w <= 0 {
 		// The job exhausted its worst-case budget (it is about to
 		// complete); any positive speed is deadline-safe, so finish
-		// it at the floor.
-		return p.sys.Processor().SMin
+		// it at the floor. The fast-path bound stops crediting for
+		// this sliver of execution (plain rate-1 decay, conservative).
+		if p.Variant == Full && p.haveL {
+			p.harvest(p.sys.Now())
+			p.runJob = nil
+		}
+		return p.sMin
 	}
 	now := p.sys.Now()
 	active := p.sys.ActiveJobs()
-	slack, _ := p.analyzer.Analyze(now, active, p.nextReleaseOf)
 
 	// Speed-transition overhead: every change of the operating point
 	// stalls the processor for SwitchTime. Reserve two stalls out of
@@ -188,9 +285,48 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 	// zero progress, i.e. exactly one unit of every deadline's slack
 	// per unit of stall, so subtracting 2σ keeps the feasibility
 	// invariant argument intact verbatim.
-	var reserve float64
-	if st := p.sys.Processor().SwitchTime; st > 0 {
-		reserve = 2 * st
+	reserve := p.reserve
+
+	var s float64
+	if p.Variant != Greedy {
+		s = p.paceFill(now, active)
+		// Fast path (Full variant): the sound floor below is at most
+		// min(w/(w+L), 1 − L/(b−t)). The staircase gives a sound
+		// lower bound lb ≤ L(now), and both floor branches are
+		// non-increasing in the slack argument under IEEE
+		// arithmetic, so substituting lb can only raise them — when
+		// the pacing candidate already clears the smaller of the
+		// raised branches, the true sound floor provably cannot
+		// bind, and the margin keeps float drift in the
+		// fresh-analysis value from ever flipping the comparison the
+		// wrong way. The selected speed is bit-identical to what a
+		// fresh analysis would produce, so skip the analysis.
+		if p.Variant == Full && p.haveL {
+			p.harvest(now)
+			lb := p.analyzer.StairBound(now)
+			lb -= reserve + 1e-9*(1+math.Abs(lb))
+			floor := math.Inf(1)
+			if lb > 0 {
+				floor = w / (w + lb)
+				bound := p.sys.NextDecisionBound()
+				if gapB := bound - now; !math.IsInf(bound, 1) && gapB > 0 {
+					if ev := 1 - lb/gapB; ev < floor {
+						floor = ev
+					}
+				}
+			}
+			if s >= floor {
+				p.fastHits++
+				p.runJob, p.runExec = j, j.Executed
+				return p.finish(s, w, j, now, reserve)
+			}
+		}
+	}
+
+	slack := p.analyzer.Slack(now, active, p.nextReleaseOf)
+	if p.Variant == Full {
+		p.runJob, p.runExec = j, j.Executed
+		p.haveL = true
 	}
 	slack -= reserve
 	if slack < 0 {
@@ -229,67 +365,82 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 		}
 	}
 
-	var s float64
 	if p.Variant == Greedy {
 		// Ablation: the whole analyzed slack goes to the current
 		// job. Sound, but convexity-blind: later jobs find the
 		// slack gone and run fast, so the speed trace oscillates.
 		s = greedy
-	} else {
-		// Pacing target above the sound floor, by regime:
-		//
-		//   pace — utilization-shaped smoothing: each task counts
-		//   its *predicted* usage share, estimated from the most
-		//   recent actual execution time (an active job contributes
-		//   at least what it has already executed; a worse-than-
-		//   predicted job simply pushes the floors up later). This
-		//   is the speed a steadily busy system should hold; convex
-		//   power strongly prefers it over stretch-then-sprint.
-		//
-		//   fill — W/(nr−t): the speed that just finishes the known
-		//   backlog W by the next arrival. In drain and idle phases
-		//   (shallow queue, far next release) this is far below pace
-		//   and harvests the idle-interval slack.
-		//
-		// min(pace, fill) picks the regime; the sound and
-		// own-deadline floors below guarantee hard deadlines
-		// regardless of how wrong the pacing history turns out.
-		ts := p.sys.TaskSet()
-		var backlog float64
-		expected, hasActive := p.expected, p.hasActive
-		for i := range expected {
-			expected[i] = 0
-			hasActive[i] = false
+	} else if s < soundMin {
+		s = soundMin
+	}
+	return p.finish(s, w, j, now, reserve)
+}
+
+// paceFill computes the pacing target above the sound floor, by
+// regime:
+//
+//   - pace — utilization-shaped smoothing: each task counts its
+//     *predicted* usage share, estimated from the most recent actual
+//     execution time (an active job contributes at least what it has
+//     already executed; a worse-than-predicted job simply pushes the
+//     floors up later). This is the speed a steadily busy system
+//     should hold; convex power strongly prefers it over
+//     stretch-then-sprint.
+//
+//   - fill — W/(nr−t): the speed that just finishes the known
+//     backlog W by the next arrival. In drain and idle phases
+//     (shallow queue, far next release) this is far below pace and
+//     harvests the idle-interval slack.
+//
+// min(pace, fill) picks the regime; the sound and own-deadline
+// floors guarantee hard deadlines regardless of how wrong the pacing
+// history turns out.
+func (p *LpSHE) paceFill(now float64, active []*sim.JobState) float64 {
+	var backlog float64
+	pace := p.basePace
+	expected, hasActive := p.expected, p.hasActive
+	touched := p.touched
+	for _, a := range active {
+		ti := a.TaskIndex
+		backlog += a.RemainingWCET()
+		// Expected total usage of the active job: at least what it
+		// has already executed, predicted by the last observation.
+		e := a.Executed
+		if lu := p.lastUsage[ti]; lu > e {
+			e = lu
 		}
-		for _, a := range active {
-			hasActive[a.TaskIndex] = true
-			backlog += a.RemainingWCET()
-			// Expected total usage of the active job: at least what it
-			// has already executed, predicted by the last observation.
-			if e := math.Max(p.lastUsage[a.TaskIndex], a.Executed); e > expected[a.TaskIndex] {
-				expected[a.TaskIndex] = e
-			}
-		}
-		var pace float64
-		for i, task := range ts.Tasks {
-			if hasActive[i] {
-				pace += expected[i] / task.Period
-			} else {
-				pace += p.lastUsage[i] / task.Period
-			}
-		}
-		fill := 1.0
-		nr := p.sys.NextRelease() // earliest possible arrival
-		if gap := nr - now; math.IsInf(nr, 1) {
-			fill = 0 // no more arrivals: pure drain
-		} else if gap > 0 {
-			fill = backlog / gap
-		}
-		s = math.Min(pace, fill)
-		if s < soundMin {
-			s = soundMin
+		if !hasActive[ti] {
+			hasActive[ti] = true
+			expected[ti] = e
+			touched = append(touched, ti)
+		} else if e > expected[ti] {
+			expected[ti] = e
 		}
 	}
+	// Swap each touched task's resting contribution (already inside
+	// basePace) for its active one, and reset the scratch marks so the
+	// next decision starts clean without an O(n) clear.
+	for _, ti := range touched {
+		pace += (expected[ti] - p.lastUsage[ti]) * p.invPeriod[ti]
+		hasActive[ti] = false
+	}
+	p.touched = touched[:0]
+	fill := 1.0
+	nr := p.sys.NextRelease() // earliest possible arrival
+	if gap := nr - now; math.IsInf(nr, 1) {
+		fill = 0 // no more arrivals: pure drain
+	} else if gap > 0 {
+		fill = backlog / gap
+	}
+	if fill < pace {
+		return fill
+	}
+	return pace
+}
+
+// finish applies the slack-independent tail of every decision: the
+// own-deadline floor and the optional safety margin.
+func (p *LpSHE) finish(s, w float64, j *sim.JobState, now, reserve float64) float64 {
 	// Never finish after the job's own deadline (the transition
 	// reserve shrinks the usable window under non-zero SwitchTime).
 	if win := j.AbsDeadline - now - reserve; win > 0 {
@@ -309,5 +460,6 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 func (p *LpSHE) Counters() map[string]float64 {
 	c := p.analyzer.Counters()
 	c["decisions"] = p.decided
+	c["decision_fast_path"] = p.fastHits
 	return c
 }

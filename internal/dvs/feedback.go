@@ -50,8 +50,12 @@ func (p *FeedbackEDF) Name() string { return "fbEDF" }
 // Reset implements sim.Policy.
 func (p *FeedbackEDF) Reset(sys sim.System) {
 	p.sys = sys
-	p.analyzer = core.NewAnalyzer(sys.TaskSet())
-	p.pred = make([]float64, sys.TaskSet().N())
+	if p.analyzer == nil || !p.analyzer.ReuseFor(sys.TaskSet()) {
+		p.analyzer = core.NewAnalyzer(sys.TaskSet())
+	}
+	if len(p.pred) != sys.TaskSet().N() {
+		p.pred = make([]float64, sys.TaskSet().N())
+	}
 	for i, t := range sys.TaskSet().Tasks {
 		p.pred[i] = t.WCET // no history yet: predict the worst case
 	}
@@ -95,7 +99,7 @@ func (p *FeedbackEDF) SelectSpeed(j *sim.JobState) float64 {
 	if predRem > w {
 		predRem = w
 	}
-	slack, _ := p.analyzer.Analyze(now, p.sys.ActiveJobs(), p.sys.NextReleaseOf)
+	slack := p.analyzer.Slack(now, p.sys.ActiveJobs(), p.sys.NextReleaseOf)
 	if slack <= 0 {
 		return 1
 	}

@@ -9,7 +9,8 @@
 // Base policy names:
 //
 //	nondvs, static, lpps, cc, la, dra, feedback, lpshe,
-//	lpshe-greedy, lpshe-no-reclaim, lpshe-horizon8, lpshe-horizon32
+//	lpshe-greedy, lpshe-no-reclaim, lpshe-horizon8, lpshe-horizon32,
+//	lpshe-rescan
 //
 // The canonical display names returned by sim.Policy.Name (nonDVS,
 // staticEDF, lppsEDF, ccEDF, laEDF, DRA, fbEDF, lpSHE, lpSHE-greedy,
@@ -53,6 +54,7 @@ var base = map[string]Factory{
 	"lpshe-no-reclaim": func() sim.Policy { return core.NewLpSHEVariant(core.NoReclaim) },
 	"lpshe-horizon8":   func() sim.Policy { return core.NewLpSHEVariant(core.Horizon8) },
 	"lpshe-horizon32":  func() sim.Policy { return core.NewLpSHEVariant(core.Horizon32) },
+	"lpshe-rescan":     func() sim.Policy { return core.NewLpSHEVariant(core.Rescan) },
 }
 
 // aliases maps the display names (sim.Policy.Name, lowercased) and

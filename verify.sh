@@ -33,6 +33,36 @@ echo "==> bench smoke (compile + one iteration of every benchmark)"
 # harness the benchmarks drive get exercised on every verify.
 go test -run '^$' -bench . -benchtime=1x ./... >/dev/null
 
+echo "==> perf pass (alloc guards + hot-path smoke)"
+# The AllocsPerRun guards pin the zero-steady-state-allocation
+# property of the analyzer hot path (Analyze, the staircase cycle,
+# SelectSpeed, Counters); then a fixed-count run of the two hot-path
+# benchmarks checks the pinned alloc budgets and an order-of-magnitude
+# latency ceiling. The ceiling is deliberately loose (a full revert of
+# the incremental analyzer trips it; scheduler noise cannot), and the
+# fine-grained 20% gate lives in `./bench.sh -gate` where benchtime is
+# long enough to trust. See BENCH_*.json for the recorded trajectory.
+go test -run 'ZeroSteadyStateAllocs|ZeroAllocs|CountersMapReused' -count=1 ./internal/core/
+PERF_OUT=$(go test -run '^$' -bench '^(BenchmarkAnalyzerSlack|BenchmarkEngineDecision)$' -benchtime=100x -benchmem .)
+echo "$PERF_OUT" | awk '
+/^BenchmarkAnalyzerSlack/ {
+    for (i = 2; i <= NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+        printf "FAIL: AnalyzerSlack allocates %s/op, want 0\n", $i; bad = 1
+    }
+}
+/^BenchmarkEngineDecision/ {
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "allocs/op" && $i + 0 > 160) {
+            printf "FAIL: EngineDecision at %s allocs/op, budget 160\n", $i; bad = 1
+        }
+        if ($(i+1) == "ns/decision" && $i + 0 > 2000) {
+            printf "FAIL: EngineDecision at %s ns/decision, ceiling 2000\n", $i; bad = 1
+        }
+    }
+}
+END { exit bad }
+' || { echo "$PERF_OUT" >&2; exit 1; }
+
 echo "==> dvsd smoke test"
 DVSD_BIN=$(mktemp -t dvsd.XXXXXX)
 SCEN_BIN=$(mktemp -t dvsscen.XXXXXX)
