@@ -6,6 +6,8 @@
 #   BenchmarkPolicies        one-hyperperiod engine throughput per policy
 #   BenchmarkAnalyzerSlack   one slack-analysis invocation (ns/op, allocs/op)
 #   BenchmarkEngineDecision  per-scheduling-point engine cost (ns/decision)
+#   BenchmarkEngineDecisionFlight  same, with the decision flight
+#                            recorder attached (the observability tax)
 #
 # Usage:
 #   ./bench.sh                # default benchtime
@@ -44,7 +46,7 @@ if [ -z "$raw" ]; then
     trap 'rm -f "$raw"' EXIT
 fi
 
-pattern='^(BenchmarkPolicies|BenchmarkAnalyzerSlack|BenchmarkEngineDecision)$'
+pattern='^(BenchmarkPolicies|BenchmarkAnalyzerSlack|BenchmarkEngineDecision|BenchmarkEngineDecisionFlight)$'
 echo "bench.sh: running $pattern (this takes a minute)..." >&2
 go test -run '^$' -bench "$pattern" -benchmem "$@" . | tee "$raw" >&2
 
@@ -113,7 +115,7 @@ function val(line, key,   s) {
     }
     pct = (ns - old[name]) / old[name] * 100
     printf "  %-28s %12.0f -> %-12.0f %+7.1f%%\n", name, old[name], ns, pct > "/dev/stderr"
-    if (pct > 20 && name ~ /^(AnalyzerSlack|EngineDecision)$/)
+    if (pct > 20 && name ~ /^(AnalyzerSlack|EngineDecision|EngineDecisionFlight)$/)
         printf "%s %.1f%%\n", name, pct
 }
 ' "$prev" "$out")

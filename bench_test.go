@@ -21,6 +21,7 @@ import (
 	"dvsslack/internal/cpu"
 	"dvsslack/internal/dvs"
 	"dvsslack/internal/experiment"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/opt"
 	"dvsslack/internal/policies"
 	"dvsslack/internal/rtm"
@@ -223,6 +224,40 @@ func BenchmarkEngineDecision(b *testing.B) {
 		res, err := sim.Run(sim.Config{
 			TaskSet: ts, Processor: cpu.Continuous(0.1),
 			Policy: core.NewLpSHE(), Workload: gen,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	decisions := run().Decisions
+	if decisions == 0 {
+		b.Fatal("no scheduling decisions")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*decisions), "ns/decision")
+}
+
+// BenchmarkEngineDecisionFlight is BenchmarkEngineDecision with the
+// decision flight recorder attached, pinning the observability tax on
+// the hot path: the delta between the two ns/decision figures is the
+// full cost of always-on provenance capture. The steady-state write
+// path itself is pinned allocation-free by
+// obs.TestFlightRecorderSteadyStateAllocs.
+func BenchmarkEngineDecisionFlight(b *testing.B) {
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(8, 0.7, 1))
+	gen := workload.Uniform{Lo: 0.5, Hi: 1, Seed: 1}
+	fr := obs.NewFlightRecorder(4096)
+	run := func() sim.Result {
+		p := core.NewLpSHE()
+		res, err := sim.Run(sim.Config{
+			TaskSet: ts, Processor: cpu.Continuous(0.1),
+			Policy: p, Workload: gen,
+			Observer: fr.Observer(p),
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/server"
 )
 
@@ -33,6 +34,7 @@ type Client struct {
 	http        *http.Client
 	retry       *retrier
 	callTimeout time.Duration
+	tracer      *obs.Tracer
 }
 
 // New returns a client for the daemon at addr (host:port or a full
@@ -69,6 +71,18 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 // client for chaining.
 func (c *Client) WithCallTimeout(d time.Duration) *Client {
 	c.callTimeout = d
+	return c
+}
+
+// WithTracer records a client span around every call into tr, making
+// the client a trace originator: a call whose context carries no span
+// context roots a fresh trace that the daemon (and a fleet
+// coordinator in between) continues. Header propagation — Traceparent
+// and X-Request-ID from the call's context — happens with or without
+// a tracer; this only enables local span recording. Returns the
+// client for chaining.
+func (c *Client) WithTracer(tr *obs.Tracer) *Client {
+	c.tracer = tr
 	return c
 }
 
@@ -149,6 +163,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, r
 			req.Header.Set("X-Request-Deadline", left.String())
 		}
 	}
+	injectTraceHeaders(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -162,6 +177,19 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, r
 		return nil
 	}
 	return receive(resp)
+}
+
+// injectTraceHeaders forwards the context's request ID and span
+// context as X-Request-ID / Traceparent headers. Propagation is
+// deliberately independent of whether any tracer records spans, so
+// enabling or disabling recording cannot change request bytes.
+func injectTraceHeaders(ctx context.Context, req *http.Request) {
+	if id, ok := obs.RequestIDFromContext(ctx); ok && obs.ValidRequestID(id) {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if sc, ok := obs.SpanContextFromContext(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 }
 
 // Healthy reports whether the daemon answers /healthz.
@@ -293,10 +321,22 @@ func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
 // MetricsProm fetches the daemon's Prometheus text exposition
 // (/metrics.prom) and returns the raw body. Bounded like Metrics.
 func (c *Client) MetricsProm(ctx context.Context) ([]byte, error) {
+	return c.rawGet(ctx, "/metrics.prom")
+}
+
+// TraceDump fetches the daemon's span ring (GET /debug/trace) as raw
+// JSON — an obs.TraceDump document. Bounded like Metrics. A daemon
+// running without a span buffer answers 404, surfaced as *APIError.
+func (c *Client) TraceDump(ctx context.Context) ([]byte, error) {
+	return c.rawGet(ctx, "/debug/trace")
+}
+
+// rawGet fetches one endpoint's body verbatim under the call timeout.
+func (c *Client) rawGet(ctx context.Context, path string) ([]byte, error) {
 	ctx, cancel := c.boundedCtx(ctx)
 	defer cancel()
 	var out []byte
-	err := c.roundTrip(ctx, http.MethodGet, "/metrics.prom", nil, true, func(resp *http.Response) error {
+	err := c.roundTrip(ctx, http.MethodGet, path, nil, true, func(resp *http.Response) error {
 		b, err := io.ReadAll(resp.Body)
 		if err != nil {
 			return err
@@ -377,6 +417,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, fn func(server.JobEv
 	if err != nil {
 		return err
 	}
+	injectTraceHeaders(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/prng"
 	"dvsslack/internal/resilience"
 )
@@ -198,10 +199,30 @@ func retryAfterHint(err error) time.Duration {
 	return 0
 }
 
-// roundTrip is the retrying transport shared by every client call.
-// receive consumes a 2xx response body; it runs once per attempt, so
-// it must be safe to call again after a truncated read.
+// roundTrip wraps the retrying transport in a client span when a
+// tracer is configured (WithTracer). The span covers every attempt of
+// the call and parents the daemon's handler span via the Traceparent
+// header doOnce injects from the span's context.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, idem bool, receive func(*http.Response) error) error {
+	if c.tracer == nil {
+		return c.roundTripAttempts(ctx, method, path, body, idem, receive)
+	}
+	parent, _ := obs.SpanContextFromContext(ctx)
+	span := c.tracer.StartSpan(parent, "client."+path)
+	span.SetAttr("method", method)
+	ctx = obs.ContextWithSpanContext(ctx, span.Context())
+	err := c.roundTripAttempts(ctx, method, path, body, idem, receive)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return err
+}
+
+// roundTripAttempts is the retrying transport shared by every client
+// call. receive consumes a 2xx response body; it runs once per
+// attempt, so it must be safe to call again after a truncated read.
+func (c *Client) roundTripAttempts(ctx context.Context, method, path string, body []byte, idem bool, receive func(*http.Response) error) error {
 	rt := c.retry
 	attempts := 1
 	if rt != nil && idem {

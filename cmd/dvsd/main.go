@@ -67,6 +67,10 @@ func main() {
 			"enable deterministic fault injection with this seed (testing only; 0 = off)")
 		chaosDelay = flag.Duration("chaos-max-delay", 25*time.Millisecond,
 			"upper bound of chaos-injected delays (with -chaos)")
+		traceBuf = flag.Int("trace-buffer", 0,
+			"record spans into a ring of this many entries, served at /debug/trace (0 = tracing off; header propagation always on)")
+		flight = flag.Int("flight", 4096,
+			"decision flight-recorder ring entries, served at /debug/flightrecorder (-1 disables)")
 		logCfg obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -90,6 +94,10 @@ func main() {
 		logger.Warn("dvsd: CHAOS MODE — injecting deterministic faults", "seed", *chaosSeed,
 			"max_delay", chaosDelay.String())
 	}
+	var tracer *obs.Tracer
+	if *traceBuf > 0 {
+		tracer = obs.NewTracer("dvsd", *traceBuf)
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -100,6 +108,8 @@ func main() {
 		AdmitLimit:      *admit,
 		SSEWriteTimeout: *sseTimeout,
 		Chaos:           chaos,
+		Tracer:          tracer,
+		FlightRecorder:  *flight,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

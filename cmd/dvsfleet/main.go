@@ -59,7 +59,9 @@ func main() {
 
 		workerPool  = flag.Int("worker-pool", 0, "per-embedded-worker simulation pool size (0 = NumCPU)")
 		workerCache = flag.Int("worker-cache", 4096, "per-embedded-worker result cache entries (0 disables)")
-		logCfg      obs.LogConfig
+		traceBuf    = flag.Int("trace-buffer", 0,
+			"record spans into rings of this many entries (coordinator and, with -embedded, each worker), served at /debug/trace (0 = off)")
+		logCfg obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +73,9 @@ func main() {
 	}
 
 	cfg := cluster.Config{HealthInterval: *interval, Logger: logger}
+	if *traceBuf > 0 {
+		cfg.Tracer = obs.NewTracer("dvsfleet", *traceBuf)
+	}
 	var embeddedFleet []*cluster.EmbeddedWorker
 	switch {
 	case *embedded && *join != "":
@@ -81,11 +86,16 @@ func main() {
 		if cs == 0 {
 			cs = -1 // server.Config: 0 means default, -1 disables
 		}
-		embeddedFleet, err = cluster.StartEmbedded(*workers, server.Config{
+		wcfg := server.Config{
 			Workers:   *workerPool,
 			CacheSize: cs,
 			Logger:    logger.With("component", "worker"),
-		})
+		}
+		if *traceBuf > 0 {
+			// Template ring: StartEmbedded clones it per worker.
+			wcfg.Tracer = obs.NewTracer("dvsd", *traceBuf)
+		}
+		embeddedFleet, err = cluster.StartEmbedded(*workers, wcfg)
 		if err != nil {
 			logger.Error("dvsfleet: embedded fleet failed to start", "err", err)
 			os.Exit(1)

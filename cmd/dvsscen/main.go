@@ -33,7 +33,9 @@ import (
 
 	"dvsslack/client"
 	"dvsslack/internal/fuzz"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/scenario"
+	"dvsslack/internal/sim"
 )
 
 func main() {
@@ -70,7 +72,8 @@ func usage(w io.Writer) {
 
 Subcommands:
   validate <files...>                 check documents, listing every error
-  run [-json] [-addr URL] <files...>  execute documents and report verdicts
+  run [-json] [-addr URL] [-explain] <files...>
+                                      execute documents and report verdicts
   convert [-format yaml|json] [-out dir] <entries...>
                                       lift fuzz corpus entries into scenarios
 
@@ -125,9 +128,14 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit each verdict's canonical JSON instead of text")
 	addr := fs.String("addr", "", "execute on this dvsd/dvsfleet base URL instead of locally")
+	explain := fs.Bool("explain", false,
+		"print a per-policy decision-path summary (staircase / certificate / full-scan / adaptive-cap counts) after each local run")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: no documents named")
+	}
+	if *explain && *addr != "" {
+		return fmt.Errorf("run: -explain reads local flight-recorder counters and cannot be combined with -addr")
 	}
 	var remote *client.Client
 	if *addr != "" {
@@ -162,11 +170,34 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 				return fmt.Errorf("%s: %w", path, err)
 			}
 		} else {
-			v, err := scenario.Execute(context.Background(), doc)
+			var (
+				specs []string
+				fobs  map[string]*obs.FlightObserver
+				hook  scenario.ObserverHook
+			)
+			if *explain {
+				fobs = map[string]*obs.FlightObserver{}
+				hook = func(spec string, pol sim.Policy) sim.Observer {
+					fo := obs.NewFlightObserver(pol)
+					specs = append(specs, spec)
+					fobs[spec] = fo
+					return fo
+				}
+			}
+			v, err := scenario.ExecuteObserved(context.Background(), doc, hook)
 			if err != nil {
 				return fmt.Errorf("%s: %w", path, err)
 			}
 			raw = v.JSON()
+			if *explain {
+				// With -json the canonical verdict owns stdout; the
+				// summary moves to stderr so the bytes stay comparable.
+				out := stdout
+				if *jsonOut {
+					out = stderr
+				}
+				printExplain(out, path, specs, fobs)
+			}
 		}
 		var v scenario.Verdict
 		if err := json.Unmarshal(raw, &v); err != nil {
@@ -185,6 +216,28 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		return failure(fmt.Sprintf("%d of %d scenarios failed", failed, fs.NArg()))
 	}
 	return nil
+}
+
+// printExplain renders the per-policy decision-path summary gathered
+// by -explain: how many dispatch decisions each policy resolved on
+// each analysis path, and the slack credits it harvested. Policies
+// that do not implement sim.DecisionExplainer still report their
+// dispatch count.
+func printExplain(w io.Writer, path string, specs []string, fobs map[string]*obs.FlightObserver) {
+	fmt.Fprintf(w, "%s: decision paths\n", path)
+	for _, spec := range specs {
+		fo := fobs[spec]
+		fmt.Fprintf(w, "  explain %-12s decisions=%d", spec, fo.Dispatches)
+		if fo.Explains() {
+			for p := sim.PathFullScan; p <= sim.PathAdaptiveCap; p++ {
+				fmt.Fprintf(w, " %s=%d", p.String(), fo.PathCount(p))
+			}
+			fmt.Fprintf(w, " credits=%.3f", fo.Credits)
+		} else {
+			fmt.Fprintf(w, " (no decision provenance)")
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // printVerdict renders the human-readable report for one verdict.

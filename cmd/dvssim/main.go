@@ -9,6 +9,7 @@
 //	dvssim -policy lpshe -u 0.9 -switch-time 0.1
 //	dvssim -policy lpshe -taskset cnc -json   # machine-readable output
 //	dvssim -policy all -stats   # per-policy scheduling histograms
+//	dvssim -policy lpshe -trace out.json   # Chrome trace with decision provenance
 //
 // Built-in task sets: cnc, avionics, videophone, quickstart; -n/-u
 // generate a random set instead; -file loads JSON (see cmd/taskgen).
@@ -57,6 +58,7 @@ type options struct {
 	Stats   bool
 	Strict  bool
 	JSON    bool
+	Trace   string
 }
 
 func main() {
@@ -77,6 +79,8 @@ func main() {
 	flag.BoolVar(&o.Stats, "stats", false, "print per-policy instrumentation histograms (speeds, slack, idle intervals)")
 	flag.BoolVar(&o.Strict, "strict", true, "fail on the first deadline miss")
 	flag.BoolVar(&o.JSON, "json", false, "emit results as JSON (the dvsd /v1/simulate schema)")
+	flag.StringVar(&o.Trace, "trace", "",
+		"write the last policy's schedule as Chrome Trace Event JSON (chrome://tracing, Perfetto) with per-decision provenance flow events to this file")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -110,12 +114,21 @@ func run(o options, w io.Writer) error {
 		fmt.Fprintf(w, "processor: %s  workload: %s\n\n", proc.Name(), gen.Name())
 	}
 
+	var names []string
+	for _, t := range ts.Tasks {
+		names = append(names, t.Name)
+	}
+
 	var ref sim.Result
 	var jsonOut []server.SimResult
 	for i, p := range pols {
 		var rec *trace.Recorder
 		var stats *obs.Recorder
-		if o.Gantt && !o.JSON {
+		var fr *obs.FlightRecorder
+		// -trace exports the last policy's run — the policy under
+		// study (the leading runs are normalization references).
+		exportTrace := o.Trace != "" && i == len(pols)-1
+		if (o.Gantt && !o.JSON) || exportTrace {
 			rec = trace.NewRecorder()
 		}
 		if o.Stats && !o.JSON {
@@ -127,6 +140,10 @@ func run(o options, w io.Writer) error {
 		}
 		if stats != nil {
 			observers = append(observers, stats)
+		}
+		if exportTrace {
+			fr = obs.NewFlightRecorder(1 << 16)
+			observers = append(observers, fr.Observer(p))
 		}
 		observer := obs.Multi(observers...)
 		res, err := sim.Run(sim.Config{
@@ -144,6 +161,14 @@ func run(o options, w io.Writer) error {
 		if i == 0 {
 			ref = res
 		}
+		if exportTrace {
+			if err := writeFlightTrace(o.Trace, rec, names, fr); err != nil {
+				return err
+			}
+			if !o.JSON {
+				fmt.Fprintf(w, "wrote %s trace to %s\n", res.Policy, o.Trace)
+			}
+		}
 		if o.JSON {
 			jsonOut = append(jsonOut, server.ResultFromSim(res))
 			continue
@@ -152,11 +177,7 @@ func run(o options, w io.Writer) error {
 			" norm=%6.4f misses=%d switches=%d preempt=%d\n",
 			res.Policy, res.Energy, res.BusyEnergy, res.IdleEnergy, res.SwitchEnergy,
 			res.NormalizedTo(ref), res.DeadlineMisses, res.SpeedSwitches, res.Preemptions)
-		if rec != nil {
-			var names []string
-			for _, t := range ts.Tasks {
-				names = append(names, t.Name)
-			}
+		if rec != nil && o.Gantt {
 			rec.Gantt(w, names, res.Time, 96)
 			fmt.Fprintln(w)
 		}
@@ -175,6 +196,20 @@ func run(o options, w io.Writer) error {
 		fmt.Fprintf(w, "\nclairvoyant static bound: %.4f (normalized %.4f)\n", bound, bound/ref.Energy)
 	}
 	return nil
+}
+
+// writeFlightTrace exports one recorded run as Chrome Trace Event
+// JSON with the flight recorder's decisions overlaid as flow events.
+func writeFlightTrace(path string, rec *trace.Recorder, names []string, fr *obs.FlightRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.ChromeTraceFlight(f, names, fr.Records()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func pickHorizon(h float64, ts *rtm.TaskSet) float64 {

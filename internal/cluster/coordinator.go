@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +53,12 @@ type Config struct {
 	// (cmd/dvsfleet -embedded) and tests wire it; production
 	// coordinators leave it nil and the endpoint answers 404.
 	Kill func(addr string) error
+	// Tracer, when non-nil, records coordinator spans (handler +
+	// per-attempt routing) into its ring; GET /debug/trace then also
+	// collects every worker's span dump so one trace renders as a
+	// single tree. Propagation of inbound traceparent headers happens
+	// regardless, so tracing stays inert to request bytes.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -79,11 +87,12 @@ var ErrNoWorkers = errors.New("cluster: no ready workers")
 // (server.ScenarioKey), with health-checked membership, failover,
 // cordon/drain semantics, and fleet-wide job fan-out.
 type Coordinator struct {
-	cfg  Config
-	log  *slog.Logger
-	ring *Ring
-	met  *fleetMetrics
-	jobs *fleetJobs
+	cfg    Config
+	log    *slog.Logger
+	ring   *Ring
+	met    *fleetMetrics
+	jobs   *fleetJobs
+	tracer *obs.Tracer
 
 	mu      sync.RWMutex
 	workers map[string]*worker
@@ -106,6 +115,7 @@ func New(cfg Config) *Coordinator {
 		cfg:     cfg,
 		ring:    NewRing(cfg.Replicas),
 		workers: map[string]*worker{},
+		tracer:  cfg.Tracer,
 	}
 	c.log = cfg.Logger
 	if c.log == nil {
@@ -138,6 +148,7 @@ func New(cfg Config) *Coordinator {
 	mux.HandleFunc("GET /metrics.prom", c.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /debug/trace", c.handleTraceDump)
 	c.mux = mux
 	c.handler = mux
 	return c
@@ -391,6 +402,37 @@ func (c *Coordinator) candidates(key string) []string {
 	return c.ring.Successors(key, 0)
 }
 
+// routeSpan opens one per-attempt routing span under the request's
+// span and threads the attempt's span context into the returned
+// context, so the worker call's Traceparent header parents the worker
+// handler span under exactly the attempt that reached it. When
+// nothing is being recorded the context passes through unchanged —
+// the request's own span context (if any) still propagates.
+func (c *Coordinator) routeSpan(ctx context.Context, addr string, attempt int) (context.Context, *obs.Span) {
+	parent, _ := obs.SpanContextFromContext(ctx)
+	span := c.tracer.StartSpan(parent, "fleet.route") // nil-safe
+	span.SetAttr("worker", addr)
+	span.SetAttr("attempt", strconv.Itoa(attempt))
+	if sc := span.Context(); sc.Valid() {
+		ctx = obs.ContextWithSpanContext(ctx, sc)
+	}
+	return ctx, span
+}
+
+// finishRouteSpan closes an attempt span with its outcome.
+func finishRouteSpan(span *obs.Span, err error) {
+	if span == nil {
+		return
+	}
+	if err == nil {
+		span.SetAttr("outcome", "ok")
+	} else {
+		span.SetAttr("outcome", "error")
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+}
+
 // routeSimulate runs one request against the fleet: the key's owner
 // first, then its ring successors on worker-side failures. Scenario
 // faults (4xx) propagate immediately — re-running a request the
@@ -402,12 +444,14 @@ func (c *Coordinator) routeSimulate(ctx context.Context, req *server.SimRequest,
 		return server.SimResult{}, ErrNoWorkers
 	}
 	var lastErr error
-	for _, addr := range cands {
+	for i, addr := range cands {
 		w, ok := c.worker(addr)
 		if !ok {
 			continue
 		}
-		res, err := w.c.Simulate(ctx, *req)
+		callCtx, span := c.routeSpan(ctx, addr, i)
+		res, err := w.c.Simulate(callCtx, *req)
+		finishRouteSpan(span, err)
 		if err == nil {
 			c.met.routed.With(addr).Inc()
 			return res, nil
@@ -465,12 +509,14 @@ func (c *Coordinator) routeScenario(ctx context.Context, body []byte, key string
 		return nil, ErrNoWorkers
 	}
 	var lastErr error
-	for _, addr := range cands {
+	for i, addr := range cands {
 		w, ok := c.worker(addr)
 		if !ok {
 			continue
 		}
-		verdict, err := w.c.RunScenario(ctx, body)
+		callCtx, span := c.routeSpan(ctx, addr, i)
+		verdict, err := w.c.RunScenario(callCtx, body)
+		finishRouteSpan(span, err)
 		if err == nil {
 			c.met.routed.With(addr).Inc()
 			return verdict, nil
@@ -514,23 +560,52 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
+// instrument mirrors dvsd's handler wrapper. A valid client-supplied
+// X-Request-ID is adopted (and forwarded to workers through the
+// request context), so one ID correlates client report, coordinator
+// log, and worker log; otherwise a fresh ID is minted. An inbound
+// traceparent is continued into a coordinator span, and the request
+// context carries both so routed worker calls propagate them.
 func (c *Coordinator) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := obs.NewRequestID()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		span := c.tracer.StartSpan(parent, "dvsfleet."+label) // nil-safe
+		sc := span.Context()
+		if !sc.Valid() {
+			sc = parent
+		}
+		ctx := obs.ContextWithRequestID(r.Context(), id)
+		if sc.Valid() {
+			ctx = obs.ContextWithSpanContext(ctx, sc)
+		}
+		r = r.WithContext(ctx)
 		start := time.Now()
 		h(sw, r)
 		dur := time.Since(start)
 		c.met.request(label, sw.code < 400)
 		c.met.httpDone(label, dur)
-		c.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		span.SetAttr("endpoint", label)
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.SetAttr("request_id", id)
+		span.End()
+		attrs := []slog.Attr{
 			slog.String("id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("endpoint", label),
 			slog.Int("status", sw.code),
-			slog.Duration("dur", dur))
+			slog.Duration("dur", dur),
+		}
+		if sc.Valid() {
+			attrs = append(attrs, slog.String("trace", sc.TraceID.String()))
+		}
+		c.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	}
 }
 
@@ -826,9 +901,94 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.met.snapshot(c))
 }
 
+// handleMetricsProm federates the fleet's Prometheus text metrics:
+// the coordinator's own families (unlabeled) merged with a live
+// scrape of every worker's /metrics.prom, each worker's samples
+// tagged worker="addr". Families come out name-sorted with per-source
+// sample order preserved, so the merged page still satisfies
+// obs.ValidateExposition. Unreachable workers are skipped — a dead
+// worker must not take the fleet's scrape down with it.
 func (c *Coordinator) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	var own bytes.Buffer
+	c.met.writeProm(&own)
+	sources := []obs.ExpositionSource{{Label: "", Text: own.String()}}
+	for _, wk := range c.workerList() {
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HealthTimeout)
+		raw, err := wk.c.MetricsProm(ctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		sources = append(sources, obs.ExpositionSource{Label: wk.addr, Text: string(raw)})
+	}
+	var buf bytes.Buffer
+	if err := obs.MergeExpositions(&buf, "worker", sources); err != nil {
+		writeError(w, http.StatusInternalServerError, "cluster: merging fleet metrics: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", obs.PromContentType)
-	c.met.writeProm(w)
+	w.Write(buf.Bytes())
+}
+
+// FleetTraceDump is the JSON document served by the coordinator's
+// GET /debug/trace: its own span ring plus every reachable worker's,
+// so one trace ID can be followed across the whole fleet from a
+// single endpoint.
+type FleetTraceDump struct {
+	Coordinator obs.TraceDump            `json:"coordinator"`
+	Workers     map[string]obs.TraceDump `json:"workers"`
+	Errors      map[string]string        `json:"errors,omitempty"`
+	// Spans is every span above merged and re-sorted (start time, then
+	// span ID) — the flat list a trace viewer or test walks.
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// handleTraceDump collects coordinator + worker span dumps. Workers
+// whose dump cannot be fetched (down, or running without
+// -trace-buffer) are reported in Errors rather than failing the
+// collection.
+func (c *Coordinator) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if c.tracer == nil {
+		writeError(w, http.StatusNotFound, "cluster: tracing disabled (start dvsfleet with -trace-buffer)")
+		return
+	}
+	dump := FleetTraceDump{
+		Coordinator: c.tracer.Dump(),
+		Workers:     map[string]obs.TraceDump{},
+		Spans:       []obs.SpanRecord{},
+	}
+	for _, wk := range c.workerList() {
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HealthTimeout)
+		raw, err := wk.c.TraceDump(ctx)
+		cancel()
+		if err != nil {
+			if dump.Errors == nil {
+				dump.Errors = map[string]string{}
+			}
+			dump.Errors[wk.addr] = err.Error()
+			continue
+		}
+		var td obs.TraceDump
+		if err := json.Unmarshal(raw, &td); err != nil {
+			if dump.Errors == nil {
+				dump.Errors = map[string]string{}
+			}
+			dump.Errors[wk.addr] = err.Error()
+			continue
+		}
+		dump.Workers[wk.addr] = td
+	}
+	dump.Spans = append(dump.Spans, dump.Coordinator.Spans...)
+	for _, td := range dump.Workers {
+		dump.Spans = append(dump.Spans, td.Spans...)
+	}
+	sort.Slice(dump.Spans, func(i, j int) bool {
+		if dump.Spans[i].StartUnixNs != dump.Spans[j].StartUnixNs {
+			return dump.Spans[i].StartUnixNs < dump.Spans[j].StartUnixNs
+		}
+		return dump.Spans[i].SpanID < dump.Spans[j].SpanID
+	})
+	writeJSON(w, http.StatusOK, dump)
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {

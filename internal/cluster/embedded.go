@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"dvsslack/internal/obs"
 	"dvsslack/internal/server"
 )
 
@@ -53,7 +54,10 @@ func (w *EmbeddedWorker) Drain(ctx context.Context) error {
 
 // StartEmbedded launches n in-process dvsd workers on loopback
 // listeners, each built from cfg (Workers/CacheSize/etc. apply to
-// every node). The caller owns their lifecycle: Drain or Kill each.
+// every node). A configured Tracer acts as a template: every worker
+// gets its own ring of the same service name and capacity, so the
+// fleet trace dump attributes spans to the node that recorded them.
+// The caller owns their lifecycle: Drain or Kill each.
 func StartEmbedded(n int, cfg server.Config) ([]*EmbeddedWorker, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: embedded fleet needs at least 1 worker, got %d", n)
@@ -67,9 +71,13 @@ func StartEmbedded(n int, cfg server.Config) ([]*EmbeddedWorker, error) {
 			}
 			return nil, fmt.Errorf("cluster: embedded worker %d: %w", i, err)
 		}
+		wcfg := cfg
+		if cfg.Tracer != nil {
+			wcfg.Tracer = obs.NewTracer(cfg.Tracer.Service(), cfg.Tracer.Capacity())
+		}
 		w := &EmbeddedWorker{
 			addr: ln.Addr().String(),
-			srv:  server.New(cfg),
+			srv:  server.New(wcfg),
 		}
 		w.hs = &http.Server{Handler: w.srv.Handler()}
 		go w.hs.Serve(ln)

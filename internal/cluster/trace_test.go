@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dvsslack/client"
+	"dvsslack/internal/obs"
+	"dvsslack/internal/server"
+)
+
+// newTracedFleet builds a 3-worker fleet with tracing on at every
+// layer — client, coordinator, and (via the embedded template-clone)
+// each worker — the full wiring a traced dvsfleet deployment runs.
+func newTracedFleet(t *testing.T) (*testFleet, *obs.Tracer) {
+	t.Helper()
+	workers, err := StartEmbedded(3, server.Config{
+		Workers: 2,
+		Tracer:  obs.NewTracer("dvsd", 256), // template: cloned per worker
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workers: Addrs(workers),
+		Kill:    KillFunc(workers),
+		Tracer:  obs.NewTracer("dvsfleet", 256),
+	}
+	coord := New(cfg)
+	coord.Start()
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		coord.Shutdown(ctx)
+		for _, w := range workers {
+			w.Drain(ctx)
+		}
+	})
+	ct := obs.NewTracer("client", 64)
+	f := &testFleet{workers: workers, coord: coord, hs: hs, c: client.New(hs.URL).WithTracer(ct)}
+	return f, ct
+}
+
+// fleetTraceDump fetches and decodes the coordinator's GET /debug/trace.
+func fleetTraceDump(t *testing.T, url string) FleetTraceDump {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace status %d", resp.StatusCode)
+	}
+	var d FleetTraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decode fleet trace dump: %v", err)
+	}
+	return d
+}
+
+// TestFleetTraceTree is the end-to-end acceptance pin for distributed
+// tracing: one grid request through client → coordinator → worker →
+// engine renders as a single trace tree. Every hop's span must join
+// the client's trace and parent onto the previous hop, and the
+// injected request ID must surface on the worker's handler span.
+func TestFleetTraceTree(t *testing.T) {
+	f, clientTracer := newTracedFleet(t)
+
+	const reqID = "fleet-e2e.req-1"
+	ctx := obs.ContextWithRequestID(context.Background(), reqID)
+	if _, err := f.c.Simulate(ctx, testRequest("lpshe", 21)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One span set to walk: the client's ring plus the fleet dump
+	// (coordinator + every worker, already merged into .Spans).
+	dump := fleetTraceDump(t, f.hs.URL)
+	if len(dump.Errors) > 0 {
+		t.Fatalf("worker dump errors: %v", dump.Errors)
+	}
+	if len(dump.Workers) != 3 {
+		t.Fatalf("fleet dump covers %d workers, want 3", len(dump.Workers))
+	}
+	spans := append(clientTracer.Dump().Spans, dump.Spans...)
+
+	byName := map[string]obs.SpanRecord{}
+	byID := map[string]obs.SpanRecord{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+		if _, dup := byName[s.Name]; !dup {
+			byName[s.Name] = s
+		}
+	}
+
+	root, ok := byName["client./v1/simulate"]
+	if !ok {
+		t.Fatalf("no client root span; have %d spans", len(spans))
+	}
+	if root.ParentID != "" {
+		t.Errorf("client span has parent %s, want none (it originates the trace)", root.ParentID)
+	}
+	trace := root.TraceID
+
+	coordSpan, ok := byName["dvsfleet.simulate"]
+	if !ok {
+		t.Fatal("no dvsfleet.simulate span")
+	}
+	if coordSpan.ParentID != root.SpanID {
+		t.Errorf("coordinator span parent = %s, want the client span %s", coordSpan.ParentID, root.SpanID)
+	}
+	if coordSpan.Attrs["request_id"] != reqID {
+		t.Errorf("coordinator adopted request_id %q, want %q", coordSpan.Attrs["request_id"], reqID)
+	}
+
+	route, ok := byName["fleet.route"]
+	if !ok {
+		t.Fatal("no fleet.route span")
+	}
+	if route.ParentID != coordSpan.SpanID {
+		t.Errorf("route span parent = %s, want the coordinator span %s", route.ParentID, coordSpan.SpanID)
+	}
+	if route.Attrs["outcome"] != "ok" {
+		t.Errorf("route span outcome = %q, want ok", route.Attrs["outcome"])
+	}
+
+	worker, ok := byName["dvsd.simulate"]
+	if !ok {
+		t.Fatal("no worker dvsd.simulate span")
+	}
+	if worker.ParentID != route.SpanID {
+		t.Errorf("worker span parent = %s, want the route span %s", worker.ParentID, route.SpanID)
+	}
+	if worker.Attrs["request_id"] != reqID {
+		t.Errorf("request ID did not survive the fleet hop: worker saw %q, want %q",
+			worker.Attrs["request_id"], reqID)
+	}
+
+	run, ok := byName["sim.run"]
+	if !ok {
+		t.Fatal("no sim.run span")
+	}
+	if run.ParentID != worker.SpanID {
+		t.Errorf("sim.run parent = %s, want the worker handler span %s", run.ParentID, worker.SpanID)
+	}
+	var engines int
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, "engine.") {
+			engines++
+			if s.ParentID != run.SpanID {
+				t.Errorf("%s parent = %s, want the sim.run span %s", s.Name, s.ParentID, run.SpanID)
+			}
+		}
+	}
+	if engines == 0 {
+		t.Error("no engine phase spans in the fleet dump")
+	}
+
+	// Single-trace, no-orphans invariants over the whole set.
+	for _, s := range spans {
+		if s.TraceID != trace {
+			t.Errorf("span %s (%s) on trace %s, want %s — request fractured into multiple traces",
+				s.Name, s.Service, s.TraceID, trace)
+		}
+		if s.ParentID == "" {
+			continue
+		}
+		if _, ok := byID[s.ParentID]; !ok {
+			t.Errorf("span %s has unresolvable parent %s", s.Name, s.ParentID)
+		}
+	}
+}
+
+// TestFleetTraceDumpDisabled: a coordinator without a tracer refuses
+// the fleet dump rather than serving an empty document.
+func TestFleetTraceDumpDisabled(t *testing.T) {
+	f := newTestFleet(t, 1, Config{})
+	resp, err := http.Get(f.hs.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace without tracing = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetMetricsFederation checks the coordinator's /metrics.prom is
+// a valid merged exposition: its own families unlabeled, every
+// worker's families tagged worker="addr".
+func TestFleetMetricsFederation(t *testing.T) {
+	f := newTestFleet(t, 3, Config{})
+	if _, err := f.c.Simulate(context.Background(), testRequest("lpshe", 33)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(f.hs.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics.prom status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	var body strings.Builder
+	if _, err := io.Copy(&body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	merged := body.String()
+
+	if err := obs.ValidateExposition(strings.NewReader(merged)); err != nil {
+		t.Fatalf("federated exposition invalid: %v", err)
+	}
+	if !strings.Contains(merged, "# TYPE dvsfleet_http_requests_total counter") {
+		t.Error("coordinator families missing from federation")
+	}
+	if !strings.Contains(merged, `dvsfleet_http_requests_total{endpoint="simulate"}`) {
+		t.Error("coordinator samples lost their labels in the merge")
+	}
+	for _, w := range f.workers {
+		needle := `worker="` + w.Addr() + `"`
+		if !strings.Contains(merged, needle) {
+			t.Errorf("no samples labeled %s in the federated page", needle)
+		}
+	}
+	if !strings.Contains(merged, "# TYPE dvsd_") {
+		t.Error("no worker families in the federated page")
+	}
+}

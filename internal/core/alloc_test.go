@@ -25,12 +25,12 @@ type allocSystem struct {
 	jobs []*sim.JobState
 }
 
-func (s *allocSystem) TaskSet() *rtm.TaskSet        { return s.ts }
-func (s *allocSystem) Processor() *cpu.Processor    { return s.proc }
-func (s *allocSystem) Now() float64                 { return s.now }
-func (s *allocSystem) ActiveJobs() []*sim.JobState  { return s.jobs }
-func (s *allocSystem) NextReleaseOf(i int) float64  { return s.ts.Tasks[i].Period }
-func (s *allocSystem) NextDecisionBound() float64   { return s.NextRelease() }
+func (s *allocSystem) TaskSet() *rtm.TaskSet       { return s.ts }
+func (s *allocSystem) Processor() *cpu.Processor   { return s.proc }
+func (s *allocSystem) Now() float64                { return s.now }
+func (s *allocSystem) ActiveJobs() []*sim.JobState { return s.jobs }
+func (s *allocSystem) NextReleaseOf(i int) float64 { return s.ts.Tasks[i].Period }
+func (s *allocSystem) NextDecisionBound() float64  { return s.NextRelease() }
 func (s *allocSystem) NextRelease() float64 {
 	nr := math.Inf(1)
 	for _, t := range s.ts.Tasks {

@@ -214,6 +214,12 @@ type Analyzer struct {
 	rebuilds float64 // scans that ran to a full (uncertified) stop
 	adCapped float64 // scans truncated by the adaptive horizon
 	counters map[string]float64
+
+	// Per-call provenance for the flight recorder: how the most
+	// recent Analyze terminated. Valid until the next Analyze call.
+	lastScan  int
+	lastCert  bool
+	lastTrunc bool
 }
 
 // phantom is synthetic demand used by the no-reclaim ablation: the
@@ -358,7 +364,7 @@ func (a *Analyzer) SetStairCapture(on bool) {
 	est := 3*len(a.ts.Tasks) + 8
 	buf := make([]float64, 0, 2*est)
 	a.stairD = buf[:0:est]
-	a.stairC = buf[est:est:2*est]
+	a.stairC = buf[est : est : 2*est]
 }
 
 // StairBound returns a sound lower bound at time t1 on the current
@@ -696,7 +702,18 @@ func (a *Analyzer) Counters() map[string]float64 {
 func (a *Analyzer) ResetCounters() {
 	a.calls, a.scanned, a.capped = 0, 0, 0
 	a.incHits, a.rebuilds, a.adCapped = 0, 0, 0
+	a.lastScan, a.lastCert, a.lastTrunc = 0, false, false
 	a.phantoms = a.phantoms[:0]
+}
+
+// LastScan reports how the most recent Analyze call terminated: the
+// number of deadlines scanned, whether the demand-grid certificate
+// stopped the scan early, and whether the scan was truncated by the
+// adaptive horizon or the scan budget (conservative degradation).
+// Valid until the next Analyze call; used for per-decision
+// provenance.
+func (a *Analyzer) LastScan() (scanned int, certified, truncated bool) {
+	return a.lastScan, a.lastCert, a.lastTrunc
 }
 
 // Slack returns L(t) ≥ 0 given the currently active jobs and the next
@@ -733,6 +750,7 @@ func (a *Analyzer) Intensity(t float64, active []*sim.JobState, nextReleaseOf fu
 // termination argument.
 func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func(int) float64) (slack, intensity float64) {
 	a.calls++
+	a.lastTrunc = false
 	a.dropExpiredPhantoms(t)
 
 	// Active (and phantom) demand entries sorted by deadline. The
@@ -925,6 +943,7 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 			// Adaptive horizon: degrade conservatively, exactly like
 			// an exhausted scan budget (sound, never optimistic).
 			a.adCapped++
+			a.lastTrunc = true
 			lb := (d-t)*(1-a.util) - activeRem - a.totalC
 			if lb < minL {
 				minL = lb
@@ -936,6 +955,7 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 			// Budget exhausted: degrade both readings to their sound
 			// conservative values for everything beyond d.
 			a.capped++
+			a.lastTrunc = true
 			lb := (d-t)*(1-a.util) - activeRem - a.totalC
 			if lb < minL {
 				minL = lb
@@ -945,6 +965,7 @@ func (a *Analyzer) Analyze(t float64, active []*sim.JobState, nextReleaseOf func
 		}
 	}
 	a.scanned += float64(scanCnt)
+	a.lastScan, a.lastCert = scanCnt, certified
 	if certified {
 		a.incHits++
 	} else {

@@ -149,6 +149,12 @@ type LpSHE struct {
 	// decision.
 	sMin    float64
 	reserve float64
+	// Per-decision provenance (sim.DecisionExplainer): which path the
+	// most recent SelectSpeed took, how many deadlines it scanned, and
+	// the cumulative staircase credits harvested since Reset.
+	lastPath    sim.DecisionPath
+	lastScanLen int
+	credited    float64
 }
 
 // NewLpSHE returns the paper's algorithm in its standard (Full)
@@ -176,6 +182,7 @@ func (p *LpSHE) Reset(sys sim.System) {
 	p.nextReleaseOf = sys.NextReleaseOf
 	p.decided = 0
 	p.runJob, p.runExec, p.haveL, p.fastHits = nil, 0, false, 0
+	p.lastPath, p.lastScanLen, p.credited = sim.PathUnknown, 0, 0
 	n := ts.N()
 	if len(p.lastUsage) != n {
 		// One backing array for the per-task float scratch: three
@@ -233,6 +240,7 @@ func (p *LpSHE) OnComplete(j *sim.JobState) {
 			// lifts the staircase too (StairCredit verifies the
 			// lift applies to every surviving candidate).
 			p.analyzer.StairCredit(now, j.AbsDeadline, rem)
+			p.credited += rem
 		}
 	}
 	if p.Variant != NoReclaim {
@@ -255,6 +263,7 @@ func (p *LpSHE) harvest(now float64) {
 		if x := p.runJob.Executed - p.runExec; x > 0 {
 			p.analyzer.StairCredit(now, p.runJob.AbsDeadline, x)
 			p.runExec = p.runJob.Executed
+			p.credited += x
 		}
 	}
 }
@@ -272,6 +281,7 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 			p.harvest(p.sys.Now())
 			p.runJob = nil
 		}
+		p.lastPath, p.lastScanLen = sim.PathUnknown, 0
 		return p.sMin
 	}
 	now := p.sys.Now()
@@ -318,12 +328,23 @@ func (p *LpSHE) SelectSpeed(j *sim.JobState) float64 {
 			if s >= floor {
 				p.fastHits++
 				p.runJob, p.runExec = j, j.Executed
+				p.lastPath, p.lastScanLen = sim.PathStaircase, 0
 				return p.finish(s, w, j, now, reserve)
 			}
 		}
 	}
 
 	slack := p.analyzer.Slack(now, active, p.nextReleaseOf)
+	scanned, certified, truncated := p.analyzer.LastScan()
+	p.lastScanLen = scanned
+	switch {
+	case truncated:
+		p.lastPath = sim.PathAdaptiveCap
+	case certified:
+		p.lastPath = sim.PathCertificate
+	default:
+		p.lastPath = sim.PathFullScan
+	}
 	if p.Variant == Full {
 		p.runJob, p.runExec = j, j.Executed
 		p.haveL = true
@@ -454,6 +475,12 @@ func (p *LpSHE) finish(s, w float64, j *sim.JobState, now, reserve float64) floa
 		s *= 1 + p.SafetyMargin
 	}
 	return s
+}
+
+// LastDecision implements sim.DecisionExplainer: the provenance of
+// the most recent SelectSpeed call, for the decision flight recorder.
+func (p *LpSHE) LastDecision() sim.DecisionInfo {
+	return sim.DecisionInfo{Path: p.lastPath, ScanLen: p.lastScanLen, Credits: p.credited}
 }
 
 // Counters implements sim.Instrumented.

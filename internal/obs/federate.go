@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition federation: the dvsfleet coordinator scrapes every
+// worker's /metrics.prom, tags each worker's samples with a
+// worker="<addr>" label, folds in its own registry, and serves one
+// merged document. The merge preserves this package's exposition
+// invariants — every family has HELP immediately followed by TYPE,
+// families appear in sorted name order, per-series sample order (and
+// therefore cumulative histogram bucket order) is preserved — so the
+// output passes ValidateExposition exactly like a single registry's.
+
+// ExpositionSource is one document to merge. With Label non-empty,
+// every sample line gets `<labelName>="<Label>"` injected as its
+// first label; with Label empty the samples pass through untouched
+// (the coordinator's own registry).
+type ExpositionSource struct {
+	Label string
+	Text  string
+}
+
+// expFamily accumulates one metric family across sources.
+type expFamily struct {
+	help    string // full "# HELP ..." line
+	typ     string // full "# TYPE ..." line
+	typName string // counter | gauge | histogram
+	samples []string
+}
+
+// MergeExpositions merges Prometheus text documents into w, injecting
+// labelName (e.g. "worker") with each source's Label value. Sources
+// are processed in the given order; callers sort them (coordinator
+// first, workers by address) for deterministic output. A family
+// declared by several sources keeps the first HELP/TYPE seen; a TYPE
+// conflict is an error.
+func MergeExpositions(w io.Writer, labelName string, sources []ExpositionSource) error {
+	if !validName(labelName) {
+		return fmt.Errorf("obs: invalid federation label name %q", labelName)
+	}
+	fams := map[string]*expFamily{}
+	var order []string
+
+	for _, src := range sources {
+		var cur *expFamily
+		sc := bufio.NewScanner(strings.NewReader(src.Text))
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.SplitN(line, " ", 4)
+				if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+					return fmt.Errorf("obs: malformed comment %q", line)
+				}
+				name := fields[2]
+				switch fields[1] {
+				case "HELP":
+					f := fams[name]
+					if f == nil {
+						f = &expFamily{help: line}
+						fams[name] = f
+						order = append(order, name)
+					}
+					cur = f
+				case "TYPE":
+					if len(fields) < 4 {
+						return fmt.Errorf("obs: TYPE without a type: %q", line)
+					}
+					f := fams[name]
+					if f == nil || f != cur {
+						return fmt.Errorf("obs: TYPE %s not preceded by its HELP", name)
+					}
+					if f.typ == "" {
+						f.typ, f.typName = line, fields[3]
+					} else if f.typName != fields[3] {
+						return fmt.Errorf("obs: family %s declared %s by one source, %s by another",
+							name, f.typName, fields[3])
+					}
+					cur = f
+				}
+				continue
+			}
+			if cur == nil {
+				return fmt.Errorf("obs: sample before any family declaration: %q", line)
+			}
+			out, err := injectLabel(line, labelName, src.Label)
+			if err != nil {
+				return err
+			}
+			cur.samples = append(cur.samples, out)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := fams[name]
+		if f.typ == "" {
+			return fmt.Errorf("obs: family %s has HELP but no TYPE", name)
+		}
+		fmt.Fprintln(bw, f.help)
+		fmt.Fprintln(bw, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintln(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// injectLabel rewrites one sample line, inserting label=value as the
+// first pair of the label block (creating the block when absent).
+// With value empty the line passes through unchanged.
+func injectLabel(line, label, value string) (string, error) {
+	if value == "" {
+		return line, nil
+	}
+	pair := label + `="` + escapeLabelValue(value) + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", fmt.Errorf("obs: unterminated label block in %q", line)
+		}
+		if j == i+1 { // empty block
+			return line[:i+1] + pair + line[j:], nil
+		}
+		return line[:i+1] + pair + "," + line[i+1:], nil
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", fmt.Errorf("obs: malformed sample %q", line)
+	}
+	return line[:i] + "{" + pair + "}" + line[i:], nil
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}

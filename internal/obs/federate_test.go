@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const coordExpo = `# HELP fleet_requests_total Requests routed.
+# TYPE fleet_requests_total counter
+fleet_requests_total{endpoint="simulate"} 4
+`
+
+const worker1Expo = `# HELP dvsd_http_seconds Request latency.
+# TYPE dvsd_http_seconds histogram
+dvsd_http_seconds_bucket{le="0.1"} 2
+dvsd_http_seconds_bucket{le="+Inf"} 3
+dvsd_http_seconds_sum 0.25
+dvsd_http_seconds_count 3
+# HELP dvsd_sims_total Simulations run.
+# TYPE dvsd_sims_total counter
+dvsd_sims_total 3
+`
+
+const worker2Expo = `# HELP dvsd_sims_total Simulations run.
+# TYPE dvsd_sims_total counter
+dvsd_sims_total 1
+`
+
+func TestMergeExpositions(t *testing.T) {
+	var out strings.Builder
+	err := MergeExpositions(&out, "worker", []ExpositionSource{
+		{Label: "", Text: coordExpo},
+		{Label: "127.0.0.1:1", Text: worker1Expo},
+		{Label: "127.0.0.1:2", Text: worker2Expo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := out.String()
+
+	if err := ValidateExposition(strings.NewReader(merged)); err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, merged)
+	}
+	for _, want := range []string{
+		// coordinator samples pass through unlabeled
+		`fleet_requests_total{endpoint="simulate"} 4`,
+		// worker label injected as the first pair, block created when absent
+		`dvsd_sims_total{worker="127.0.0.1:1"} 3`,
+		`dvsd_sims_total{worker="127.0.0.1:2"} 1`,
+		`dvsd_http_seconds_bucket{worker="127.0.0.1:1",le="0.1"} 2`,
+		`dvsd_http_seconds_sum{worker="127.0.0.1:1"} 0.25`,
+	} {
+		if !strings.Contains(merged, want+"\n") {
+			t.Errorf("merged exposition missing %q:\n%s", want, merged)
+		}
+	}
+	// One family declared by two sources keeps a single HELP/TYPE and
+	// both samples; families come out name-sorted.
+	if n := strings.Count(merged, "# TYPE dvsd_sims_total"); n != 1 {
+		t.Errorf("dvsd_sims_total declared %d times, want 1", n)
+	}
+	if strings.Index(merged, "# HELP dvsd_http_seconds") > strings.Index(merged, "# HELP fleet_requests_total") {
+		t.Error("families not in sorted order")
+	}
+}
+
+func TestMergeExpositionsTypeConflict(t *testing.T) {
+	var out strings.Builder
+	err := MergeExpositions(&out, "worker", []ExpositionSource{
+		{Label: "a", Text: "# HELP m x\n# TYPE m counter\nm 1\n"},
+		{Label: "b", Text: "# HELP m x\n# TYPE m gauge\nm 2\n"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "declared") {
+		t.Fatalf("TYPE conflict not reported, err = %v", err)
+	}
+}
+
+func TestMergeExpositionsLabelEscaping(t *testing.T) {
+	var out strings.Builder
+	err := MergeExpositions(&out, "worker", []ExpositionSource{
+		{Label: `ho"st\1`, Text: "# HELP m x\n# TYPE m counter\nm 1\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `m{worker="ho\"st\\1"} 1`; !strings.Contains(out.String(), want) {
+		t.Fatalf("escaped label missing; got:\n%s", out.String())
+	}
+	if err := ValidateExposition(strings.NewReader(out.String())); err != nil {
+		t.Fatalf("escaped exposition invalid: %v", err)
+	}
+}
+
+func TestMergeExpositionsBadLabelName(t *testing.T) {
+	if err := MergeExpositions(&strings.Builder{}, "bad name", nil); err == nil {
+		t.Fatal("invalid label name accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sync"
+
+	"dvsslack/internal/sim"
+)
+
+// Decision flight recorder: a bounded ring of per-decision provenance
+// records. Every engine dispatch appends one record — which job, at
+// what time, at what speed, and (for policies implementing
+// sim.DecisionExplainer) which analysis path produced the number:
+// staircase hit, certificate early stop, full scan, or adaptive cap.
+// The ring answers "why did the system pick this speed?" on a live
+// daemon (GET /debug/flightrecorder) and exports into the Chrome
+// trace as flow events so Perfetto shows decisions aligned with
+// spans.
+//
+// The recorder is strictly inert: it only reads engine state already
+// handed to observers, a nil *FlightRecorder is a no-op at every call
+// site, and the write path is allocation-free in steady state (the
+// ring is pre-sized at construction; pinned by
+// TestFlightRecorderSteadyStateAllocs).
+
+// DecisionRecord is one recorded dispatch decision.
+type DecisionRecord struct {
+	// Seq is the global sequence number (monotone across runs).
+	Seq uint64 `json:"seq"`
+	// T is the simulation time of the decision.
+	T float64 `json:"t"`
+	// Task and Job identify the dispatched job (task index, job
+	// index within the task).
+	Task int `json:"task"`
+	Job  int `json:"job"`
+	// Speed is the clamped speed the engine dispatched at.
+	Speed float64 `json:"speed"`
+	// Path is the decision path (sim.DecisionPath); rendered as its
+	// snake-case name in JSON snapshots.
+	Path sim.DecisionPath `json:"-"`
+	// ScanLen is the number of deadlines the analysis scanned for
+	// this decision (0 when skipped).
+	ScanLen int `json:"scan_len"`
+	// Credits is the policy's cumulative harvested slack credit at
+	// decision time.
+	Credits float64 `json:"credits"`
+}
+
+// decisionWire is DecisionRecord with Path rendered as a string; the
+// snapshot path converts (allocation there is fine — it is the read
+// side).
+type decisionWire struct {
+	DecisionRecord
+	Path string `json:"path"`
+}
+
+// nPaths sizes the per-path counter arrays (PathUnknown..PathAdaptiveCap).
+const nPaths = int(sim.PathAdaptiveCap) + 1
+
+// FlightRecorder is the shared ring. Safe for concurrent use: many
+// simulation runs may record into one recorder while HTTP handlers
+// snapshot it. A nil recorder is a valid no-op everywhere.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []DecisionRecord
+	cap   int
+	total uint64
+	paths [nPaths]uint64
+}
+
+// NewFlightRecorder builds a recorder holding the most recent
+// capacity decisions (≤0 → 4096).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FlightRecorder{buf: make([]DecisionRecord, 0, capacity), cap: capacity}
+}
+
+// record appends one decision (allocation-free once the ring is
+// full-grown: slots are reused in place).
+func (f *FlightRecorder) record(rec DecisionRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	rec.Seq = f.total
+	if len(f.buf) < f.cap {
+		f.buf = append(f.buf, rec)
+	} else {
+		f.buf[f.total%uint64(f.cap)] = rec
+	}
+	f.total++
+	f.paths[int(rec.Path)%nPaths]++
+	f.mu.Unlock()
+}
+
+// FlightSnapshot is the JSON document served by GET
+// /debug/flightrecorder.
+type FlightSnapshot struct {
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total"`
+	// Dropped = Total − len(Records): decisions the ring evicted.
+	Dropped uint64 `json:"dropped"`
+	// Paths counts decisions per path name over the recorder's whole
+	// lifetime (not just the retained window).
+	Paths   map[string]uint64 `json:"paths"`
+	Records []decisionWire    `json:"records"`
+}
+
+// Snapshot copies the ring in sequence order, oldest first.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	s := FlightSnapshot{Paths: map[string]uint64{}, Records: []decisionWire{}}
+	if f == nil {
+		return s
+	}
+	f.mu.Lock()
+	recs := make([]DecisionRecord, len(f.buf))
+	copy(recs, f.buf)
+	s.Capacity = f.cap
+	s.Total = f.total
+	paths := f.paths
+	f.mu.Unlock()
+
+	s.Dropped = s.Total - uint64(len(recs))
+	for p, n := range paths {
+		if n > 0 {
+			s.Paths[sim.DecisionPath(p).String()] = n
+		}
+	}
+	// The ring wraps at total%cap; rotate back to sequence order.
+	if len(recs) == f.cap && s.Total > uint64(f.cap) {
+		cut := int(s.Total % uint64(f.cap))
+		recs = append(recs[cut:], recs[:cut]...)
+	}
+	s.Records = make([]decisionWire, len(recs))
+	for i, r := range recs {
+		s.Records[i] = decisionWire{DecisionRecord: r, Path: r.Path.String()}
+	}
+	return s
+}
+
+// Records returns the retained decisions in sequence order (the
+// Chrome-trace export input).
+func (f *FlightRecorder) Records() []DecisionRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	recs := make([]DecisionRecord, len(f.buf))
+	copy(recs, f.buf)
+	total := f.total
+	f.mu.Unlock()
+	if len(recs) == f.cap && total > uint64(f.cap) {
+		cut := int(total % uint64(f.cap))
+		recs = append(recs[cut:], recs[:cut]...)
+	}
+	return recs
+}
+
+// FlightObserver adapts one simulation run onto a FlightRecorder: a
+// sim.Observer that records every dispatch, binding the run's policy
+// once so the per-dispatch path is a field read, not a type assert.
+// It additionally keeps per-run path counts (the engine phase spans
+// and dvsscen --explain read them). Not safe for concurrent runs —
+// one per sim.Run, like every observer.
+type FlightObserver struct {
+	rec *FlightRecorder
+	exp sim.DecisionExplainer
+
+	// PathCounts counts this run's decisions per path.
+	PathCounts [nPaths]uint64
+	// Dispatches counts this run's dispatch decisions.
+	Dispatches uint64
+	// Credits is the policy's cumulative harvested credit at the last
+	// dispatch.
+	Credits float64
+}
+
+// Observer builds a per-run FlightObserver feeding f. The policy may
+// be nil or not implement sim.DecisionExplainer — decisions are then
+// recorded with PathUnknown. Returns a typed nil-free observer even
+// when f is nil so per-run counters still work (the ring writes
+// no-op).
+func (f *FlightRecorder) Observer(p sim.Policy) *FlightObserver {
+	o := &FlightObserver{rec: f}
+	if exp, ok := p.(sim.DecisionExplainer); ok {
+		o.exp = exp
+	}
+	return o
+}
+
+// NewFlightObserver builds a standalone per-run observer with no
+// backing ring — counters only (dvsscen --explain local runs).
+func NewFlightObserver(p sim.Policy) *FlightObserver {
+	return (*FlightRecorder)(nil).Observer(p)
+}
+
+// ObserveDispatch implements sim.Observer.
+func (o *FlightObserver) ObserveDispatch(t float64, j *sim.JobState, speed float64) {
+	var info sim.DecisionInfo
+	if o.exp != nil {
+		info = o.exp.LastDecision()
+	}
+	o.Dispatches++
+	o.PathCounts[int(info.Path)%nPaths]++
+	o.Credits = info.Credits
+	o.rec.record(DecisionRecord{
+		T:       t,
+		Task:    j.TaskIndex,
+		Job:     j.Index,
+		Speed:   speed,
+		Path:    info.Path,
+		ScanLen: info.ScanLen,
+		Credits: info.Credits,
+	})
+}
+
+// ObserveRelease implements sim.Observer.
+func (o *FlightObserver) ObserveRelease(t float64, j *sim.JobState) {}
+
+// ObserveComplete implements sim.Observer.
+func (o *FlightObserver) ObserveComplete(t float64, j *sim.JobState, missed bool) {}
+
+// ObserveIdle implements sim.Observer.
+func (o *FlightObserver) ObserveIdle(t0, t1 float64) {}
+
+// ObserveSwitch implements sim.Observer.
+func (o *FlightObserver) ObserveSwitch(t, from, to float64) {}
+
+// PathCount returns this run's count for one path.
+func (o *FlightObserver) PathCount(p sim.DecisionPath) uint64 {
+	return o.PathCounts[int(p)%nPaths]
+}
+
+// Explains reports whether the bound policy exposes decision
+// provenance (implements sim.DecisionExplainer).
+func (o *FlightObserver) Explains() bool { return o.exp != nil }

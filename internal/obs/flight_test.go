@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"testing"
+
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+)
+
+// stubExplainer is a minimal policy implementing sim.DecisionExplainer
+// with a scripted path sequence.
+type stubExplainer struct {
+	sim.NopHooks
+	seq []sim.DecisionInfo
+	i   int
+}
+
+func (s *stubExplainer) Name() string                        { return "stub" }
+func (s *stubExplainer) Reset(sim.System)                    {}
+func (s *stubExplainer) SelectSpeed(j *sim.JobState) float64 { return 1 }
+func (s *stubExplainer) LastDecision() (info sim.DecisionInfo) {
+	info = s.seq[s.i%len(s.seq)]
+	s.i++
+	return info
+}
+
+func dispatch(o *FlightObserver, t float64) {
+	o.ObserveDispatch(t, &sim.JobState{Job: rtm.Job{TaskIndex: 0, Index: 0}}, 0.5)
+}
+
+func TestFlightRecorderRingRotation(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	exp := &stubExplainer{seq: []sim.DecisionInfo{
+		{Path: sim.PathStaircase},
+		{Path: sim.PathCertificate, ScanLen: 3},
+		{Path: sim.PathFullScan, ScanLen: 9, Credits: 1.5},
+	}}
+	o := fr.Observer(exp)
+	for i := 0; i < 10; i++ {
+		dispatch(o, float64(i))
+	}
+
+	s := fr.Snapshot()
+	if s.Capacity != 4 || s.Total != 10 || s.Dropped != 6 {
+		t.Fatalf("snapshot accounting = cap %d total %d dropped %d, want 4/10/6", s.Capacity, s.Total, s.Dropped)
+	}
+	if len(s.Records) != 4 {
+		t.Fatalf("retained %d records, want 4", len(s.Records))
+	}
+	for i, r := range s.Records {
+		if want := uint64(6 + i); r.Seq != want {
+			t.Errorf("record %d seq = %d, want %d (ring not rotated to sequence order)", i, r.Seq, want)
+		}
+	}
+	var pathTotal uint64
+	for _, n := range s.Paths {
+		pathTotal += n
+	}
+	if pathTotal != 10 {
+		t.Errorf("lifetime path counts sum to %d, want 10 (%v)", pathTotal, s.Paths)
+	}
+	if s.Paths[sim.PathStaircase.String()] != 4 {
+		t.Errorf("staircase count = %d, want 4", s.Paths[sim.PathStaircase.String()])
+	}
+
+	recs := fr.Records()
+	if len(recs) != 4 || recs[0].Seq != 6 || recs[3].Seq != 9 {
+		t.Fatalf("Records() = seqs %d..%d (%d), want 6..9", recs[0].Seq, recs[len(recs)-1].Seq, len(recs))
+	}
+}
+
+func TestFlightObserverCounters(t *testing.T) {
+	exp := &stubExplainer{seq: []sim.DecisionInfo{
+		{Path: sim.PathStaircase},
+		{Path: sim.PathAdaptiveCap, ScanLen: 2, Credits: 0.25},
+	}}
+	o := NewFlightObserver(exp) // no backing ring
+	if !o.Explains() {
+		t.Fatal("Explains() = false for a DecisionExplainer policy")
+	}
+	for i := 0; i < 6; i++ {
+		dispatch(o, float64(i))
+	}
+	if o.Dispatches != 6 {
+		t.Fatalf("dispatches = %d, want 6", o.Dispatches)
+	}
+	if o.PathCount(sim.PathStaircase) != 3 || o.PathCount(sim.PathAdaptiveCap) != 3 {
+		t.Fatalf("path counts = staircase %d adaptive %d, want 3/3",
+			o.PathCount(sim.PathStaircase), o.PathCount(sim.PathAdaptiveCap))
+	}
+	if o.Credits != 0.25 {
+		t.Fatalf("credits = %v, want 0.25 (last reported)", o.Credits)
+	}
+
+	// A policy without provenance records PathUnknown.
+	plain := NewFlightObserver(nil)
+	if plain.Explains() {
+		t.Fatal("Explains() = true for a nil policy")
+	}
+	dispatch(plain, 0)
+	if plain.PathCount(sim.PathUnknown) != 1 {
+		t.Fatal("nil-policy dispatch not counted as unknown")
+	}
+}
+
+func TestNilFlightRecorderIsInert(t *testing.T) {
+	var fr *FlightRecorder
+	fr.record(DecisionRecord{}) // must not panic
+	o := fr.Observer(nil)
+	dispatch(o, 1) // ring write is a no-op, counters still work
+	if o.Dispatches != 1 {
+		t.Fatal("nil-ring observer lost its counter")
+	}
+	if s := fr.Snapshot(); s.Total != 0 || len(s.Records) != 0 || s.Records == nil {
+		t.Fatalf("nil recorder snapshot = %+v", s)
+	}
+	if recs := fr.Records(); recs != nil {
+		t.Fatalf("nil recorder Records() = %v, want nil", recs)
+	}
+}
+
+// TestFlightRecorderSteadyStateAllocs pins the zero-allocation
+// contract of the write path: once the ring is full-grown, recording a
+// decision allocates nothing (records are overwritten in place), so an
+// always-on flight recorder cannot add GC pressure to the engine's
+// dispatch path.
+func TestFlightRecorderSteadyStateAllocs(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	exp := &stubExplainer{seq: []sim.DecisionInfo{{Path: sim.PathStaircase}}}
+	o := fr.Observer(exp)
+	j := &sim.JobState{Job: rtm.Job{TaskIndex: 1, Index: 2}}
+	for i := 0; i < 16; i++ { // grow past capacity
+		o.ObserveDispatch(float64(i), j, 1)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		o.ObserveDispatch(42, j, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ObserveDispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed tracing, stdlib-only. A trace is a tree of spans that
+// may cross processes: the client originates a trace, the fleet
+// coordinator continues it around routing, dvsd continues it through
+// admission → handler → simulation, and the engine contributes phase
+// spans. Propagation uses the W3C trace-context header shape
+// ("traceparent: 00-<32 hex trace id>-<16 hex span id>-01"), so the
+// tree reassembles from the span dumps of all three processes by
+// trace ID alone.
+//
+// Tracing is deliberately inert with respect to the simulation: span
+// recording happens strictly outside sim.Run, IDs come from
+// crypto/rand (never from the simulation's seeded streams), and a nil
+// *Tracer is a safe no-op everywhere — handlers always extract and
+// propagate the header whether or not spans are being recorded, so
+// enabling a buffer cannot change any request's observable bytes.
+
+// TraceID is the 16-byte trace identifier (32 hex digits on the
+// wire).
+type TraceID [16]byte
+
+// SpanID is the 8-byte span identifier (16 hex digits on the wire).
+type SpanID [8]byte
+
+// String returns the lower-hex wire form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the lower-hex wire form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is all zeros (invalid per W3C).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is all zeros (invalid per W3C).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext identifies one span within one trace — the part of a
+// span that crosses process boundaries.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the W3C trace-context header value
+// (version 00, flags 01 = sampled).
+func (sc SpanContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.SpanID[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// TraceparentHeader is the propagation header name.
+const TraceparentHeader = "Traceparent"
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version except the reserved "ff", requires non-zero IDs, and
+// ignores the flag octets beyond checking their shape — exactly the
+// leniency the spec asks of a receiver.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-xxxxxxxxxxxxxxxx-00
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false // version 00 has exactly 4 fields
+	}
+	if s[0:2] == "ff" {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(s[53:55]); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// idState seeds span/trace ID generation once from crypto/rand and
+// then advances a SplitMix64 counter — unique without syscalls or
+// locks on the per-span path.
+var idState = func() *atomic.Uint64 {
+	var b [8]byte
+	var v atomic.Uint64
+	if _, err := rand.Read(b[:]); err == nil {
+		v.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		v.Store(uint64(time.Now().UnixNano()))
+	}
+	return &v
+}()
+
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[0:8], nextID())
+	binary.BigEndian.PutUint64(t[8:16], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+type spanCtxKey struct{}
+type requestIDKey struct{}
+
+// ContextWithSpanContext returns ctx carrying sc for downstream
+// handlers and outbound clients.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFromContext returns the span context carried by ctx, if
+// any.
+func SpanContextFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx, if any.
+func RequestIDFromContext(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(requestIDKey{}).(string)
+	return id, ok && id != ""
+}
+
+// ValidRequestID reports whether an inbound X-Request-ID is safe to
+// adopt: 1–128 bytes of [A-Za-z0-9._:-]. Anything else (empty,
+// oversized, spaces, control bytes — log-injection shapes) is
+// rejected and a fresh ID minted instead.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == ':' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SpanRecord is one finished span as stored and dumped. Start is
+// wall-clock (for cross-process alignment); Duration is measured on
+// the monotonic clock.
+type SpanRecord struct {
+	TraceID     string            `json:"trace_id"`
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	Name        string            `json:"name"`
+	Service     string            `json:"service"`
+	StartUnixNs int64             `json:"start_unix_ns"`
+	DurationNs  int64             `json:"duration_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records finished spans into a bounded ring buffer. All
+// methods are safe on a nil receiver (strict no-op) and for
+// concurrent use. The ring keeps the most recent spans; total/dropped
+// counters make truncation visible in dumps.
+type Tracer struct {
+	service string
+	cap     int
+
+	mu    sync.Mutex
+	buf   []SpanRecord
+	total uint64
+}
+
+// NewTracer builds a Tracer for one service ("client", "dvsfleet",
+// "dvsd") holding up to capacity finished spans (≤0 → 2048).
+func NewTracer(service string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 2048
+	}
+	return &Tracer{service: service, cap: capacity, buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Service returns the service name, "" on a nil tracer.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// Capacity returns the ring size, 0 on a nil tracer.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// Span is one in-flight operation. A nil *Span (from a nil Tracer) is
+// a safe no-op.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  map[string]string
+	done   atomic.Bool
+}
+
+// StartSpan opens a span. With a valid parent the span joins the
+// parent's trace; otherwise it roots a fresh trace. Returns nil on a
+// nil tracer — Span methods tolerate that.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sc := SpanContext{SpanID: NewSpanID()}
+	var parentID SpanID
+	if parent.Valid() {
+		sc.TraceID = parent.TraceID
+		parentID = parent.SpanID
+	} else {
+		sc.TraceID = NewTraceID()
+	}
+	return &Span{tracer: t, sc: sc, parent: parentID, name: name, start: time.Now()}
+}
+
+// Context returns the span's SpanContext (zero value on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span and commits it to the tracer's ring. Safe to
+// call at most once; extra calls are ignored.
+func (s *Span) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	rec := SpanRecord{
+		TraceID:     s.sc.TraceID.String(),
+		SpanID:      s.sc.SpanID.String(),
+		Name:        s.name,
+		Service:     s.tracer.service,
+		StartUnixNs: s.start.UnixNano(),
+		DurationNs:  time.Since(s.start).Nanoseconds(),
+		Attrs:       s.attrs,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	s.tracer.commit(rec)
+}
+
+// Emit records an already-measured span — the after-the-fact shape
+// used for engine phases, where the timing exists before the span
+// does. No-op on a nil tracer. Returns the context the emitted span
+// would hand to children.
+func (t *Tracer) Emit(parent SpanContext, name string, start time.Time, d time.Duration, attrs map[string]string) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	sc := SpanContext{SpanID: NewSpanID()}
+	rec := SpanRecord{
+		Name:        name,
+		Service:     t.service,
+		StartUnixNs: start.UnixNano(),
+		DurationNs:  d.Nanoseconds(),
+		Attrs:       attrs,
+	}
+	if parent.Valid() {
+		sc.TraceID = parent.TraceID
+		rec.ParentID = parent.SpanID.String()
+	} else {
+		sc.TraceID = NewTraceID()
+	}
+	rec.TraceID = sc.TraceID.String()
+	rec.SpanID = sc.SpanID.String()
+	t.commit(rec)
+	return sc
+}
+
+func (t *Tracer) commit(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.total%uint64(t.cap)] = rec
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// TraceDump is the JSON document served by GET /debug/trace.
+type TraceDump struct {
+	Service string `json:"service"`
+	// Capacity is the ring size; Total counts spans ever committed;
+	// Dropped = Total − len(Spans) is how many the ring evicted.
+	Capacity int          `json:"capacity"`
+	Total    uint64       `json:"total"`
+	Dropped  uint64       `json:"dropped"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// Dump snapshots the ring, oldest span first (stable order: start
+// time, then span ID). Safe on nil (empty dump).
+func (t *Tracer) Dump() TraceDump {
+	if t == nil {
+		return TraceDump{Spans: []SpanRecord{}}
+	}
+	t.mu.Lock()
+	spans := make([]SpanRecord, len(t.buf))
+	copy(spans, t.buf)
+	total := t.total
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUnixNs != spans[j].StartUnixNs {
+			return spans[i].StartUnixNs < spans[j].StartUnixNs
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	return TraceDump{
+		Service:  t.service,
+		Capacity: t.cap,
+		Total:    total,
+		Dropped:  total - uint64(len(spans)),
+		Spans:    spans,
+	}
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (t *Tracer) WriteJSON(enc *json.Encoder) error {
+	return enc.Encode(t.Dump())
+}

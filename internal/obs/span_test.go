@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q has the wrong shape", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", h)
+	}
+	if got != sc {
+		t.Fatalf("round trip = %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}.Traceparent()
+	bad := map[string]string{
+		"empty":         "",
+		"truncated":     valid[:54],
+		"wrong dashes":  strings.Replace(valid, "-", "_", 1),
+		"version ff":    "ff" + valid[2:],
+		"zero trace id": "00-" + strings.Repeat("0", 32) + valid[35:],
+		"zero span id":  valid[:36] + strings.Repeat("0", 16) + valid[52:],
+		"non-hex trace": "00-" + strings.Repeat("zz", 16) + valid[35:],
+		"trailing junk": valid + "x",
+	}
+	for name, in := range bad {
+		if _, ok := ParseTraceparent(in); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, in)
+		}
+	}
+	// Future versions may append dash-separated fields; a receiver
+	// stays lenient about those.
+	if _, ok := ParseTraceparent(valid + "-vendorstuff"); !ok {
+		t.Error("dash-extended traceparent rejected; receivers must tolerate future fields")
+	}
+}
+
+func TestTracerRingAndDump(t *testing.T) {
+	tr := NewTracer("test", 2)
+	root := tr.StartSpan(SpanContext{}, "root")
+	child := tr.StartSpan(root.Context(), "child")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child did not join the parent's trace")
+	}
+	root.SetAttr("k", "v")
+	root.End()
+	root.End() // double End is a no-op
+	child.End()
+	tr.StartSpan(root.Context(), "evictor").End()
+
+	d := tr.Dump()
+	if d.Service != "test" || d.Capacity != 2 {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if d.Total != 3 || d.Dropped != 1 || len(d.Spans) != 2 {
+		t.Fatalf("ring accounting: total=%d dropped=%d kept=%d, want 3/1/2", d.Total, d.Dropped, len(d.Spans))
+	}
+	for _, s := range d.Spans {
+		if s.TraceID != root.Context().TraceID.String() {
+			t.Errorf("span %s has trace %s, want %s", s.Name, s.TraceID, root.Context().TraceID)
+		}
+	}
+}
+
+func TestTracerEmitParenting(t *testing.T) {
+	tr := NewTracer("test", 8)
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	child := tr.Emit(parent, "phase", time.Now(), time.Millisecond, map[string]string{"n": "3"})
+	if child.TraceID != parent.TraceID {
+		t.Fatal("Emit did not join the parent trace")
+	}
+	d := tr.Dump()
+	if len(d.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(d.Spans))
+	}
+	s := d.Spans[0]
+	if s.ParentID != parent.SpanID.String() || s.Name != "phase" || s.Attrs["n"] != "3" {
+		t.Fatalf("emitted span = %+v", s)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	span := tr.StartSpan(SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}, "x")
+	if span != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	span.SetAttr("k", "v") // must not panic
+	span.End()
+	if sc := span.Context(); sc.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if sc := tr.Emit(SpanContext{}, "y", time.Now(), 0, nil); sc.Valid() {
+		t.Fatal("nil tracer Emit returned a valid context")
+	}
+	if d := tr.Dump(); d.Spans == nil || len(d.Spans) != 0 {
+		t.Fatalf("nil tracer dump = %+v, want empty non-nil spans", d)
+	}
+}
+
+func TestSpanContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := SpanContextFromContext(ctx); ok {
+		t.Fatal("empty context reported a span context")
+	}
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx = ContextWithSpanContext(ctx, sc)
+	if got, ok := SpanContextFromContext(ctx); !ok || got != sc {
+		t.Fatalf("span context round trip = %+v, %v", got, ok)
+	}
+	ctx = ContextWithRequestID(ctx, "req-1")
+	if id, ok := RequestIDFromContext(ctx); !ok || id != "req-1" {
+		t.Fatalf("request id round trip = %q, %v", id, ok)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	good := []string{"a", "abc-123", "x.y:z_w", strings.Repeat("a", 128), NewRequestID()}
+	for _, id := range good {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", "has space", "tab\there", "new\nline", strings.Repeat("a", 129), "é", `quo"te`}
+	for _, id := range bad {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+	}
+}

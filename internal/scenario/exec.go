@@ -9,11 +9,20 @@ import (
 	"sort"
 
 	"dvsslack/internal/audit"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
 	"dvsslack/internal/resilience"
 	"dvsslack/internal/rtm"
 	"dvsslack/internal/sim"
 )
+
+// ObserverHook supplies an extra sim.Observer for one policy run
+// (nil for none). Observers are passive — they only read the state
+// the engine hands every observer — so a hook can watch a run (e.g.
+// the decision flight recorder behind dvsscen run --explain) without
+// changing a single verdict byte; TestExecuteObservedVerdictBytes
+// pins that.
+type ObserverHook func(spec string, pol sim.Policy) sim.Observer
 
 // defaultMaxAttempts bounds the chaos retry harness when the chaos
 // event does not set max_attempts.
@@ -86,6 +95,13 @@ type ChaosVerdict struct {
 // (so a failing scenario still yields a comparable report); the error
 // return is reserved for context cancellation.
 func Execute(ctx context.Context, doc *Document) (*Verdict, error) {
+	return ExecuteObserved(ctx, doc, nil)
+}
+
+// ExecuteObserved is Execute with a per-run observer hook attached to
+// every policy simulation (chained after the audit oracle). A nil
+// hook is exactly Execute.
+func ExecuteObserved(ctx context.Context, doc *Document, hook ObserverHook) (*Verdict, error) {
 	v := &Verdict{Schema: Version, Scenario: doc.Name}
 	ts := doc.taskSet()
 	windows := doc.activeWindows(ts)
@@ -144,7 +160,7 @@ func Execute(ctx context.Context, doc *Document) (*Verdict, error) {
 				// delay costs wall-clock time, not correctness).
 			}
 			attempts := attempt + 1
-			run = runPolicy(doc, ts, windows, spec)
+			run = runPolicy(doc, ts, windows, spec, hook)
 			run.Attempts = attempts
 			lostToChaos = false
 			break
@@ -171,7 +187,7 @@ func Execute(ctx context.Context, doc *Document) (*Verdict, error) {
 // runPolicy executes one audited simulation, mirroring the fuzz
 // harness run shape exactly (fresh processor/workload/policy/auditor
 // per run) so fuzz-derived scenarios replay to identical outcomes.
-func runPolicy(doc *Document, ts *rtm.TaskSet, windows [][]sim.Window, spec string) PolicyRun {
+func runPolicy(doc *Document, ts *rtm.TaskSet, windows [][]sim.Window, spec string, hook ObserverHook) PolicyRun {
 	out := PolicyRun{Policy: spec, Attempts: 1}
 	proc, err := doc.Processor.Build()
 	if err != nil {
@@ -192,13 +208,19 @@ func runPolicy(doc *Document, ts *rtm.TaskSet, windows [][]sim.Window, spec stri
 		return out
 	}
 	aud := audit.New(audit.Options{TaskSet: ts, Processor: proc})
+	observer := sim.Observer(aud)
+	if hook != nil {
+		if extra := hook(spec, pol); extra != nil {
+			observer = obs.Multi(observer, extra)
+		}
+	}
 	res, err := sim.Run(sim.Config{
 		TaskSet:       ts,
 		Processor:     proc,
 		Policy:        pol,
 		Workload:      gen,
 		Horizon:       doc.Horizon,
-		Observer:      aud,
+		Observer:      observer,
 		JitterSeed:    doc.JitterSeed,
 		ActiveWindows: windows,
 	})

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"dvsslack/internal/obs"
+	"dvsslack/internal/sim"
+)
+
+// TestExecuteObservedVerdictBytes pins the passivity contract of
+// observer hooks: attaching a flight observer to every policy run must
+// leave the canonical verdict bytes untouched, because observers only
+// read the schedule. This is what lets dvsd record provenance for
+// every request while still serving byte-deterministic scenario
+// verdicts.
+func TestExecuteObservedVerdictBytes(t *testing.T) {
+	plain := mustExecute(t, mustParse(t, minimalDoc)).JSON()
+
+	fobs := map[string]*obs.FlightObserver{}
+	hook := func(spec string, pol sim.Policy) sim.Observer {
+		fo := obs.NewFlightObserver(pol)
+		fobs[spec] = fo
+		return fo
+	}
+	v, err := ExecuteObserved(context.Background(), mustParse(t, minimalDoc), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := v.JSON()
+
+	if !bytes.Equal(plain, observed) {
+		t.Errorf("observed verdict differs from plain execution:\nplain:    %s\nobserved: %s", plain, observed)
+	}
+	for _, spec := range []string{"lpshe", "nondvs"} {
+		fo := fobs[spec]
+		if fo == nil {
+			t.Fatalf("hook never saw policy %q (got %d observers)", spec, len(fobs))
+		}
+		if fo.Dispatches == 0 {
+			t.Errorf("%s observer recorded no dispatches — hook not wired into the run", spec)
+		}
+	}
+	if !fobs["lpshe"].Explains() {
+		t.Error("lpshe observer lacks decision provenance")
+	}
+	if fobs["nondvs"].Explains() {
+		t.Error("nondvs unexpectedly claims decision provenance")
+	}
+}

@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"dvsslack/internal/audit"
+	"dvsslack/internal/obs"
 	"dvsslack/internal/sim"
 )
 
@@ -17,6 +19,9 @@ var ErrDraining = errors.New("server: draining, not accepting new work")
 type work struct {
 	req *SimRequest
 	key string // cache key; "" disables caching for this run
+	// sc is the submitting request's span context; the executing
+	// worker parents its sim.run span under it (zero = no trace).
+	sc obs.SpanContext
 	// done receives exactly one outcome. Buffered so a worker never
 	// blocks on a caller that gave up.
 	done chan outcome
@@ -33,9 +38,11 @@ type outcome struct {
 // workers share no mutable simulation state — the pool is race-clean
 // by construction rather than by locking.
 type pool struct {
-	queue chan *work
-	cache *resultCache
-	met   *metrics
+	queue  chan *work
+	cache  *resultCache
+	met    *metrics
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
 
 	mu        sync.Mutex
 	closed    bool
@@ -47,7 +54,7 @@ type pool struct {
 }
 
 // newPool starts workers goroutines over a queue of queueDepth slots.
-func newPool(workers, queueDepth int, cache *resultCache, met *metrics) *pool {
+func newPool(workers, queueDepth int, cache *resultCache, met *metrics, tracer *obs.Tracer, flight *obs.FlightRecorder) *pool {
 	if workers < 1 {
 		workers = 1
 	}
@@ -58,6 +65,8 @@ func newPool(workers, queueDepth int, cache *resultCache, met *metrics) *pool {
 		queue:   make(chan *work, queueDepth),
 		cache:   cache,
 		met:     met,
+		tracer:  tracer,
+		flight:  flight,
 		workers: workers,
 		depth:   queueDepth,
 	}
@@ -98,10 +107,20 @@ func (p *pool) execute(w *work) outcome {
 		aud = audit.New(audit.Options{TaskSet: cfg.TaskSet, Processor: cfg.Processor})
 		cfg.Observer = aud
 	}
+	// Decision flight recorder: chained after the auditor when both
+	// are on. Observers are passive (they only read engine state the
+	// callbacks already expose), so attaching one cannot change the
+	// simulation's bytes — pinned by TestSimulateTracingInert.
+	var fo *obs.FlightObserver
+	if p.flight != nil {
+		fo = p.flight.Observer(cfg.Policy)
+		cfg.Observer = obs.Multi(cfg.Observer, fo)
+	}
 	start := time.Now()
 	simRes, err := sim.Run(cfg)
 	wall := time.Since(start)
 	p.met.simDone(cfg.Policy.Name(), simRes.Time, wall, err)
+	p.emitSpans(w, cfg.Policy.Name(), fo, start, wall)
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -118,6 +137,31 @@ func (p *pool) execute(w *work) outcome {
 		p.cache.Put(w.key, res)
 	}
 	return outcome{res: res}
+}
+
+// emitSpans records the run and engine-phase spans under the
+// submitting request's span (no-op without a tracer or a traced
+// request). Phase spans carry the per-path decision counts the flight
+// observer accumulated, so the trace tree shows how much of the run
+// the staircase / certificate fast paths absorbed.
+func (p *pool) emitSpans(w *work, policy string, fo *obs.FlightObserver, start time.Time, wall time.Duration) {
+	if p.tracer == nil || !w.sc.Valid() {
+		return
+	}
+	attrs := map[string]string{"policy": policy}
+	if fo != nil {
+		attrs["decisions"] = strconv.FormatUint(fo.Dispatches, 10)
+	}
+	runSC := p.tracer.Emit(w.sc, "sim.run", start, wall, attrs)
+	if fo == nil {
+		return
+	}
+	for path := sim.PathUnknown; path <= sim.PathAdaptiveCap; path++ {
+		if n := fo.PathCount(path); n > 0 {
+			p.tracer.Emit(runSC, "engine."+path.String(), start, wall,
+				map[string]string{"decisions": strconv.FormatUint(n, 10)})
+		}
+	}
 }
 
 // Depth returns the queue capacity (sizes the admission budget).
@@ -157,6 +201,9 @@ func (p *pool) Do(ctx context.Context, req *SimRequest) (SimResult, error) {
 		}
 	}
 	w := &work{req: req, key: key, done: make(chan outcome, 1)}
+	if sc, ok := obs.SpanContextFromContext(ctx); ok {
+		w.sc = sc
+	}
 
 	// Register as a producer before sending: Drain closes the queue
 	// only after every registered producer has finished its send, so

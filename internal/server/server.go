@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"dvsslack/internal/obs"
 	"dvsslack/internal/policies"
 	"dvsslack/internal/resilience"
+	"dvsslack/internal/trace"
 )
 
 // Config tunes the daemon.
@@ -61,6 +63,16 @@ type Config struct {
 	// Chaos, when non-nil, wraps the handler chain in the
 	// deterministic fault injector (cmd/dvsd -chaos). Testing only.
 	Chaos *resilience.ChaosConfig
+
+	// Tracer, when non-nil, records handler / simulation / engine
+	// phase spans into its ring (served on GET /debug/trace).
+	// Propagation is independent of recording: inbound traceparent
+	// headers are honored and forwarded whether or not a Tracer is
+	// set, so enabling one cannot change any request's bytes.
+	Tracer *obs.Tracer
+	// FlightRecorder sizes the decision flight recorder ring
+	// (GET /debug/flightrecorder): 0 selects 4096, -1 disables it.
+	FlightRecorder int
 }
 
 // Server is the dvsd control plane: an http.Handler plus the worker
@@ -78,6 +90,9 @@ type Server struct {
 
 	admit      *resilience.Limiter // sync-request admission budget
 	sseTimeout time.Duration
+
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
 
 	draining atomic.Bool
 	baseCtx  context.Context
@@ -105,9 +120,13 @@ func New(cfg Config) *Server {
 	if s.log == nil {
 		s.log = obs.Discard()
 	}
+	s.tracer = cfg.Tracer
+	if cfg.FlightRecorder >= 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorder)
+	}
 	s.cache = newResultCache(cacheSize)
 	s.met = newMetrics(workers, s.cache)
-	s.pool = newPool(workers, cfg.QueueDepth, s.cache, s.met)
+	s.pool = newPool(workers, cfg.QueueDepth, s.cache, s.met, s.tracer, s.flight)
 	s.jobs = newJobStore(s.pool, s.met)
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 
@@ -124,6 +143,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/trace", s.handleTraceDump)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("GET /debug/flightrecorder.trace", s.handleFlightTrace)
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -245,11 +267,18 @@ func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
 
 // instrument wraps a handler with request counting, latency
 // recording, per-request deadline enforcement, and request-ID access
-// logging. The ID is returned in X-Request-ID so client reports and
-// daemon logs correlate.
+// logging. A valid inbound X-Request-ID (a coordinator hop or a
+// client-supplied ID) is adopted so fleet logs correlate; otherwise a
+// fresh ID is minted. Either way the ID is returned in X-Request-ID.
+// An inbound traceparent header is continued: the handler runs inside
+// a server span (when tracing is on) and the request context carries
+// the span context for the simulation pool and outbound calls.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := obs.NewRequestID()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		deadline, err := s.requestDeadline(r)
@@ -258,13 +287,22 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 			writeError(sw, http.StatusBadRequest, "%v", err)
 			return
 		}
-		ctx := r.Context()
+		parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		span := s.tracer.StartSpan(parent, "dvsd."+label) // nil-safe: nil span when tracing is off
+		sc := span.Context()
+		if !sc.Valid() {
+			sc = parent // propagate the inbound context even with recording off
+		}
+		ctx := obs.ContextWithRequestID(r.Context(), id)
+		if sc.Valid() {
+			ctx = obs.ContextWithSpanContext(ctx, sc)
+		}
 		if deadline > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, deadline)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
+		r = r.WithContext(ctx)
 		start := time.Now()
 		h(sw, r)
 		dur := time.Since(start)
@@ -273,13 +311,22 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.met.request(label, sw.code < 400)
 		s.met.httpDone(label, dur)
-		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		span.SetAttr("endpoint", label)
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.SetAttr("request_id", id)
+		span.End()
+		attrs := []slog.Attr{
 			slog.String("id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("endpoint", label),
 			slog.Int("status", sw.code),
-			slog.Duration("dur", dur))
+			slog.Duration("dur", dur),
+		}
+		if sc.Valid() {
+			attrs = append(attrs, slog.String("trace", sc.TraceID.String()))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	}
 }
 
@@ -354,7 +401,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
-	if err := s.admit.TryAcquire(); err != nil {
+	admitStart := time.Now()
+	err := s.admit.TryAcquire()
+	if s.tracer != nil {
+		if sc, ok := obs.SpanContextFromContext(r.Context()); ok {
+			s.tracer.Emit(sc, "dvsd.admit", admitStart, time.Since(admitStart),
+				map[string]string{"ok": strconv.FormatBool(err == nil)})
+		}
+	}
+	if err != nil {
 		s.met.shed.Inc()
 		w.Header().Set("Retry-After", shedRetryAfter)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -514,6 +569,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PromContentType)
 	s.met.writeProm(w)
+}
+
+// handleTraceDump answers GET /debug/trace with this daemon's span
+// ring as JSON; 404 when tracing is disabled (no -trace-buffer).
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "server: tracing disabled (start dvsd with -trace-buffer)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Dump())
+}
+
+// handleFlightRecorder answers GET /debug/flightrecorder with the
+// decision flight recorder snapshot; 404 when disabled (-flight -1).
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "server: flight recorder disabled (-flight -1)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
+}
+
+// handleFlightTrace answers GET /debug/flightrecorder.trace with the
+// retained decisions rendered in Chrome Trace Event Format (the
+// decision instants + flow chain, loadable in Perfetto).
+func (s *Server) handleFlightTrace(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "server: flight recorder disabled (-flight -1)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	trace.NewRecorder().ChromeTraceFlight(w, nil, s.flight.Records())
 }
 
 // handleHealthz answers GET /healthz (liveness: the process serves).

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"dvsslack/internal/obs"
+)
+
+// postSimulateHeaders posts a simulate request with extra headers and
+// returns the response.
+func postSimulateHeaders(t *testing.T, url string, req SimRequest, hdr map[string]string) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/simulate", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRequestIDAdoption pins the fleet-correlation contract: a valid
+// inbound X-Request-ID (a coordinator hop) is adopted and echoed, an
+// invalid one is replaced with a freshly minted valid ID.
+func TestRequestIDAdoption(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	resp := postSimulateHeaders(t, hs.URL, quickstartRequest("lpshe"),
+		map[string]string{"X-Request-ID": "hop-42.test"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "hop-42.test" {
+		t.Errorf("valid inbound request ID not adopted: got %q, want hop-42.test", got)
+	}
+
+	resp = postSimulateHeaders(t, hs.URL, quickstartRequest("lpshe"),
+		map[string]string{"X-Request-ID": "bad id with spaces"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	got := resp.Header.Get("X-Request-ID")
+	if got == "bad id with spaces" || !obs.ValidRequestID(got) {
+		t.Errorf("invalid inbound ID handled badly: response carries %q", got)
+	}
+}
+
+// TestSimulateTracingInert is the observability ground rule: turning
+// tracing and the flight recorder on or off must not change a single
+// byte of simulation output. Scenario verdicts are canonical bytes, so
+// they make the comparison exact.
+func TestSimulateTracingInert(t *testing.T) {
+	want := localVerdict(t, []byte(scenarioYAML))
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{Workers: 2, FlightRecorder: -1}},
+		{"flight", Config{Workers: 2}},
+		{"traced", Config{Workers: 2, Tracer: obs.NewTracer("dvsd", 256)}},
+	} {
+		_, hs := newTestServer(t, tc.cfg)
+		resp := postScenario(t, hs.URL, []byte(scenarioYAML))
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.name, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: verdict bytes differ from local execution", tc.name)
+		}
+	}
+}
+
+// TestDebugEndpointsDisabled checks the debug surfaces 404 when their
+// feature is off, rather than serving empty documents that look like
+// healthy-but-idle instrumentation.
+func TestDebugEndpointsDisabled(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, FlightRecorder: -1})
+	for _, path := range []string{"/debug/trace", "/debug/flightrecorder", "/debug/flightrecorder.trace"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s with feature disabled = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	_, hs2 := newTestServer(t, Config{Workers: 1, Tracer: obs.NewTracer("dvsd", 16)})
+	for _, path := range []string{"/debug/trace", "/debug/flightrecorder", "/debug/flightrecorder.trace"} {
+		resp, err := http.Get(hs2.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with features enabled = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// traceDump fetches and decodes GET /debug/trace.
+func traceDump(t *testing.T, url string) obs.TraceDump {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d obs.TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decode trace dump: %v", err)
+	}
+	return d
+}
+
+// TestServerTraceTree drives one traced simulate request and checks
+// the daemon's span ring holds the full tree under the inbound trace:
+// handler span continuing the client's context, the admission span,
+// the pool's sim.run span, and at least one engine phase span — every
+// parent resolvable within the dump.
+func TestServerTraceTree(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, Tracer: obs.NewTracer("dvsd", 256)})
+
+	inbound := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
+	reqID := "trace-tree-req"
+	resp := postSimulateHeaders(t, hs.URL, quickstartRequest("lpshe"), map[string]string{
+		"X-Request-ID":        reqID,
+		obs.TraceparentHeader: inbound.Traceparent(),
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d", resp.StatusCode)
+	}
+
+	d := traceDump(t, hs.URL)
+	byName := map[string]obs.SpanRecord{}
+	byID := map[string]obs.SpanRecord{}
+	var enginePhases []string
+	for _, s := range d.Spans {
+		if s.TraceID != inbound.TraceID.String() {
+			t.Errorf("span %s on trace %s, want %s (one request, one trace)", s.Name, s.TraceID, inbound.TraceID)
+		}
+		byID[s.SpanID] = s
+		if strings.HasPrefix(s.Name, "engine.") {
+			enginePhases = append(enginePhases, s.Name)
+			continue
+		}
+		byName[s.Name] = s
+	}
+
+	handler, ok := byName["dvsd.simulate"]
+	if !ok {
+		t.Fatalf("no dvsd.simulate span in dump (%d spans)", len(d.Spans))
+	}
+	if handler.ParentID != inbound.SpanID.String() {
+		t.Errorf("handler span parent = %s, want the inbound span %s", handler.ParentID, inbound.SpanID)
+	}
+	if handler.Attrs["request_id"] != reqID {
+		t.Errorf("handler span request_id = %q, want %q", handler.Attrs["request_id"], reqID)
+	}
+	if handler.Attrs["status"] != "200" {
+		t.Errorf("handler span status = %q, want 200", handler.Attrs["status"])
+	}
+
+	admit, ok := byName["dvsd.admit"]
+	if !ok {
+		t.Fatal("no dvsd.admit span in dump")
+	}
+	if admit.ParentID != handler.SpanID {
+		t.Errorf("admit span parent = %s, want the handler span %s", admit.ParentID, handler.SpanID)
+	}
+
+	run, ok := byName["sim.run"]
+	if !ok {
+		t.Fatal("no sim.run span in dump")
+	}
+	if run.ParentID != handler.SpanID {
+		t.Errorf("sim.run parent = %s, want the handler span %s", run.ParentID, handler.SpanID)
+	}
+	if run.Attrs["policy"] != "lpSHE" {
+		t.Errorf("sim.run policy attr = %q", run.Attrs["policy"])
+	}
+
+	if len(enginePhases) == 0 {
+		t.Fatal("no engine phase spans in dump")
+	}
+	for _, s := range d.Spans {
+		if !strings.HasPrefix(s.Name, "engine.") {
+			continue
+		}
+		if s.ParentID != run.SpanID {
+			t.Errorf("%s parent = %s, want the sim.run span %s", s.Name, s.ParentID, run.SpanID)
+		}
+	}
+
+	// Every parent that isn't the synthetic inbound root must resolve
+	// to another span in the dump — no orphans in the tree.
+	for _, s := range d.Spans {
+		if s.ParentID == "" || s.ParentID == inbound.SpanID.String() {
+			continue
+		}
+		if _, ok := byID[s.ParentID]; !ok {
+			t.Errorf("span %s has unresolvable parent %s", s.Name, s.ParentID)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrentAccess hammers the flight recorder from
+// three sides at once — simulations writing decisions, snapshot reads,
+// and Chrome-trace exports — so `go test -race` proves the ring's
+// locking. Distinct seeds defeat the result cache, keeping every
+// request a fresh run that dispatches through the recorder.
+func TestFlightRecorderConcurrentAccess(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 4, FlightRecorder: 64})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				req := quickstartRequest("lpshe")
+				req.Workload.Seed = uint64(1 + w*100 + i)
+				resp := postJSON(t, hs.URL+"/v1/simulate", req)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d: simulate status %d", w, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for _, path := range []string{"/debug/flightrecorder", "/debug/flightrecorder.trace"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(hs.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s status %d", path, resp.StatusCode)
+					return
+				}
+				if !json.Valid(body) {
+					t.Errorf("GET %s returned invalid JSON under concurrency", path)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(hs.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Total   uint64            `json:"total"`
+		Paths   map[string]uint64 `json:"paths"`
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total == 0 || len(snap.Records) == 0 {
+		t.Fatalf("flight recorder empty after %d simulations: %+v", 15, snap)
+	}
+	var sum uint64
+	for _, n := range snap.Paths {
+		sum += n
+	}
+	if sum != snap.Total {
+		t.Errorf("path counts sum %d != total %d", sum, snap.Total)
+	}
+}

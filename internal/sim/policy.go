@@ -110,6 +110,73 @@ type Instrumented interface {
 	Counters() map[string]float64
 }
 
+// DecisionPath classifies how a policy arrived at a speed decision —
+// which analysis path produced the number. The taxonomy mirrors the
+// lpSHE incremental analyzer (PR 8): a decision is either served from
+// the slack staircase without running the analysis at all, stopped
+// early by the demand-grid certificate, degraded by the adaptive
+// horizon cap, or computed by a full scan.
+type DecisionPath uint8
+
+const (
+	// PathUnknown: the policy does not classify decisions (or the
+	// decision predates any analysis, e.g. zero remaining work).
+	PathUnknown DecisionPath = iota
+	// PathFullScan: the slack analysis ran to its natural end with no
+	// early stop.
+	PathFullScan
+	// PathCertificate: the analysis stopped early because the demand
+	// grid certified that no unscanned deadline could change the
+	// reading.
+	PathCertificate
+	// PathStaircase: the analysis was skipped entirely — the slack
+	// staircase lower bound already cleared the pacing floor.
+	PathStaircase
+	// PathAdaptiveCap: the scan was truncated by the adaptive horizon
+	// (or scan budget) and the reading conservatively degraded.
+	PathAdaptiveCap
+)
+
+// String returns the canonical lower-snake name used in flight
+// records, counters, and --explain summaries.
+func (p DecisionPath) String() string {
+	switch p {
+	case PathFullScan:
+		return "full_scan"
+	case PathCertificate:
+		return "certificate"
+	case PathStaircase:
+		return "staircase"
+	case PathAdaptiveCap:
+		return "adaptive_cap"
+	default:
+		return "unknown"
+	}
+}
+
+// DecisionInfo is the provenance of the most recent SelectSpeed call:
+// which path produced the decision, how many deadlines the analysis
+// scanned (0 for staircase hits), and the cumulative slack credits the
+// policy has harvested since Reset.
+type DecisionInfo struct {
+	Path DecisionPath
+	// ScanLen is the number of deadlines scanned by the analysis for
+	// this decision (0 when the analysis was skipped).
+	ScanLen int
+	// Credits is the total slack credit (executed-work + unused
+	// allowance) harvested onto the staircase since Reset, in work
+	// units at nominal speed.
+	Credits float64
+}
+
+// DecisionExplainer is an optional interface a Policy may implement
+// to expose per-decision provenance. LastDecision reports on the most
+// recent SelectSpeed call and is only valid until the next one; the
+// flight recorder snapshots it at each dispatch.
+type DecisionExplainer interface {
+	LastDecision() DecisionInfo
+}
+
 // Observer receives fine-grained engine events, e.g. for trace
 // recording. All callbacks are synchronous; observers must not
 // mutate engine state.

@@ -29,7 +29,9 @@ import (
 const usPerTime = 1000.0
 
 // chromeEvent is one entry of the traceEvents array. Field order is
-// fixed by the struct, so exports are byte-deterministic.
+// fixed by the struct, so exports are byte-deterministic. ID and BP
+// serve the flow events ("s"/"f") of the decision export and stay
+// omitted everywhere else, keeping plain exports byte-identical.
 type chromeEvent struct {
 	Name string   `json:"name"`
 	Cat  string   `json:"cat,omitempty"`
@@ -39,6 +41,8 @@ type chromeEvent struct {
 	Pid  int      `json:"pid"`
 	Tid  int      `json:"tid"`
 	S    string   `json:"s,omitempty"`
+	ID   *uint64  `json:"id,omitempty"`
+	BP   string   `json:"bp,omitempty"`
 	Args any      `json:"args,omitempty"`
 }
 
@@ -70,6 +74,13 @@ type jobArg struct {
 // length get "T<i>" names. Load the output in chrome://tracing or
 // ui.perfetto.dev.
 func (r *Recorder) ChromeTrace(w io.Writer, taskNames []string) error {
+	tr := r.buildChrome(taskNames)
+	return encodeChrome(w, tr)
+}
+
+// buildChrome assembles the Trace Event document (shared by
+// ChromeTrace and the decision-flow export in flight.go).
+func (r *Recorder) buildChrome(taskNames []string) chromeTrace {
 	taskName := func(i int) string {
 		if i >= 0 && i < len(taskNames) {
 			return taskNames[i]
@@ -149,7 +160,12 @@ func (r *Recorder) ChromeTrace(w io.Writer, taskNames []string) error {
 				Args: speedArg{e.Speed}})
 		}
 	}
+	return tr
+}
 
+// encodeChrome writes the document with the export's canonical
+// indentation.
+func encodeChrome(w io.Writer, tr chromeTrace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(tr)

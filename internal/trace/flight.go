@@ -1,0 +1,66 @@
+package trace
+
+// Decision-flow export: folds the flight recorder's per-decision
+// provenance into the Chrome trace so Perfetto shows *why* each speed
+// was chosen aligned with the schedule it produced. Each decision is
+// an instant event on the dispatched task's thread carrying the path
+// / scan length / credits, and consecutive decisions are chained with
+// flow events ("s" → "f"), rendering the decision sequence as arrows
+// across the Gantt chart.
+
+import (
+	"io"
+
+	"dvsslack/internal/obs"
+)
+
+// decisionArg is the hover payload of one decision instant.
+type decisionArg struct {
+	Path    string  `json:"path"`
+	Speed   float64 `json:"speed"`
+	ScanLen int     `json:"scan_len"`
+	Credits float64 `json:"credits"`
+}
+
+// ChromeTraceFlight writes the recorded schedule as Trace Event
+// Format JSON with the given flight-recorder decisions overlaid as
+// instant + flow events. recs must come from the same run(s) the
+// Recorder observed for the timestamps to align; an empty recs slice
+// degrades to the plain ChromeTrace document.
+func (r *Recorder) ChromeTraceFlight(w io.Writer, taskNames []string, recs []obs.DecisionRecord) error {
+	tr := r.buildChrome(taskNames)
+	for i := range recs {
+		rec := &recs[i]
+		ts := rec.T * usPerTime
+		tid := rec.Task + 1
+		name := "decision " + rec.Path.String()
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: name, Cat: "decision", Ph: "i", Ts: ts, Tid: tid, S: "t",
+			Args: decisionArg{
+				Path:    rec.Path.String(),
+				Speed:   rec.Speed,
+				ScanLen: rec.ScanLen,
+				Credits: rec.Credits,
+			},
+		})
+		// Flow chain: an "s" at this decision binds to the "f" at the
+		// next one (bp "e" attaches to the enclosing slice), drawing
+		// the decision sequence as arrows. The chain segment is keyed
+		// by the earlier decision's sequence number.
+		if i+1 < len(recs) {
+			next := &recs[i+1]
+			id := rec.Seq
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "decisions", Cat: "decision", Ph: "s",
+				Ts: ts, Tid: tid, ID: &id,
+				Args: decisionArg{Path: rec.Path.String(), Speed: rec.Speed,
+					ScanLen: rec.ScanLen, Credits: rec.Credits},
+			})
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "decisions", Cat: "decision", Ph: "f",
+				Ts: next.T * usPerTime, Tid: next.Task + 1, ID: &id, BP: "e",
+			})
+		}
+	}
+	return encodeChrome(w, tr)
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dvsslack/internal/core"
+	"dvsslack/internal/cpu"
+	"dvsslack/internal/obs"
+	"dvsslack/internal/rtm"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/workload"
+)
+
+// recordFlight runs one lpSHE schedule observed by both a trace
+// Recorder and a flight recorder, so the export has real decisions to
+// overlay.
+func recordFlight(t *testing.T) (*Recorder, *obs.FlightRecorder) {
+	t.Helper()
+	ts := rtm.MustGenerate(rtm.DefaultGenConfig(3, 0.6, 11))
+	rec := NewRecorder()
+	p := core.NewLpSHE()
+	fr := obs.NewFlightRecorder(1 << 12)
+	_, err := sim.Run(sim.Config{
+		TaskSet:   ts,
+		Processor: cpu.Continuous(0.1),
+		Policy:    p,
+		Workload:  workload.Uniform{Lo: 0.4, Hi: 1, Seed: 5},
+		Observer:  obs.Multi(rec, fr.Observer(p)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, fr
+}
+
+func exportFlight(t *testing.T, rec *Recorder, recs []obs.DecisionRecord) decodedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.ChromeTraceFlight(&buf, nil, recs); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("flight export is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+// TestChromeTraceFlightShape checks the decision overlay: every
+// decision becomes a scoped instant event carrying its provenance, and
+// consecutive decisions are chained by matching s/f flow pairs with
+// binding-point "e" on the finish side.
+func TestChromeTraceFlightShape(t *testing.T) {
+	rec, fr := recordFlight(t)
+	recs := fr.Records()
+	if len(recs) < 2 {
+		t.Fatalf("run produced %d decisions, need at least 2 for a flow chain", len(recs))
+	}
+	tr := exportFlight(t, rec, recs)
+
+	var instants int
+	starts := map[float64]bool{}
+	finishes := map[float64]bool{}
+	for i, e := range tr.TraceEvents {
+		if e["cat"] != "decision" {
+			continue
+		}
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "i":
+			instants++
+			if s, _ := e["s"].(string); s != "t" {
+				t.Errorf("decision instant %d scope %q, want t", i, s)
+			}
+			args, ok := e["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("decision instant %d has no args: %v", i, e)
+			}
+			path, _ := args["path"].(string)
+			if path == "" || path == "unknown" {
+				t.Errorf("decision instant %d path = %q, want a concrete analysis path", i, path)
+			}
+			if sp, ok := args["speed"].(float64); !ok || sp <= 0 || sp > 1 {
+				t.Errorf("decision instant %d speed %v out of (0,1]", i, args["speed"])
+			}
+		case "s":
+			id, ok := e["id"].(float64)
+			if !ok {
+				t.Fatalf("flow start %d has no id: %v", i, e)
+			}
+			starts[id] = true
+			if _, present := e["bp"]; present {
+				t.Errorf("flow start %d carries bp, only the finish side should", i)
+			}
+		case "f":
+			id, ok := e["id"].(float64)
+			if !ok {
+				t.Fatalf("flow finish %d has no id: %v", i, e)
+			}
+			finishes[id] = true
+			if bp, _ := e["bp"].(string); bp != "e" {
+				t.Errorf("flow finish %d bp = %q, want e (bind to enclosing slice)", i, bp)
+			}
+		default:
+			t.Errorf("unexpected decision-event phase %q: %v", ph, e)
+		}
+	}
+	if instants != len(recs) {
+		t.Errorf("%d decision instants for %d decisions", instants, len(recs))
+	}
+	if len(starts) != len(recs)-1 {
+		t.Errorf("%d flow chain segments for %d decisions, want %d", len(starts), len(recs), len(recs)-1)
+	}
+	for id := range starts {
+		if !finishes[id] {
+			t.Errorf("flow start id %v has no matching finish", id)
+		}
+	}
+	for id := range finishes {
+		if !starts[id] {
+			t.Errorf("flow finish id %v has no matching start", id)
+		}
+	}
+}
+
+// TestChromeTraceFlightEmptyDegrades pins that an empty decision list
+// yields the plain ChromeTrace document byte for byte — so the flow
+// fields (id, bp) never leak into exports that don't use them.
+func TestChromeTraceFlightEmptyDegrades(t *testing.T) {
+	rec, _ := recordFlight(t)
+	var plain, flight bytes.Buffer
+	if err := rec.ChromeTrace(&plain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ChromeTraceFlight(&flight, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), flight.Bytes()) {
+		t.Error("ChromeTraceFlight with no decisions differs from ChromeTrace")
+	}
+	if bytes.Contains(plain.Bytes(), []byte(`"id"`)) || bytes.Contains(plain.Bytes(), []byte(`"bp"`)) {
+		t.Error("plain export leaks flow-event keys (id/bp should be omitempty)")
+	}
+}

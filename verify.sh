@@ -8,7 +8,12 @@
 # client with zero surfaced errors, clean drain), a fleet smoke
 # (3-worker embedded dvsfleet: hammer through the router, dvsexp grid
 # byte-identical to the single-process run before AND after killing a
-# worker, failover observed in the metrics, clean drain), a scenario
+# worker, failover observed in the metrics, clean drain), a trace
+# smoke (tracing-enabled fleet: one client trace ID observed in
+# coordinator and worker logs and in the federated /debug/trace dump,
+# verdict bytes identical to a tracing-disabled run, dvssim -trace
+# flight export well-formed, dvsscen run -explain reporting decision
+# paths), a scenario
 # pass (dvsscen validates and replays the whole scenarios/ corpus
 # with assertions enforced, and one document must produce
 # byte-identical verdicts via dvsscen run, dvsd /v1/scenario, and the
@@ -43,7 +48,9 @@ echo "==> perf pass (alloc guards + hot-path smoke)"
 # fine-grained 20% gate lives in `./bench.sh -gate` where benchtime is
 # long enough to trust. See BENCH_*.json for the recorded trajectory.
 go test -run 'ZeroSteadyStateAllocs|ZeroAllocs|CountersMapReused' -count=1 ./internal/core/
-PERF_OUT=$(go test -run '^$' -bench '^(BenchmarkAnalyzerSlack|BenchmarkEngineDecision)$' -benchtime=100x -benchmem .)
+# BenchmarkEngineDecisionFlight shares EngineDecision's budgets via
+# the awk prefix match: the flight recorder must fit inside them.
+PERF_OUT=$(go test -run '^$' -bench '^(BenchmarkAnalyzerSlack|BenchmarkEngineDecision|BenchmarkEngineDecisionFlight)$' -benchtime=100x -benchmem .)
 echo "$PERF_OUT" | awk '
 /^BenchmarkAnalyzerSlack/ {
     for (i = 2; i <= NF; i++) if ($(i+1) == "allocs/op" && $i + 0 > 0) {
@@ -335,6 +342,85 @@ wait "$FLEET_PID" || { echo "FAIL: dvsfleet exited non-zero on SIGTERM" >&2; cat
 FLEET_PID=""
 grep -q "drained, bye" "$FLEET_LOG" || { echo "FAIL: no clean fleet drain message" >&2; cat "$FLEET_LOG" >&2; exit 1; }
 echo "    fleet smoke test OK ($FADDR, hammer clean, t2 byte-identical incl. after worker kill, scenario verdict byte-identical, failover observed, clean drain)"
+
+echo "==> trace smoke test (dvsfleet -trace-buffer, one trace across the fleet)"
+TRACE_LOG="$FLEET_TMP/trace.log"
+"$FLEET_TMP/dvsfleet" -addr 127.0.0.1:0 -embedded -workers 3 -trace-buffer 512 -log-format json >"$TRACE_LOG" 2>&1 &
+FLEET_PID=$!
+TADDR=""
+for _ in $(seq 1 50); do
+    TADDR=$(sed -n 's/.*dvsfleet: listening on \([0-9.:]*\).*/\1/p' "$TRACE_LOG" | head -n1)
+    [ -n "$TADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$TADDR" ]; then
+    echo "FAIL: traced dvsfleet did not start:" >&2
+    cat "$TRACE_LOG" >&2
+    exit 1
+fi
+
+# A client-originated traceparent with a known trace ID; the fleet
+# must continue it rather than start its own.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+TP="00-$TRACE_ID-00f067aa0ba902b7-01"
+STATUS=$(curl -s -o "$FLEET_TMP/traced-scen.json" -w '%{http_code}' --max-time 10 \
+    -H "traceparent: $TP" --data-binary @"$SCEN_DOC" "http://$TADDR/v1/scenario")
+if [ "$STATUS" != "200" ]; then
+    echo "FAIL: traced /v1/scenario returned HTTP $STATUS:" >&2
+    cat "$FLEET_TMP/traced-scen.json" >&2
+    exit 1
+fi
+# Tracing must be inert: the verdict bytes of the traced run equal the
+# tracing-disabled local run byte for byte.
+cmp -s "$SCEN_TMP/local.json" "$FLEET_TMP/traced-scen.json" || {
+    echo "FAIL: tracing changed scenario verdict bytes" >&2
+    diff "$SCEN_TMP/local.json" "$FLEET_TMP/traced-scen.json" >&2 || true
+    exit 1
+}
+# One trace ID across both processes' logs: the coordinator's access
+# line and the worker's (tagged component=worker) both carry it.
+grep -q "\"endpoint\":\"scenario\".*\"trace\":\"$TRACE_ID\"" "$TRACE_LOG" || {
+    echo "FAIL: coordinator log line missing trace id $TRACE_ID" >&2
+    grep '"trace"' "$TRACE_LOG" >&2 || cat "$TRACE_LOG" >&2
+    exit 1
+}
+grep -q "\"component\":\"worker\".*\"trace\":\"$TRACE_ID\"" "$TRACE_LOG" || {
+    echo "FAIL: no worker log line carries trace id $TRACE_ID" >&2
+    grep '"trace"' "$TRACE_LOG" >&2 || cat "$TRACE_LOG" >&2
+    exit 1
+}
+# The fleet trace dump must hold spans from both services under that
+# trace: the coordinator's handler/routing spans and the worker's.
+curl -s --max-time 2 -o "$FLEET_TMP/trace-dump.json" "http://$TADDR/debug/trace"
+for NEEDLE in "$TRACE_ID" '"dvsfleet.scenario"' '"fleet.route"' '"dvsd.scenario"'; do
+    grep -q "$NEEDLE" "$FLEET_TMP/trace-dump.json" || {
+        echo "FAIL: fleet /debug/trace missing $NEEDLE" >&2
+        cat "$FLEET_TMP/trace-dump.json" >&2
+        exit 1
+    }
+done
+kill -TERM "$FLEET_PID"
+wait "$FLEET_PID" || { echo "FAIL: traced dvsfleet exited non-zero on SIGTERM" >&2; cat "$TRACE_LOG" >&2; exit 1; }
+FLEET_PID=""
+
+# Decision provenance export: dvssim -trace must emit a well-formed
+# Chrome trace with decision instants and s/f flow chains, and
+# dvsscen run -explain must report per-path decision counts.
+go build -o "$FLEET_TMP/dvssim" ./cmd/dvssim
+"$FLEET_TMP/dvssim" -policy lpshe -taskset cnc -trace "$FLEET_TMP/flight.json" >/dev/null
+for NEEDLE in '"traceEvents"' '"cat": "decision"' '"ph": "s"' '"ph": "f"' '"bp": "e"'; do
+    grep -q "$NEEDLE" "$FLEET_TMP/flight.json" || {
+        echo "FAIL: dvssim -trace output missing $NEEDLE" >&2
+        exit 1
+    }
+done
+"$SCEN_BIN" run -explain "$SCEN_DOC" >"$FLEET_TMP/explain.out"
+grep -q "explain lpshe.*staircase=" "$FLEET_TMP/explain.out" || {
+    echo "FAIL: dvsscen run -explain reported no lpshe decision paths:" >&2
+    cat "$FLEET_TMP/explain.out" >&2
+    exit 1
+}
+echo "    trace smoke test OK ($TADDR, one trace across coordinator+worker, verdict bytes inert, flight export well-formed, -explain green)"
 
 echo "==> scenario pass (dvsscen validate + full corpus replay)"
 # Every committed document must validate (all errors would be listed)
