@@ -8,6 +8,10 @@
 #   BenchmarkEngineDecision  per-scheduling-point engine cost (ns/decision)
 #   BenchmarkEngineDecisionFlight  same, with the decision flight
 #                            recorder attached (the observability tax)
+#   BenchmarkSnapshotCapture freeze one mid-run engine into a
+#                            checkpoint envelope (the per-run cost of
+#                            every pause, drain, and fleet migration)
+#   BenchmarkSnapshotRestore rebuild a live engine from an envelope
 #
 # Usage:
 #   ./bench.sh                # default benchtime
@@ -46,7 +50,7 @@ if [ -z "$raw" ]; then
     trap 'rm -f "$raw"' EXIT
 fi
 
-pattern='^(BenchmarkPolicies|BenchmarkAnalyzerSlack|BenchmarkEngineDecision|BenchmarkEngineDecisionFlight)$'
+pattern='^(BenchmarkPolicies|BenchmarkAnalyzerSlack|BenchmarkEngineDecision|BenchmarkEngineDecisionFlight|BenchmarkSnapshotCapture|BenchmarkSnapshotRestore)$'
 echo "bench.sh: running $pattern (this takes a minute)..." >&2
 go test -run '^$' -bench "$pattern" -benchmem "$@" . | tee "$raw" >&2
 
@@ -73,6 +77,7 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
         if (unit == "B/op")            printf ", \"bytes_per_op\": %s", $i
         else if (unit == "allocs/op")  printf ", \"allocs_per_op\": %s", $i
         else if (unit == "ns/decision") printf ", \"ns_per_decision\": %s", $i
+        else if (unit == "snapshot-bytes") printf ", \"snapshot_bytes\": %s", $i
     }
     printf "}"
 }
@@ -115,7 +120,7 @@ function val(line, key,   s) {
     }
     pct = (ns - old[name]) / old[name] * 100
     printf "  %-28s %12.0f -> %-12.0f %+7.1f%%\n", name, old[name], ns, pct > "/dev/stderr"
-    if (pct > 20 && name ~ /^(AnalyzerSlack|EngineDecision|EngineDecisionFlight)$/)
+    if (pct > 20 && name ~ /^(AnalyzerSlack|EngineDecision|EngineDecisionFlight|SnapshotCapture|SnapshotRestore)$/)
         printf "%s %.1f%%\n", name, pct
 }
 ' "$prev" "$out")

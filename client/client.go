@@ -269,6 +269,27 @@ func (c *Client) CancelJob(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, true)
 }
 
+// CheckpointJob pauses a job at its next step boundaries and returns
+// the portable checkpoint document: recorded outcomes plus a
+// mid-flight engine snapshot per interrupted run. Not retried — a
+// replay against a job that settled meanwhile would still succeed,
+// but pausing is a state change the caller should see fail loudly.
+func (c *Client) CheckpointJob(ctx context.Context, id string) (server.JobCheckpoint, error) {
+	var doc server.JobCheckpoint
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/checkpoint", nil, &doc, false)
+	return doc, err
+}
+
+// RestoreJob resumes a checkpoint document as a fresh job on the
+// daemon (finished runs are skipped, snapshotted runs continue
+// mid-simulation). Never retried: a replay would enqueue the job
+// twice.
+func (c *Client) RestoreJob(ctx context.Context, doc server.JobCheckpoint) (server.JobInfo, error) {
+	var info server.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/restore", &doc, &info, false)
+	return info, err
+}
+
 // WaitJob polls until the job reaches a terminal state (or ctx
 // expires) and returns its final status with results.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (server.JobInfo, error) {
@@ -283,7 +304,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (se
 			return info, err
 		}
 		switch info.State {
-		case server.JobDone, server.JobFailed, server.JobCancelled:
+		case server.JobDone, server.JobFailed, server.JobCancelled, server.JobCheckpointed:
 			return info, nil
 		}
 		select {

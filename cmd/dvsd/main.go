@@ -13,21 +13,26 @@
 //
 // Endpoints (see docs/api.md and docs/observability.md):
 //
-//	POST /v1/simulate            one run, synchronous
-//	POST /v1/jobs                batch run/sweep, async
-//	GET  /v1/jobs                job listing
-//	GET  /v1/jobs/{id}           job status (+ ?results=1)
-//	GET  /v1/jobs/{id}/events    SSE progress stream
-//	DELETE /v1/jobs/{id}         cancel
-//	GET  /v1/policies            policy registry
-//	GET  /metrics                JSON metrics snapshot
-//	GET  /metrics.prom           Prometheus text exposition
-//	GET  /debug/pprof/*          profiling (with -pprof)
-//	GET  /healthz                liveness
-//	GET  /readyz                 readiness (drain/saturation aware)
+//	POST /v1/simulate                one run, synchronous
+//	POST /v1/jobs                    batch run/sweep, async
+//	GET  /v1/jobs                    job listing
+//	GET  /v1/jobs/{id}               job status (+ ?results=1)
+//	GET  /v1/jobs/{id}/events        SSE progress stream
+//	DELETE /v1/jobs/{id}             cancel
+//	POST /v1/jobs/{id}/checkpoint    pause mid-simulation, get snapshot doc
+//	POST /v1/jobs/restore            resume a checkpoint document
+//	GET  /v1/policies                policy registry
+//	GET  /metrics                    JSON metrics snapshot
+//	GET  /metrics.prom               Prometheus text exposition
+//	GET  /debug/pprof/*              profiling (with -pprof)
+//	GET  /healthz                    liveness
+//	GET  /readyz                     readiness (drain/saturation aware)
 //
-// SIGINT/SIGTERM trigger a graceful drain: the listener closes, jobs
-// in flight get -drain-timeout to finish, then stragglers are
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, and
+// jobs in flight get -drain-timeout to finish. What happens to the
+// stragglers depends on -checkpoint-dir: with one set they are
+// checkpointed mid-simulation (and recovered on the next start from
+// the same directory — see docs/checkpoints.md); without, they are
 // cancelled.
 package main
 
@@ -71,6 +76,10 @@ func main() {
 			"record spans into a ring of this many entries, served at /debug/trace (0 = tracing off; header propagation always on)")
 		flight = flag.Int("flight", 4096,
 			"decision flight-recorder ring entries, served at /debug/flightrecorder (-1 disables)")
+		ckptDir = flag.String("checkpoint-dir", "",
+			"directory for durable job checkpoints: drain checkpoints unfinished jobs here and the next start resumes them (empty = off)")
+		ckptInterval = flag.Duration("checkpoint-interval", 0,
+			"auto-checkpoint running jobs to -checkpoint-dir on this period, bounding crash loss (0 = drain-time only)")
 		logCfg obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -99,18 +108,29 @@ func main() {
 		tracer = obs.NewTracer("dvsd", *traceBuf)
 	}
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheSize:       cs,
-		EnablePprof:     *pprof,
-		Logger:          logger,
-		RequestTimeout:  *reqTimeout,
-		AdmitLimit:      *admit,
-		SSEWriteTimeout: *sseTimeout,
-		Chaos:           chaos,
-		Tracer:          tracer,
-		FlightRecorder:  *flight,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          cs,
+		EnablePprof:        *pprof,
+		Logger:             logger,
+		RequestTimeout:     *reqTimeout,
+		AdmitLimit:         *admit,
+		SSEWriteTimeout:    *sseTimeout,
+		Chaos:              chaos,
+		Tracer:             tracer,
+		FlightRecorder:     *flight,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
 	})
+	if *ckptDir != "" {
+		n, err := srv.RecoverCheckpoints()
+		if err != nil {
+			logger.Warn("dvsd: checkpoint recovery incomplete", "dir", *ckptDir, "err", err)
+		}
+		if n > 0 {
+			logger.Info("dvsd: recovered checkpointed jobs", "dir", *ckptDir, "jobs", n)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -144,8 +164,15 @@ func main() {
 		logger.Warn("dvsd: http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		logger.Error("dvsd: drain incomplete", "err", err)
-		os.Exit(1)
+		// With a checkpoint directory, a blown drain deadline is a
+		// clean outcome: the stragglers were checkpointed to disk and
+		// the next start resumes them.
+		if *ckptDir != "" && errors.Is(err, context.DeadlineExceeded) {
+			logger.Info("dvsd: unfinished jobs checkpointed", "dir", *ckptDir)
+		} else {
+			logger.Error("dvsd: drain incomplete", "err", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("dvsd: drained, bye")
 }

@@ -1,0 +1,195 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"dvsslack/internal/snapbuf"
+)
+
+// Checkpoint/restore for the auditor. The auditor shadows the whole
+// run from the event stream, so a restored simulation can only keep
+// its audit verdict if the auditor's shadow state travels with the
+// engine snapshot. Everything mutable is serialized — the timeline
+// cursor, per-job shadow records, energy and counter accumulators,
+// and any violations already recorded. Options are configuration and
+// are rebuilt by the caller (audit.New with the same task set and
+// processor).
+
+// SnapshotState appends the auditor's complete run state to enc. The
+// active-job map is serialized in (task, index) order so identical
+// auditor states produce identical bytes.
+func (a *Auditor) SnapshotState(enc *snapbuf.Encoder) {
+	enc.Float64(a.t)
+	enc.Bool(a.started)
+
+	keys := make([]jobKey, 0, len(a.active))
+	for k := range a.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].task != keys[j].task {
+			return keys[i].task < keys[j].task
+		}
+		return keys[i].index < keys[j].index
+	})
+	enc.Int(len(keys))
+	for _, k := range keys {
+		ja := a.active[k]
+		enc.Int(ja.key.task)
+		enc.Int(ja.key.index)
+		enc.Float64(ja.release)
+		enc.Float64(ja.deadline)
+		enc.Float64(ja.wcet)
+		enc.Float64(ja.cycles)
+	}
+
+	// The running pointer is (in practice) nil or one of the active
+	// records; serialize its key and full fields so restore can prefer
+	// the map instance but still reconstruct a detached shadow record.
+	enc.Bool(a.running != nil)
+	if a.running != nil {
+		enc.Int(a.running.key.task)
+		enc.Int(a.running.key.index)
+		enc.Float64(a.running.release)
+		enc.Float64(a.running.deadline)
+		enc.Float64(a.running.wcet)
+		enc.Float64(a.running.cycles)
+	}
+	enc.Float64(a.speed)
+	enc.Float64(a.curSpeed)
+	enc.Bool(a.speedSeen)
+
+	enc.Float64(a.busyE)
+	enc.Float64(a.idleE)
+	enc.Float64(a.switchE)
+	enc.Float64(a.work)
+	enc.Int(a.releases)
+	enc.Int(a.completes)
+	enc.Int(a.dispatches)
+	enc.Int(a.switches)
+	enc.Int(a.misses)
+	enc.Int(a.sleeps)
+
+	enc.Int(len(a.violations))
+	for _, v := range a.violations {
+		enc.String(v.Invariant)
+		enc.Float64(v.Time)
+		enc.String(v.Job)
+		enc.String(v.Detail)
+	}
+	enc.Bool(a.truncated)
+}
+
+// RestoreState reads back what SnapshotState wrote into a freshly
+// constructed auditor (same Options). It fails closed on malformed
+// input without leaving partial state behind: nothing is committed
+// until the full payload has decoded and validated.
+func (a *Auditor) RestoreState(dec *snapbuf.Decoder) error {
+	t := dec.Float64()
+	started := dec.Bool()
+
+	na := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if na < 0 || na > dec.Remaining()/48 {
+		return fmt.Errorf("audit: implausible active-job count %d", na)
+	}
+	active := make(map[jobKey]*jobAudit, na)
+	ntasks := a.opts.TaskSet.N()
+	for i := 0; i < na; i++ {
+		ja := &jobAudit{}
+		ja.key.task = dec.Int()
+		ja.key.index = dec.Int()
+		ja.release = dec.Float64()
+		ja.deadline = dec.Float64()
+		ja.wcet = dec.Float64()
+		ja.cycles = dec.Float64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if ja.key.task < 0 || ja.key.task >= ntasks || ja.key.index < 0 {
+			return fmt.Errorf("audit: shadow job %d has key T%d#%d out of range",
+				i, ja.key.task+1, ja.key.index)
+		}
+		if _, dup := active[ja.key]; dup {
+			return fmt.Errorf("audit: duplicate shadow job %s", ja.key.id())
+		}
+		active[ja.key] = ja
+	}
+
+	var running *jobAudit
+	if dec.Bool() {
+		r := &jobAudit{}
+		r.key.task = dec.Int()
+		r.key.index = dec.Int()
+		r.release = dec.Float64()
+		r.deadline = dec.Float64()
+		r.wcet = dec.Float64()
+		r.cycles = dec.Float64()
+		if ja := active[r.key]; ja != nil {
+			running = ja // preserve pointer identity with the map record
+		} else {
+			running = r
+		}
+	}
+	speed := dec.Float64()
+	curSpeed := dec.Float64()
+	speedSeen := dec.Bool()
+
+	busyE := dec.Float64()
+	idleE := dec.Float64()
+	switchE := dec.Float64()
+	work := dec.Float64()
+	releases := dec.Int()
+	completes := dec.Int()
+	dispatches := dec.Int()
+	switches := dec.Int()
+	misses := dec.Int()
+	sleeps := dec.Int()
+
+	nv := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if nv < 0 || nv > a.opts.MaxViolations {
+		return fmt.Errorf("audit: violation count %d exceeds cap %d", nv, a.opts.MaxViolations)
+	}
+	violations := make([]Violation, nv)
+	for i := range violations {
+		violations[i].Invariant = dec.String()
+		violations[i].Time = dec.Float64()
+		violations[i].Job = dec.String()
+		violations[i].Detail = dec.String()
+	}
+	truncated := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	a.t = t
+	a.started = started
+	a.active = active
+	a.running = running
+	a.speed = speed
+	a.curSpeed = curSpeed
+	a.speedSeen = speedSeen
+	a.busyE = busyE
+	a.idleE = idleE
+	a.switchE = switchE
+	a.work = work
+	a.releases = releases
+	a.completes = completes
+	a.dispatches = dispatches
+	a.switches = switches
+	a.misses = misses
+	a.sleeps = sleeps
+	if nv == 0 {
+		a.violations = nil
+	} else {
+		a.violations = violations
+	}
+	a.truncated = truncated
+	return nil
+}

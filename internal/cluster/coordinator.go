@@ -141,6 +141,7 @@ func New(cfg Config) *Coordinator {
 	mux.HandleFunc("GET /v1/cluster", c.instrument("cluster", c.handleCluster))
 	mux.HandleFunc("POST /v1/cluster/cordon", c.instrument("cluster.cordon", c.handleCordon))
 	mux.HandleFunc("POST /v1/cluster/uncordon", c.instrument("cluster.uncordon", c.handleUncordon))
+	mux.HandleFunc("POST /v1/cluster/drain", c.instrument("cluster.drain", c.handleDrain))
 	if cfg.Kill != nil {
 		mux.HandleFunc("POST /v1/cluster/kill", c.instrument("cluster.kill", c.handleKill))
 	}

@@ -33,6 +33,8 @@ type fleetMetrics struct {
 	jobsCreated  *obs.Counter
 	jobsFinished *obs.Counter
 	fanoutRuns   *obs.Counter // fleet-job runs fanned out to workers
+
+	migrations *obs.CounterVec // jobs live-migrated off a worker, by reason
 }
 
 func newFleetMetrics(c *Coordinator) *fleetMetrics {
@@ -63,6 +65,9 @@ func newFleetMetrics(c *Coordinator) *fleetMetrics {
 	m.jobsCreated = r.Counter("dvsfleet_jobs_created_total", "fleet jobs accepted")
 	m.jobsFinished = r.Counter("dvsfleet_jobs_finished_total", "fleet jobs reaching a terminal state")
 	m.fanoutRuns = r.Counter("dvsfleet_fanout_runs_total", "fleet-job runs fanned out across workers")
+
+	m.migrations = r.CounterVec("dvsfleet_migrations_total",
+		"jobs live-migrated off a worker via checkpoint/restore, by reason", "reason")
 	return m
 }
 
@@ -99,6 +104,10 @@ type FleetSnapshot struct {
 	JobsCreated  uint64 `json:"jobs_created"`
 	JobsFinished uint64 `json:"jobs_finished"`
 	FanoutRuns   uint64 `json:"fanout_runs"`
+
+	// Migrations counts jobs live-migrated off workers (summed across
+	// reasons; omitted while zero to keep the quiet snapshot shape).
+	Migrations uint64 `json:"migrations,omitempty"`
 }
 
 // snapshot captures a consistent view of the counters.
@@ -120,5 +129,6 @@ func (m *fleetMetrics) snapshot(c *Coordinator) FleetSnapshot {
 	m.errors.Each(func(label string, c *obs.Counter) { s.Errors[label] = uint64(c.Value()) })
 	m.routed.Each(func(_ string, c *obs.Counter) { s.Routed += uint64(c.Value()) })
 	m.failovers.Each(func(_ string, c *obs.Counter) { s.Failovers += uint64(c.Value()) })
+	m.migrations.Each(func(_ string, c *obs.Counter) { s.Migrations += uint64(c.Value()) })
 	return s
 }

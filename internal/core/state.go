@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dvsslack/internal/sim"
+	"dvsslack/internal/snapbuf"
+)
+
+// This file implements checkpoint/restore for the analyzer and the
+// lpSHE policy (sim.StateSnapshotter). Only mutable run state is
+// serialized; everything derivable from the task set — the demand
+// grid, utilization, hyperperiod, certificate slop, scratch buffers —
+// is rebuilt by construction/Reset on the restore path. The one
+// derived structure that depends on run state, the staircase sparse
+// table (stairRMQ), is rebuilt from the restored stairC with the
+// exact doubling loop Analyze uses, so its minima are bit-identical.
+
+// SnapshotState serializes the analyzer's run state: phantom demand,
+// the slack staircase with its cursors, credits and tail covers, the
+// adaptive-horizon memory, and the instrumentation counters.
+func (a *Analyzer) SnapshotState(enc *snapbuf.Encoder, _ sim.SnapshotContext) {
+	enc.Int(len(a.phantoms))
+	for _, p := range a.phantoms {
+		enc.Float64(p.deadline)
+		enc.Float64(p.rem)
+	}
+	enc.Int(a.adaptCap)
+	enc.Int(a.deepestImpr)
+
+	enc.Float64s(a.stairD)
+	enc.Float64s(a.stairC)
+	enc.Int(a.stairCur)
+	enc.Float64(a.stairCredit)
+	enc.Float64(a.stairLast)
+	enc.Float64(a.tailCol)
+	enc.Ints(a.liftLo)
+	enc.Float64s(a.liftW)
+	enc.Float64(a.stairAdvT)
+	enc.Float64(a.stairFront)
+	enc.Float64(a.stairB)
+	enc.Bool(a.stairBOK)
+
+	enc.Bool(a.tailValid)
+	enc.Float64(a.tailC0)
+	enc.Float64(a.tailBase)
+	enc.Float64(a.tailAcc)
+	enc.Int(a.tailJ)
+	enc.Float64(a.tailCredit)
+	enc.Float64(a.entSent)
+	enc.Float64(a.entFront)
+
+	enc.Float64(a.calls)
+	enc.Float64(a.scanned)
+	enc.Float64(a.capped)
+	enc.Float64(a.incHits)
+	enc.Float64(a.rebuilds)
+	enc.Float64(a.adCapped)
+	enc.Int(a.lastScan)
+	enc.Bool(a.lastCert)
+	enc.Bool(a.lastTrunc)
+}
+
+// RestoreState reads back what SnapshotState wrote, after Reset. It
+// validates every structural invariant before use and rebuilds the
+// staircase range-minimum table from the restored constants.
+func (a *Analyzer) RestoreState(dec *snapbuf.Decoder, _ sim.SnapshotContext) error {
+	np := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if np < 0 || np > dec.Remaining()/16 {
+		return fmt.Errorf("core: implausible phantom count %d", np)
+	}
+	a.phantoms = a.phantoms[:0]
+	for i := 0; i < np; i++ {
+		a.AddPhantom(dec.Float64(), dec.Float64())
+	}
+	a.adaptCap = dec.Int()
+	a.deepestImpr = dec.Int()
+
+	a.stairD = append(a.stairD[:0], dec.Float64s()...)
+	a.stairC = append(a.stairC[:0], dec.Float64s()...)
+	a.stairCur = dec.Int()
+	a.stairCredit = dec.Float64()
+	a.stairLast = dec.Float64()
+	a.tailCol = dec.Float64()
+	a.liftLo = append(a.liftLo[:0], dec.Ints()...)
+	a.liftW = append(a.liftW[:0], dec.Float64s()...)
+	a.stairAdvT = dec.Float64()
+	a.stairFront = dec.Float64()
+	a.stairB = dec.Float64()
+	a.stairBOK = dec.Bool()
+
+	a.tailValid = dec.Bool()
+	a.tailC0 = dec.Float64()
+	a.tailBase = dec.Float64()
+	a.tailAcc = dec.Float64()
+	a.tailJ = dec.Int()
+	a.tailCredit = dec.Float64()
+	a.entSent = dec.Float64()
+	a.entFront = dec.Float64()
+
+	a.calls = dec.Float64()
+	a.scanned = dec.Float64()
+	a.capped = dec.Float64()
+	a.incHits = dec.Float64()
+	a.rebuilds = dec.Float64()
+	a.adCapped = dec.Float64()
+	a.lastScan = dec.Int()
+	a.lastCert = dec.Bool()
+	a.lastTrunc = dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	if len(a.stairD) != len(a.stairC) {
+		return fmt.Errorf("core: staircase length mismatch: %d deadlines, %d constants",
+			len(a.stairD), len(a.stairC))
+	}
+	if a.stairCur < 0 || a.stairCur > len(a.stairD) {
+		return fmt.Errorf("core: staircase cursor %d out of range [0,%d]", a.stairCur, len(a.stairD))
+	}
+	if len(a.liftLo) != len(a.liftW) || len(a.liftLo) > maxStairLifts {
+		return fmt.Errorf("core: lift list malformed: %d boundaries, %d weights",
+			len(a.liftLo), len(a.liftW))
+	}
+	if a.adaptCap < 0 || a.deepestImpr < 0 {
+		return fmt.Errorf("core: negative adaptive-horizon state")
+	}
+	if a.tailValid {
+		if a.grid == nil {
+			return fmt.Errorf("core: snapshot has a grid tail but the analyzer has no grid")
+		}
+		if a.tailJ < 0 || a.tailJ >= len(a.grid.pos) {
+			return fmt.Errorf("core: tail cursor %d out of range [0,%d)", a.tailJ, len(a.grid.pos))
+		}
+	}
+
+	// Rebuild the sparse range-minimum table exactly as Analyze does,
+	// so StairBound's segment minima are bit-identical post-restore.
+	k := len(a.stairC)
+	levels := bits.Len(uint(k))
+	rmq := a.stairRMQ
+	if need := levels * k; cap(rmq) < need {
+		rmq = make([]float64, need)
+	} else {
+		rmq = rmq[:need]
+	}
+	copy(rmq, a.stairC)
+	for lev := 1; lev < levels; lev++ {
+		half := 1 << (lev - 1)
+		prev, row := (lev-1)*k, lev*k
+		for j := 0; j+2*half <= k; j++ {
+			v := rmq[prev+j]
+			if v2 := rmq[prev+j+half]; v2 < v {
+				v = v2
+			}
+			rmq[row+j] = v
+		}
+	}
+	a.stairRMQ = rmq
+	return nil
+}
+
+// SnapshotState implements sim.StateSnapshotter for lpSHE: the
+// fast-path bookkeeping, pacing history, decision provenance, and the
+// analyzer's run state. The running-job pointer travels as a ready
+// queue reference.
+func (p *LpSHE) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	enc.Float64(p.decided)
+	enc.Int(sc.JobRef(p.runJob))
+	enc.Float64(p.runExec)
+	enc.Bool(p.haveL)
+	enc.Float64(p.fastHits)
+	enc.Float64s(p.lastUsage)
+	enc.Float64(p.basePace)
+	enc.Float64(p.credited)
+	enc.Uint8(uint8(p.lastPath))
+	enc.Int(p.lastScanLen)
+	p.analyzer.SnapshotState(enc, sc)
+}
+
+// RestoreState implements sim.StateSnapshotter; Reset has already
+// rebuilt the analyzer, scratch, and derived constants for the
+// restored engine.
+func (p *LpSHE) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	p.decided = dec.Float64()
+	runRef := dec.Int()
+	p.runExec = dec.Float64()
+	p.haveL = dec.Bool()
+	p.fastHits = dec.Float64()
+	usage := dec.Float64s()
+	p.basePace = dec.Float64()
+	p.credited = dec.Float64()
+	path := dec.Uint8()
+	p.lastScanLen = dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(usage) != len(p.lastUsage) {
+		return fmt.Errorf("core: lpSHE usage history has %d entries for %d tasks",
+			len(usage), len(p.lastUsage))
+	}
+	copy(p.lastUsage, usage)
+	p.runJob = sc.JobAt(runRef)
+	if runRef >= 0 && p.runJob == nil {
+		return fmt.Errorf("core: lpSHE running-job reference %d resolves to no ready job", runRef)
+	}
+	p.lastPath = sim.DecisionPath(path)
+	return p.analyzer.RestoreState(dec, sc)
+}

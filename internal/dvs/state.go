@@ -1,0 +1,217 @@
+package dvs
+
+import (
+	"fmt"
+
+	"dvsslack/internal/sim"
+	"dvsslack/internal/snapbuf"
+)
+
+// This file implements sim.StateSnapshotter for every shipped
+// baseline policy and wrapper, so any registered policy spec can be
+// checkpointed and restored mid-run. Stateless policies serialize
+// nothing; wrappers recurse into their inner policy; job pointers
+// travel as ready queue references through the SnapshotContext.
+
+// SnapshotState implements sim.StateSnapshotter (stateless).
+func (*NonDVS) SnapshotState(*snapbuf.Encoder, sim.SnapshotContext) {}
+
+// RestoreState implements sim.StateSnapshotter (stateless).
+func (*NonDVS) RestoreState(*snapbuf.Decoder, sim.SnapshotContext) error { return nil }
+
+// SnapshotState implements sim.StateSnapshotter (speed derived at Reset).
+func (*StaticEDF) SnapshotState(*snapbuf.Encoder, sim.SnapshotContext) {}
+
+// RestoreState implements sim.StateSnapshotter.
+func (*StaticEDF) RestoreState(*snapbuf.Decoder, sim.SnapshotContext) error { return nil }
+
+// SnapshotState implements sim.StateSnapshotter (stateless).
+func (*LppsEDF) SnapshotState(*snapbuf.Encoder, sim.SnapshotContext) {}
+
+// RestoreState implements sim.StateSnapshotter.
+func (*LppsEDF) RestoreState(*snapbuf.Decoder, sim.SnapshotContext) error { return nil }
+
+// SnapshotState implements sim.StateSnapshotter: the per-task dynamic
+// utilization shares and their incrementally maintained sum.
+func (p *CCEDF) SnapshotState(enc *snapbuf.Encoder, _ sim.SnapshotContext) {
+	enc.Float64s(p.util)
+	enc.Float64(p.total)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *CCEDF) RestoreState(dec *snapbuf.Decoder, _ sim.SnapshotContext) error {
+	util := dec.Float64s()
+	total := dec.Float64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(util) != len(p.util) {
+		return fmt.Errorf("dvs: ccEDF utilization vector has %d entries for %d tasks",
+			len(util), len(p.util))
+	}
+	copy(p.util, util)
+	p.total = total
+	return nil
+}
+
+// SnapshotState implements sim.StateSnapshotter: per-task remaining
+// WCET and current deadlines.
+func (p *LAEDF) SnapshotState(enc *snapbuf.Encoder, _ sim.SnapshotContext) {
+	enc.Float64s(p.cLeft)
+	enc.Float64s(p.deadline)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *LAEDF) RestoreState(dec *snapbuf.Decoder, _ sim.SnapshotContext) error {
+	cLeft := dec.Float64s()
+	deadline := dec.Float64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(cLeft) != len(p.cLeft) || len(deadline) != len(p.deadline) {
+		return fmt.Errorf("dvs: laEDF state has %d/%d entries for %d tasks",
+			len(cLeft), len(deadline), len(p.cLeft))
+	}
+	copy(p.cLeft, cLeft)
+	copy(p.deadline, deadline)
+	return nil
+}
+
+// SnapshotState implements sim.StateSnapshotter: the alpha queue in
+// canonical (deadline) order. Entries whose actual job completed
+// carry a -1 job reference and restore with a nil job pointer, which
+// is safe — only live-entry pointers are ever compared against
+// dispatched jobs.
+func (p *DRA) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	enc.Int(p.queue.Len())
+	for el := p.queue.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*alphaEntry)
+		enc.Float64(e.deadline)
+		enc.Float64(e.rem)
+		enc.Bool(e.done)
+		enc.Int(sc.JobRef(e.job))
+	}
+}
+
+// RestoreState implements sim.StateSnapshotter: rebuilds the queue in
+// stored order and the job→entry index from its live entries.
+func (p *DRA) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n < 0 || n > dec.Remaining()/25 {
+		return fmt.Errorf("dvs: implausible alpha-queue length %d", n)
+	}
+	p.queue.Init()
+	for k := range p.byJob {
+		delete(p.byJob, k)
+	}
+	for i := 0; i < n; i++ {
+		e := &alphaEntry{
+			deadline: dec.Float64(),
+			rem:      dec.Float64(),
+			done:     dec.Bool(),
+		}
+		ref := dec.Int()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		e.job = sc.JobAt(ref)
+		if !e.done {
+			if e.job == nil {
+				return fmt.Errorf("dvs: live alpha entry %d resolves to no ready job", i)
+			}
+			p.byJob[e.job] = e
+		}
+		p.queue.PushBack(e)
+	}
+	return nil
+}
+
+// SnapshotState implements sim.StateSnapshotter: the per-task usage
+// predictions, the current TA/TB split plan, and the analyzer state.
+func (p *FeedbackEDF) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	enc.Float64s(p.pred)
+	enc.Int(sc.JobRef(p.job))
+	enc.Float64(p.sprintAt)
+	p.analyzer.SnapshotState(enc, sc)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *FeedbackEDF) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	pred := dec.Float64s()
+	ref := dec.Int()
+	sprintAt := dec.Float64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(pred) != len(p.pred) {
+		return fmt.Errorf("dvs: fbEDF prediction vector has %d entries for %d tasks",
+			len(pred), len(p.pred))
+	}
+	copy(p.pred, pred)
+	p.job = sc.JobAt(ref)
+	if ref >= 0 && p.job == nil {
+		return fmt.Errorf("dvs: fbEDF split-plan job reference %d resolves to no ready job", ref)
+	}
+	p.sprintAt = sprintAt
+	return p.analyzer.RestoreState(dec, sc)
+}
+
+// SnapshotState implements sim.StateSnapshotter: the committed
+// two-level plan and release sequence, plus the inner policy's state.
+func (p *DualLevel) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	enc.Int(sc.JobRef(p.job))
+	enc.Float64(p.switchAt)
+	enc.Float64(p.low)
+	enc.Uint64(p.planSeq)
+	enc.Uint64(p.releaseSeq)
+	p.Inner.(sim.StateSnapshotter).SnapshotState(enc, sc)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *DualLevel) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	ref := dec.Int()
+	p.switchAt = dec.Float64()
+	p.low = dec.Float64()
+	p.planSeq = dec.Uint64()
+	p.releaseSeq = dec.Uint64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	p.job = sc.JobAt(ref)
+	if ref >= 0 && p.job == nil {
+		return fmt.Errorf("dvs: dual-level plan job reference %d resolves to no ready job", ref)
+	}
+	return p.Inner.(sim.StateSnapshotter).RestoreState(dec, sc)
+}
+
+// SnapshotState implements sim.StateSnapshotter (floor derived at
+// Reset; only the inner policy carries run state).
+func (p *EfficientFloor) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	p.Inner.(sim.StateSnapshotter).SnapshotState(enc, sc)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *EfficientFloor) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	return p.Inner.(sim.StateSnapshotter).RestoreState(dec, sc)
+}
+
+// SnapshotState implements sim.StateSnapshotter: the hysteresis
+// anchor plus the inner policy's state.
+func (p *OverheadGuard) SnapshotState(enc *snapbuf.Encoder, sc sim.SnapshotContext) {
+	enc.Float64(p.last)
+	enc.Bool(p.have)
+	p.Inner.(sim.StateSnapshotter).SnapshotState(enc, sc)
+}
+
+// RestoreState implements sim.StateSnapshotter.
+func (p *OverheadGuard) RestoreState(dec *snapbuf.Decoder, sc sim.SnapshotContext) error {
+	p.last = dec.Float64()
+	p.have = dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	return p.Inner.(sim.StateSnapshotter).RestoreState(dec, sc)
+}

@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +24,10 @@ const (
 	JobDone      = "done"
 	JobFailed    = "failed"
 	JobCancelled = "cancelled"
+	// JobCheckpointed is the terminal state of a paused job: its
+	// in-flight runs were snapshotted mid-simulation and the resulting
+	// checkpoint document can be restored here or on another daemon.
+	JobCheckpointed = "checkpointed"
 )
 
 // JobEvent is one SSE progress record.
@@ -31,6 +37,8 @@ type JobEvent struct {
 	Total  int    `json:"total"`
 	Done   int    `json:"done"`
 	Failed int    `json:"failed"`
+	// Checkpointed counts runs paused with a mid-flight snapshot.
+	Checkpointed int `json:"checkpointed,omitempty"`
 	// Index/Policy/Energy describe the run that just finished
 	// (progress events only).
 	Index  int     `json:"index,omitempty"`
@@ -50,6 +58,11 @@ type job struct {
 	// buffer (the store wires it to the sse_lagged counter).
 	onLost func()
 
+	// pausing flips once when a checkpoint is requested: runs not yet
+	// started stay unstarted, in-flight runs stop at their next step
+	// boundary with a snapshot.
+	pausing atomic.Bool
+
 	mu       sync.Mutex
 	state    string
 	started  time.Time
@@ -61,20 +74,33 @@ type job struct {
 	firstErr string
 	subs     map[chan JobEvent]struct{}
 	finished chan struct{}
+	// completed marks run indices with a recorded outcome (restored
+	// jobs are seeded with their checkpoint's outcomes and never
+	// re-execute those indices).
+	completed map[int]bool
+	// resume holds the snapshot envelopes a restored job resumes its
+	// interrupted runs from.
+	resume map[int][]byte
+	// snapshots collects the envelopes captured by this incarnation's
+	// pause (keyed by run index).
+	snapshots map[int][]byte
+	// ctls tracks the control handle of every in-flight run.
+	ctls map[int]*runControl
 }
 
 func (j *job) info(withResults bool) JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
-		ID:      j.id,
-		Name:    j.name,
-		State:   j.state,
-		Total:   len(j.runs),
-		Done:    j.done,
-		Failed:  j.failed,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
-		Error:   j.firstErr,
+		ID:           j.id,
+		Name:         j.name,
+		State:        j.state,
+		Total:        len(j.runs),
+		Done:         j.done,
+		Failed:       j.failed,
+		Checkpointed: len(j.snapshots),
+		Created:      j.created.UTC().Format(time.RFC3339Nano),
+		Error:        j.firstErr,
 	}
 	if !j.started.IsZero() {
 		info.Started = j.started.UTC().Format(time.RFC3339Nano)
@@ -125,6 +151,8 @@ func (j *job) publish(ev JobEvent) {
 func (j *job) recordRun(index int, out outcome) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.completed[index] = true
+	delete(j.resume, index)
 	ro := RunOutcome{Index: index}
 	if out.err != nil {
 		ro.Error = out.err.Error()
@@ -151,18 +179,142 @@ func (j *job) recordRun(index int, out outcome) {
 	j.publish(ev)
 }
 
+// recordCheckpoint stores one run's pause envelope and notifies
+// subscribers.
+func (j *job) recordCheckpoint(index int, env []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snapshots[index] = env
+	j.publish(JobEvent{
+		Type: "progress", State: j.state,
+		Total: len(j.runs), Done: j.done, Failed: j.failed,
+		Index: index, Checkpointed: len(j.snapshots),
+	})
+}
+
 // finish moves the job to a terminal state.
 func (j *job) finish(state string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled || j.state == JobCheckpointed {
 		return
 	}
 	j.state = state
 	j.ended = time.Now()
 	sort.Slice(j.outcomes, func(a, b int) bool { return j.outcomes[a].Index < j.outcomes[b].Index })
-	j.publish(JobEvent{Type: "end", State: state, Total: len(j.runs), Done: j.done, Failed: j.failed, Error: j.firstErr})
+	j.publish(JobEvent{Type: "end", State: state, Total: len(j.runs), Done: j.done, Failed: j.failed,
+		Checkpointed: len(j.snapshots), Error: j.firstErr})
 	close(j.finished)
+}
+
+// requestPause flips the job into pausing mode and asks every
+// in-flight run to checkpoint at its next step boundary. The store
+// order (pausing first, then the ctls walk) pairs with the runner's
+// register-then-check order, so a run can never slip between the two
+// and execute unpaused.
+func (j *job) requestPause() {
+	j.pausing.Store(true)
+	j.mu.Lock()
+	ctls := make([]*runControl, 0, len(j.ctls))
+	for _, c := range j.ctls {
+		ctls = append(ctls, c)
+	}
+	j.mu.Unlock()
+	for _, c := range ctls {
+		c.Pause()
+	}
+}
+
+// checkpointDoc assembles the job's portable checkpoint document.
+// Snapshot precedence per unfinished run: an envelope captured by this
+// incarnation's pause wins; otherwise an unconsumed restore envelope
+// travels onward (a run that never got scheduled between restore and
+// the next pause keeps its original snapshot rather than losing it).
+func (j *job) checkpointDoc() *JobCheckpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := &JobCheckpoint{
+		Version:  JobCheckpointVersion,
+		Name:     j.name,
+		JobID:    j.id,
+		Runs:     append([]SimRequest(nil), j.runs...),
+		Outcomes: append([]RunOutcome(nil), j.outcomes...),
+	}
+	snaps := map[string]string{}
+	for i, env := range j.snapshots {
+		if !j.completed[i] {
+			snaps[strconv.Itoa(i)] = base64.StdEncoding.EncodeToString(env)
+		}
+	}
+	for i, env := range j.resume {
+		if _, have := snaps[strconv.Itoa(i)]; !have && !j.completed[i] {
+			snaps[strconv.Itoa(i)] = base64.StdEncoding.EncodeToString(env)
+		}
+	}
+	if len(snaps) > 0 {
+		doc.Snapshots = snaps
+	}
+	return doc
+}
+
+// liveCheckpoint assembles a checkpoint document without pausing the
+// job: every in-flight run is asked for a snapshot at its next step
+// boundary, with wait bounding how long a straggler is given. A run
+// that cannot answer in time keeps its best previous envelope (pause
+// or restore), and runs that finish mid-capture are recorded by their
+// outcome instead — the document is always internally consistent.
+func (j *job) liveCheckpoint(wait time.Duration) *JobCheckpoint {
+	j.mu.Lock()
+	reqs := make(map[int]<-chan captureResult, len(j.ctls))
+	for i, c := range j.ctls {
+		reqs[i] = c.Capture()
+	}
+	j.mu.Unlock()
+
+	fresh := map[int][]byte{}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	expired := false
+	take := func(i int, res captureResult) {
+		if res.err == nil && res.data != nil {
+			fresh[i] = res.data
+		}
+	}
+	for i, ch := range reqs {
+		if !expired {
+			select {
+			case res := <-ch:
+				take(i, res)
+				continue
+			case <-timer.C:
+				expired = true
+			}
+		}
+		select { // deadline passed: collect only what is already there
+		case res := <-ch:
+			take(i, res)
+		default:
+		}
+	}
+
+	doc := j.checkpointDoc()
+	j.mu.Lock()
+	for i, env := range fresh {
+		if j.completed[i] {
+			continue
+		}
+		if doc.Snapshots == nil {
+			doc.Snapshots = map[string]string{}
+		}
+		doc.Snapshots[strconv.Itoa(i)] = base64.StdEncoding.EncodeToString(env)
+	}
+	// A run can complete between checkpointDoc and the fresh merge;
+	// drop any snapshot that now collides with an outcome.
+	for _, ro := range doc.Outcomes {
+		delete(doc.Snapshots, strconv.Itoa(ro.Index))
+	}
+	j.mu.Unlock()
+	return doc
 }
 
 // jobStore owns every job and their runner goroutines.
@@ -186,15 +338,19 @@ func newJobStore(pool *pool, met *metrics) *jobStore {
 func (s *jobStore) Create(parent context.Context, name string, runs []SimRequest) *job {
 	ctx, cancel := context.WithCancel(parent)
 	j := &job{
-		id:       fmt.Sprintf("j%d", s.nextID.Add(1)),
-		name:     name,
-		created:  time.Now(),
-		cancel:   cancel,
-		onLost:   s.met.sseLagged.Inc,
-		state:    JobQueued,
-		runs:     runs,
-		subs:     map[chan JobEvent]struct{}{},
-		finished: make(chan struct{}),
+		id:        fmt.Sprintf("j%d", s.nextID.Add(1)),
+		name:      name,
+		created:   time.Now(),
+		cancel:    cancel,
+		onLost:    s.met.sseLagged.Inc,
+		state:     JobQueued,
+		runs:      runs,
+		subs:      map[chan JobEvent]struct{}{},
+		finished:  make(chan struct{}),
+		completed: map[int]bool{},
+		resume:    map[int][]byte{},
+		snapshots: map[int][]byte{},
+		ctls:      map[int]*runControl{},
 	}
 	s.mu.Lock()
 	s.jobs[j.id] = j
@@ -203,6 +359,51 @@ func (s *jobStore) Create(parent context.Context, name string, runs []SimRequest
 	s.met.jobCreated()
 	go s.run(ctx, j)
 	return j
+}
+
+// Restore registers and resumes a job from a checkpoint document.
+// The new job gets a fresh ID, is seeded with the document's recorded
+// outcomes, and re-enters the run loop: finished runs are skipped,
+// snapshotted runs resume mid-simulation, untouched runs start fresh.
+func (s *jobStore) Restore(parent context.Context, doc *JobCheckpoint) (*job, error) {
+	snaps, err := doc.materialize()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id:        fmt.Sprintf("j%d", s.nextID.Add(1)),
+		name:      doc.Name,
+		created:   time.Now(),
+		cancel:    cancel,
+		onLost:    s.met.sseLagged.Inc,
+		state:     JobQueued,
+		runs:      append([]SimRequest(nil), doc.Runs...),
+		subs:      map[chan JobEvent]struct{}{},
+		finished:  make(chan struct{}),
+		completed: map[int]bool{},
+		resume:    snaps,
+		snapshots: map[int][]byte{},
+		ctls:      map[int]*runControl{},
+	}
+	for _, ro := range doc.Outcomes {
+		j.outcomes = append(j.outcomes, ro)
+		j.completed[ro.Index] = true
+		j.done++
+		if ro.Error != "" {
+			j.failed++
+			if j.firstErr == "" {
+				j.firstErr = ro.Error
+			}
+		}
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.met.jobCreated()
+	go s.run(ctx, j)
+	return j, nil
 }
 
 // run executes a job's runs across the shared pool, keeping at most
@@ -215,13 +416,40 @@ func (s *jobStore) run(ctx context.Context, j *job) {
 	j.mu.Unlock()
 
 	// Run failures are recorded per outcome and never surfaced as a
-	// ForEach error, so cancellation is the only thing that stops the
-	// sweep early.
+	// ForEach error, so cancellation (or a pause) is the only thing
+	// that stops the sweep early.
 	_ = par.ForEach(2*s.pool.workers, len(j.runs), func(i int) error {
 		if ctx.Err() != nil {
 			return nil // cancelled: stop submitting further runs
 		}
-		res, err := s.pool.Do(ctx, &j.runs[i])
+		if j.pausing.Load() {
+			return nil // pausing: unstarted runs stay unstarted
+		}
+		j.mu.Lock()
+		if j.completed[i] {
+			j.mu.Unlock()
+			return nil // restored job: this run's outcome is recorded
+		}
+		snap := j.resume[i]
+		ctl := &runControl{}
+		j.ctls[i] = ctl
+		j.mu.Unlock()
+		if j.pausing.Load() {
+			// requestPause copied ctls before this run registered;
+			// honor the pause here instead of running unpausable.
+			j.mu.Lock()
+			delete(j.ctls, i)
+			j.mu.Unlock()
+			return nil
+		}
+		res, ckpt, err := s.pool.DoRun(ctx, &j.runs[i], snap, ctl)
+		j.mu.Lock()
+		delete(j.ctls, i)
+		j.mu.Unlock()
+		if ckpt != nil {
+			j.recordCheckpoint(i, ckpt)
+			return nil
+		}
 		if ctx.Err() != nil && err != nil {
 			return nil // cancelled, not a run failure
 		}
@@ -229,10 +457,13 @@ func (s *jobStore) run(ctx context.Context, j *job) {
 		return nil
 	})
 
+	done := func() int { j.mu.Lock(); defer j.mu.Unlock(); return j.done }()
 	state := JobDone
 	switch {
 	case ctx.Err() != nil:
 		state = JobCancelled
+	case j.pausing.Load() && done < len(j.runs):
+		state = JobCheckpointed
 	case func() bool { j.mu.Lock(); defer j.mu.Unlock(); return j.failed > 0 }():
 		state = JobFailed
 	}
@@ -260,6 +491,74 @@ func (s *jobStore) List() []JobInfo {
 		}
 	}
 	return out
+}
+
+// all returns every job in creation order.
+func (s *jobStore) all() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Checkpoint pauses a job and returns its checkpoint document once
+// every in-flight run has settled (or ctx expires — the job keeps
+// draining toward checkpointed in the background then, and a retry
+// will find it settled). Checkpointing an already-terminal job just
+// returns its document: for a finished job that is a pure outcome
+// record, still restorable.
+func (s *jobStore) Checkpoint(ctx context.Context, id string) (*JobCheckpoint, error) {
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, errNoSuchJob
+	}
+	j.requestPause()
+	select {
+	case <-j.finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return j.checkpointDoc(), nil
+}
+
+// CheckpointAll pauses every non-terminal job (the drain path of
+// Shutdown) and returns the documents of those that settled into the
+// checkpointed state within ctx. Jobs that complete normally while
+// pausing need no document; jobs that fail to settle are left to the
+// caller's cancellation pass.
+func (s *jobStore) CheckpointAll(ctx context.Context) []*JobCheckpoint {
+	var pending []*job
+	for _, j := range s.all() {
+		j.mu.Lock()
+		terminal := j.state == JobDone || j.state == JobFailed ||
+			j.state == JobCancelled || j.state == JobCheckpointed
+		j.mu.Unlock()
+		if terminal {
+			continue
+		}
+		j.requestPause()
+		pending = append(pending, j)
+	}
+	var docs []*JobCheckpoint
+	for _, j := range pending {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			continue
+		}
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		if st == JobCheckpointed {
+			docs = append(docs, j.checkpointDoc())
+		}
+	}
+	return docs
 }
 
 // Cancel aborts a job's remaining runs.

@@ -42,6 +42,9 @@ type metrics struct {
 
 	scenariosRun *obs.Counter // scenario documents executed to a verdict
 
+	checkpoints *obs.Counter    // job checkpoints taken (pause, drain, or auto)
+	restores    *obs.CounterVec // job restores by outcome ("ok"/"error")
+
 	shed          *obs.Counter    // sync requests refused by admission control
 	panics        *obs.Counter    // handler panics converted to 500s
 	reqTimeouts   *obs.Counter    // requests that hit their deadline
@@ -81,6 +84,9 @@ func newMetrics(workers int, cache *resultCache) *metrics {
 		"policy", latencyBuckets)
 
 	m.scenariosRun = r.Counter("dvsd_scenarios_total", "scenario documents executed to a verdict")
+
+	m.checkpoints = r.Counter("dvsd_checkpoints_total", "job checkpoints taken (pause, drain, or auto)")
+	m.restores = r.CounterVec("dvsd_restores_total", "job restores by outcome", "outcome")
 
 	m.shed = r.Counter("dvsd_shed_total", "synchronous requests refused by admission control (429)")
 	m.panics = r.Counter("dvsd_panics_total", "handler panics recovered into 500 responses")
@@ -183,6 +189,11 @@ type MetricsSnapshot struct {
 	JobsCreated  uint64 `json:"jobs_created"`
 	JobsFinished uint64 `json:"jobs_finished"`
 
+	// Checkpoint/restore counters (omitted while zero so the snapshot
+	// shape is unchanged on daemons not using checkpoints).
+	Checkpoints uint64            `json:"checkpoints,omitempty"`
+	Restores    map[string]uint64 `json:"restores,omitempty"`
+
 	// Resilience counters (omitted while zero so the pre-resilience
 	// snapshot shape is preserved byte for byte on a quiet daemon).
 	Shed            uint64 `json:"shed,omitempty"`
@@ -227,6 +238,13 @@ func (m *metrics) snapshot(workers int, cache *resultCache) MetricsSnapshot {
 	})
 	m.errors.Each(func(label string, c *obs.Counter) {
 		s.Errors[label] = uint64(c.Value())
+	})
+	s.Checkpoints = uint64(m.checkpoints.Value())
+	m.restores.Each(func(label string, c *obs.Counter) {
+		if s.Restores == nil {
+			s.Restores = map[string]uint64{}
+		}
+		s.Restores[label] = uint64(c.Value())
 	})
 	// Derived ratios guard their denominators: a zero-traffic daemon
 	// reports 0, not NaN (which would also fail JSON encoding).

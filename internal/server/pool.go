@@ -5,20 +5,109 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvsslack/internal/audit"
 	"dvsslack/internal/obs"
 	"dvsslack/internal/sim"
+	"dvsslack/internal/snapshot"
 )
 
 // ErrDraining is returned for work submitted after shutdown began.
 var ErrDraining = errors.New("server: draining, not accepting new work")
 
+// errRunSettled answers a live-capture request that arrived after the
+// run finished (its outcome, not a snapshot, is the record then).
+var errRunSettled = errors.New("server: run already settled")
+
+// captureResult is one answered snapshot request: the framed envelope
+// or the reason there is none.
+type captureResult struct {
+	data []byte
+	err  error
+}
+
+// runControl is the handle the job layer holds on one in-flight run.
+// The executing worker polls it at every step boundary — the only
+// points where the engine state is snapshottable — so a pause or a
+// live capture lands within one scheduling event of the request, with
+// the hot path paying two atomic loads per step.
+type runControl struct {
+	pause atomic.Bool  // checkpoint-and-stop at the next boundary
+	want  atomic.Int32 // pending live-capture requests
+
+	mu      sync.Mutex
+	settled bool
+	final   captureResult // answer for captures after settling
+	waiters []chan captureResult
+}
+
+// Pause asks the worker to snapshot and stop at its next boundary.
+func (c *runControl) Pause() { c.pause.Store(true) }
+
+// Capture asks for a snapshot without stopping the run. The returned
+// channel receives exactly one result; a run that settles (finishes
+// or pauses) before the next boundary answers with its final state —
+// errRunSettled for a completed run, the pause envelope for a paused
+// one.
+func (c *runControl) Capture() <-chan captureResult {
+	ch := make(chan captureResult, 1)
+	c.mu.Lock()
+	if c.settled {
+		final := c.final
+		c.mu.Unlock()
+		ch <- final
+		return ch
+	}
+	c.want.Add(1)
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// answer delivers one live capture to every pending waiter (worker
+// side). want and waiters move together under mu, so the worker's
+// lock-free want check can overshoot by at most one harmless capture.
+func (c *runControl) answer(data []byte, err error) {
+	c.mu.Lock()
+	ws := c.waiters
+	c.waiters = nil
+	c.want.Add(-int32(len(ws)))
+	c.mu.Unlock()
+	for _, ch := range ws {
+		ch <- captureResult{data: data, err: err}
+	}
+}
+
+// settle records the run's final capture answer (worker side) and
+// releases anyone still waiting.
+func (c *runControl) settle(data []byte, err error) {
+	c.mu.Lock()
+	if c.settled {
+		c.mu.Unlock()
+		return
+	}
+	c.settled = true
+	c.final = captureResult{data: data, err: err}
+	ws := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, ch := range ws {
+		ch <- c.final
+	}
+}
+
 // work is one queued simulation.
 type work struct {
 	req *SimRequest
-	key string // cache key; "" disables caching for this run
+	key string // cache + scenario key; "" disables caching for this run
+	// snapshot, when non-nil, resumes the run from a checkpoint
+	// envelope instead of starting fresh.
+	snapshot []byte
+	// ctl, when non-nil, lets the job layer pause or live-capture the
+	// run at step boundaries.
+	ctl *runControl
 	// sc is the submitting request's span context; the executing
 	// worker parents its sim.run span under it (zero = no trace).
 	sc obs.SpanContext
@@ -29,7 +118,18 @@ type work struct {
 
 type outcome struct {
 	res SimResult
-	err error
+	// ckpt is the pause envelope when the run was checkpointed instead
+	// of finished (res is then meaningless).
+	ckpt []byte
+	err  error
+}
+
+// settle forwards a terminal answer to the run's control (if any), so
+// capture waiters never hang on a run that exits without stepping.
+func (w *work) settle(data []byte, err error) {
+	if w.ctl != nil {
+		w.ctl.settle(data, err)
+	}
 }
 
 // pool executes simulations on a fixed set of worker goroutines fed
@@ -89,17 +189,22 @@ func (p *pool) worker() {
 
 // execute runs one work item, consulting the cache on both sides of
 // the simulation (a second identical request may have been queued
-// before the first finished).
+// before the first finished). Runs resuming from a snapshot skip the
+// cache recheck — resume semantics, not memoization, are what the
+// caller asked for. The engine is driven stepwise so a runControl can
+// pause or live-capture the run at any step boundary.
 func (p *pool) execute(w *work) outcome {
-	if w.key != "" {
+	if w.key != "" && w.snapshot == nil {
 		if res, ok := p.cache.Recheck(w.key); ok {
 			res.Cached = true
 			res.WallNanos = 0
+			w.settle(nil, errRunSettled)
 			return outcome{res: res}
 		}
 	}
 	cfg, err := w.req.Config()
 	if err != nil {
+		w.settle(nil, err)
 		return outcome{err: err}
 	}
 	var aud *audit.Auditor
@@ -117,8 +222,36 @@ func (p *pool) execute(w *work) outcome {
 		cfg.Observer = obs.Multi(cfg.Observer, fo)
 	}
 	start := time.Now()
-	simRes, err := sim.Run(cfg)
+	var e *sim.Engine
+	if w.snapshot != nil {
+		e, err = snapshot.Restore(w.snapshot, w.key, cfg, aud)
+	} else {
+		e, err = sim.NewEngine(cfg)
+	}
+	if err != nil {
+		w.settle(nil, err)
+		return outcome{err: err}
+	}
+	for e.Step() {
+		if w.ctl == nil {
+			continue
+		}
+		if w.ctl.pause.Load() {
+			data, cerr := snapshot.Capture(w.key, e, aud)
+			w.ctl.settle(data, cerr)
+			if cerr != nil {
+				return outcome{err: cerr}
+			}
+			return outcome{ckpt: data}
+		}
+		if w.ctl.want.Load() > 0 {
+			data, cerr := snapshot.Capture(w.key, e, aud)
+			w.ctl.answer(data, cerr)
+		}
+	}
+	simRes, err := e.Finish()
 	wall := time.Since(start)
+	w.settle(nil, errRunSettled)
 	p.met.simDone(cfg.Policy.Name(), simRes.Time, wall, err)
 	p.emitSpans(w, cfg.Policy.Name(), fo, start, wall)
 	if err != nil {
@@ -189,18 +322,31 @@ func (p *pool) Lookup(req *SimRequest) (SimResult, bool) {
 // cancellation abandons the wait (an already-queued run still
 // executes and populates the cache).
 func (p *pool) Do(ctx context.Context, req *SimRequest) (SimResult, error) {
+	res, _, err := p.DoRun(ctx, req, nil, nil)
+	return res, err
+}
+
+// DoRun is Do with checkpoint plumbing: snap, when non-nil, resumes
+// the run from a snapshot envelope (skipping the cache fast path —
+// the caller wants the remainder of that run, not a memoized result),
+// and ctl, when non-nil, lets the caller pause or live-capture the
+// run. A paused run returns a nil error and a non-nil envelope.
+func (p *pool) DoRun(ctx context.Context, req *SimRequest, snap []byte, ctl *runControl) (SimResult, []byte, error) {
 	key, err := req.CacheKey()
 	if err != nil {
 		key = "" // uncacheable, still runnable
 	}
-	if key != "" {
+	if key != "" && snap == nil {
 		if res, ok := p.cache.Get(key); ok {
 			res.Cached = true
 			res.WallNanos = 0
-			return res, nil
+			if ctl != nil {
+				ctl.settle(nil, errRunSettled)
+			}
+			return res, nil, nil
 		}
 	}
-	w := &work{req: req, key: key, done: make(chan outcome, 1)}
+	w := &work{req: req, key: key, snapshot: snap, ctl: ctl, done: make(chan outcome, 1)}
 	if sc, ok := obs.SpanContextFromContext(ctx); ok {
 		w.sc = sc
 	}
@@ -211,7 +357,7 @@ func (p *pool) Do(ctx context.Context, req *SimRequest) (SimResult, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return SimResult{}, ErrDraining
+		return SimResult{}, nil, ErrDraining
 	}
 	p.producers.Add(1)
 	p.mu.Unlock()
@@ -225,14 +371,14 @@ func (p *pool) Do(ctx context.Context, req *SimRequest) (SimResult, error) {
 	}
 	p.producers.Done()
 	if !enqueued {
-		return SimResult{}, ctx.Err()
+		return SimResult{}, nil, ctx.Err()
 	}
 
 	select {
 	case out := <-w.done:
-		return out.res, out.err
+		return out.res, out.ckpt, out.err
 	case <-ctx.Done():
-		return SimResult{}, ctx.Err()
+		return SimResult{}, nil, ctx.Err()
 	}
 }
 

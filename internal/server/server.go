@@ -64,6 +64,17 @@ type Config struct {
 	// deterministic fault injector (cmd/dvsd -chaos). Testing only.
 	Chaos *resilience.ChaosConfig
 
+	// CheckpointDir, when non-empty, enables durable job checkpoints:
+	// Shutdown checkpoints unfinished jobs into this directory instead
+	// of cancelling them, and RecoverCheckpoints resumes them on the
+	// next start (cmd/dvsd -checkpoint-dir).
+	CheckpointDir string
+	// CheckpointInterval, when positive (and CheckpointDir is set),
+	// additionally snapshots running jobs to the directory on this
+	// period, so a crash — not just a graceful drain — loses at most
+	// one interval of simulation work (cmd/dvsd -checkpoint-interval).
+	CheckpointInterval time.Duration
+
 	// Tracer, when non-nil, records handler / simulation / engine
 	// phase spans into its ring (served on GET /debug/trace).
 	// Propagation is independent of recording: inbound traceparent
@@ -137,6 +148,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleListJobs))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleGetJob))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs.cancel", s.handleCancelJob))
+	mux.HandleFunc("POST /v1/jobs/{id}/checkpoint", s.instrument("jobs.checkpoint", s.handleCheckpointJob))
+	mux.HandleFunc("POST /v1/jobs/restore", s.instrument("jobs.restore", s.handleRestoreJob))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents) // SSE, self-instrumented
 	mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -196,6 +209,9 @@ func New(cfg Config) *Server {
 		s.met.panics.Inc()
 		s.log.Error("handler panic recovered", "panic", fmt.Sprint(v))
 	})
+	if cfg.CheckpointDir != "" && cfg.CheckpointInterval > 0 {
+		go s.autoCheckpointLoop()
+	}
 	return s
 }
 
@@ -209,25 +225,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return s.workers }
 
-// Shutdown drains the daemon: new work is rejected immediately,
-// running jobs and queued runs get until ctx's deadline to finish,
-// and whatever remains afterwards is cancelled. The caller is
-// responsible for closing the HTTP listener first (http.Server's own
-// Shutdown), so no new requests arrive mid-drain.
+// Shutdown drains the daemon: new work is rejected immediately, and
+// running jobs and queued runs get until ctx's deadline to finish.
+// What remains afterwards depends on CheckpointDir: with one set, the
+// stragglers are checkpointed mid-simulation and their documents land
+// in the directory for the next process to recover; without, they are
+// cancelled. The caller is responsible for closing the HTTP listener
+// first (http.Server's own Shutdown), so no new requests arrive
+// mid-drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.jobs.WaitIdle(ctx)
 	if err != nil {
-		// Deadline hit: abort the stragglers quickly but cleanly.
+		// Deadline hit: settle the stragglers quickly but cleanly.
 		hard, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if s.cfg.CheckpointDir != "" {
+			// Checkpoint before baseStop: cancelling the job contexts
+			// first would abandon the very runs being snapshotted.
+			for _, doc := range s.jobs.CheckpointAll(hard) {
+				if werr := writeCheckpointFile(s.cfg.CheckpointDir, doc); werr != nil {
+					s.log.Warn("drain checkpoint failed", "job", doc.JobID, "err", werr)
+					continue
+				}
+				s.met.checkpoints.Inc()
+				s.log.Info("drain checkpoint written",
+					"job", doc.JobID, "snapshots", len(doc.Snapshots), "outcomes", len(doc.Outcomes))
+			}
+		}
 		s.jobs.CancelAll(hard)
 		s.baseStop()
 		s.pool.Drain(hard)
+		s.pruneCheckpointFiles()
 		return err
 	}
 	s.baseStop()
-	return s.pool.Drain(ctx)
+	err = s.pool.Drain(ctx)
+	s.pruneCheckpointFiles()
+	return err
 }
 
 // --- plumbing ---

@@ -83,17 +83,23 @@ func DefaultHorizon(ts *rtm.TaskSet) float64 {
 
 // Run executes one simulation and returns its aggregate Result.
 func Run(cfg Config) (Result, error) {
-	e, err := newEngine(cfg)
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.run()
+	return e.Run()
 }
 
-// engine is the mutable simulation state.
-type engine struct {
+// Engine is the mutable simulation state. Construct with NewEngine;
+// either drive the whole run with Run, or step event by event with
+// Step/Finish — every Step boundary is a valid checkpoint instant for
+// Snapshot/Restore (see engine_state.go).
+type Engine struct {
 	cfg     Config
 	horizon float64
+
+	began bool // Policy.Reset and the initial releases happened
+	ended bool // the event loop reached its natural end
 
 	t          float64
 	active     jobHeap
@@ -129,7 +135,7 @@ type releaseIndex struct {
 // refreshReleaseIndex recomputes the cached minima after the release
 // cursors moved. One pass covers all three so a release batch costs a
 // single O(n) scan regardless of how many queries follow.
-func (e *engine) refreshReleaseIndex() {
+func (e *Engine) refreshReleaseIndex() {
 	if !e.rel.dirty {
 		return
 	}
@@ -153,7 +159,10 @@ func (e *engine) refreshReleaseIndex() {
 	}
 }
 
-func newEngine(cfg Config) (*engine, error) {
+// NewEngine validates cfg and returns a fresh engine positioned at
+// t = 0, before any policy reset or release. Use Run for a whole run
+// or Step/Finish to drive it event by event.
+func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.TaskSet == nil {
 		return nil, errors.New("sim: Config.TaskSet is required")
 	}
@@ -211,7 +220,7 @@ func newEngine(cfg Config) (*engine, error) {
 			}
 		}
 	}
-	e := &engine{
+	e := &Engine{
 		cfg:        cfg,
 		horizon:    horizon,
 		nextIdx:    make([]int, n),
@@ -234,7 +243,7 @@ func newEngine(cfg Config) (*engine, error) {
 
 // releaseEligible reports whether job k·Period of task i survives the
 // configured activity windows.
-func (e *engine) releaseEligible(task int, nominal float64) bool {
+func (e *Engine) releaseEligible(task int, nominal float64) bool {
 	if len(e.cfg.ActiveWindows) == 0 {
 		return true
 	}
@@ -255,7 +264,7 @@ func (e *engine) releaseEligible(task int, nominal float64) bool {
 // eligible release (or the horizon). Surviving jobs keep their
 // nominal k·Period grid, so job indices and the audit oracle's
 // release-window invariant are untouched.
-func (e *engine) skipInactive(i int) {
+func (e *Engine) skipInactive(i int) {
 	if len(e.cfg.ActiveWindows) == 0 || len(e.cfg.ActiveWindows[i]) == 0 {
 		return
 	}
@@ -270,7 +279,7 @@ func (e *engine) skipInactive(i int) {
 
 // jitteredRelease returns the actual release time of job k of task i:
 // the nominal k·Period plus a deterministic draw from [0, Jitter].
-func (e *engine) jitteredRelease(task, k int) float64 {
+func (e *Engine) jitteredRelease(task, k int) float64 {
 	t := e.cfg.TaskSet.Tasks[task]
 	nominal := float64(k) * t.Period
 	if t.Jitter == 0 {
@@ -282,15 +291,15 @@ func (e *engine) jitteredRelease(task, k int) float64 {
 
 // --- System interface (the policy-facing read-only view) ---
 
-func (e *engine) TaskSet() *rtm.TaskSet { return e.cfg.TaskSet }
+func (e *Engine) TaskSet() *rtm.TaskSet { return e.cfg.TaskSet }
 
-func (e *engine) Processor() *cpu.Processor { return e.cfg.Processor }
+func (e *Engine) Processor() *cpu.Processor { return e.cfg.Processor }
 
-func (e *engine) Now() float64 { return e.t }
+func (e *Engine) Now() float64 { return e.t }
 
-func (e *engine) ActiveJobs() []*JobState { return e.active.jobs }
+func (e *Engine) ActiveJobs() []*JobState { return e.active.jobs }
 
-func (e *engine) NextRelease() float64 {
+func (e *Engine) NextRelease() float64 {
 	if len(e.nomNext) == 0 {
 		return infinity
 	}
@@ -304,7 +313,7 @@ func (e *engine) NextRelease() float64 {
 	return e.t
 }
 
-func (e *engine) NextReleaseOf(task int) float64 {
+func (e *Engine) NextReleaseOf(task int) float64 {
 	// Earliest *possible* next release from the scheduler's point of
 	// view: the nominal instant, or "right now" if the nominal
 	// instant has passed but the jittered arrival is still pending.
@@ -316,7 +325,7 @@ func (e *engine) NextReleaseOf(task int) float64 {
 	return e.t
 }
 
-func (e *engine) NextDecisionBound() float64 {
+func (e *Engine) NextDecisionBound() float64 {
 	// Latest instant by which a release (and hence a scheduling
 	// decision) is guaranteed, given pending releases within the
 	// horizon: nominal + jitter bounds the drawn arrival.
@@ -326,80 +335,108 @@ func (e *engine) NextDecisionBound() float64 {
 
 // nextReleaseEvent returns the earliest actual (jittered) release the
 // engine will perform, or +Inf if releases have ended.
-func (e *engine) nextReleaseEvent() float64 {
+func (e *Engine) nextReleaseEvent() float64 {
 	e.refreshReleaseIndex()
 	return e.rel.minEvent
 }
 
 // --- engine body ---
 
-func (e *engine) run() (Result, error) {
-	e.cfg.Policy.Reset(e)
-	e.releaseDue()
-	for e.err == nil {
-		if len(e.active.jobs) == 0 {
-			nr := e.nextReleaseEvent()
-			if math.IsInf(nr, 1) {
-				// All work done; idle out the remaining horizon so
-				// every run covers the same wall-clock span.
-				if e.t < e.horizon {
-					e.advanceIdle(e.horizon - e.t)
-				}
-				break
-			}
-			e.advanceIdle(nr - e.t)
-			e.releaseDue()
-			continue
-		}
+// Run drives the event loop to its end and returns the aggregate
+// Result. Equivalent to calling Step until it reports false, then
+// Finish.
+func (e *Engine) Run() (Result, error) {
+	for e.Step() {
+	}
+	return e.Finish()
+}
 
-		j := e.active.jobs[0]
-		e.res.Decisions++
-		s := e.cfg.Processor.Clamp(e.cfg.Policy.SelectSpeed(j))
-		if !(s > 0) {
-			e.err = fmt.Errorf("sim: policy %s selected non-positive speed %v at t=%v",
-				e.cfg.Policy.Name(), s, e.t)
-			break
-		}
-		if stalled := e.setSpeed(s); stalled {
-			// The transition consumed wall-clock time. If a release
-			// landed inside the stall, loop back for a fresh
-			// decision: the policies' deadline arguments rely on a
-			// scheduling decision at *every* release, including
-			// those hidden by the stall. Without a release the
-			// chosen speed stands (re-deciding unconditionally would
-			// let a pathological policy flip speeds forever without
-			// executing anything).
-			if e.releaseDue() {
-				continue
-			}
-		}
-		e.dispatch(j, s)
-
-		finish := e.t + j.remainingActual()/s
-		next := e.nextReleaseEvent()
-		// Intra-job power-management point: a Repacer policy may
-		// request an additional mid-job decision.
-		if rp, ok := e.cfg.Policy.(Repacer); ok {
-			if at := rp.NextCheck(j); at > e.t+1e-12 && at < next {
-				next = at
-			}
-		}
-		if finish <= next {
-			e.advanceBusy(finish-e.t, s)
-			e.complete(j)
-			// A release can coincide with the completion instant.
-			e.releaseDue()
-			continue
-		}
-		e.advanceBusy(next-e.t, s)
-		if j.remainingActual() <= 1e-12 {
-			// The job's actual work ran out exactly at the event
-			// boundary: complete it now, before admitting arrivals,
-			// so its finish time is not deferred past this instant.
-			e.complete(j)
-		}
+// Step advances the simulation by one event-loop iteration — at most
+// one scheduling decision plus the busy or idle interval to the next
+// event — and reports whether the run can continue. It returns false
+// once the run has ended, either naturally or on an error (see
+// Finish). The instants between Step calls are the engine's
+// checkpoint boundaries: Snapshot is valid exactly there.
+func (e *Engine) Step() bool {
+	if e.err != nil || e.ended {
+		return false
+	}
+	if !e.began {
+		e.began = true
+		e.cfg.Policy.Reset(e)
 		e.releaseDue()
 	}
+	if len(e.active.jobs) == 0 {
+		nr := e.nextReleaseEvent()
+		if math.IsInf(nr, 1) {
+			// All work done; idle out the remaining horizon so
+			// every run covers the same wall-clock span.
+			if e.t < e.horizon {
+				e.advanceIdle(e.horizon - e.t)
+			}
+			e.ended = true
+			return false
+		}
+		e.advanceIdle(nr - e.t)
+		e.releaseDue()
+		return true
+	}
+
+	j := e.active.jobs[0]
+	e.res.Decisions++
+	s := e.cfg.Processor.Clamp(e.cfg.Policy.SelectSpeed(j))
+	if !(s > 0) {
+		e.err = fmt.Errorf("sim: policy %s selected non-positive speed %v at t=%v",
+			e.cfg.Policy.Name(), s, e.t)
+		return false
+	}
+	if stalled := e.setSpeed(s); stalled {
+		// The transition consumed wall-clock time. If a release
+		// landed inside the stall, loop back for a fresh
+		// decision: the policies' deadline arguments rely on a
+		// scheduling decision at *every* release, including
+		// those hidden by the stall. Without a release the
+		// chosen speed stands (re-deciding unconditionally would
+		// let a pathological policy flip speeds forever without
+		// executing anything).
+		if e.releaseDue() {
+			return true
+		}
+	}
+	e.dispatch(j, s)
+
+	finish := e.t + j.remainingActual()/s
+	next := e.nextReleaseEvent()
+	// Intra-job power-management point: a Repacer policy may
+	// request an additional mid-job decision.
+	if rp, ok := e.cfg.Policy.(Repacer); ok {
+		if at := rp.NextCheck(j); at > e.t+1e-12 && at < next {
+			next = at
+		}
+	}
+	if finish <= next {
+		e.advanceBusy(finish-e.t, s)
+		e.complete(j)
+		// A release can coincide with the completion instant.
+		e.releaseDue()
+		return true
+	}
+	e.advanceBusy(next-e.t, s)
+	if j.remainingActual() <= 1e-12 {
+		// The job's actual work ran out exactly at the event
+		// boundary: complete it now, before admitting arrivals,
+		// so its finish time is not deferred past this instant.
+		e.complete(j)
+	}
+	e.releaseDue()
+	return true
+}
+
+// Finish finalizes the aggregate Result once Step has reported false
+// and returns it together with the run's error, if any. Calling it
+// earlier returns the partial result accumulated so far (the
+// checkpoint path never does; it snapshots instead).
+func (e *Engine) Finish() (Result, error) {
 	e.res.Time = math.Max(e.t, e.horizon)
 	e.res.Energy = e.res.BusyEnergy + e.res.IdleEnergy + e.res.SwitchEnergy
 	if inst, ok := e.cfg.Policy.(Instrumented); ok {
@@ -412,7 +449,7 @@ func (e *engine) run() (Result, error) {
 // arrived and reports whether any job was released. The horizon cuts
 // off on nominal release times so the released job population is
 // identical across jitter seeds.
-func (e *engine) releaseDue() bool {
+func (e *Engine) releaseDue() bool {
 	ts := e.cfg.TaskSet
 	released := false
 	for i := range ts.Tasks {
@@ -435,7 +472,7 @@ func (e *engine) releaseDue() bool {
 	return released
 }
 
-func (e *engine) newJob(task, idx int, release float64) *JobState {
+func (e *Engine) newJob(task, idx int, release float64) *JobState {
 	job := e.cfg.TaskSet.JobOf(task, idx)
 	// Jitter shifts the actual release and the absolute deadline
 	// with it; WCET and relative deadline are unchanged.
@@ -459,7 +496,7 @@ func (e *engine) newJob(task, idx int, release float64) *JobState {
 // setSpeed applies a speed setting, accounting for switch count,
 // transition energy, and (when configured) the transition stall. It
 // reports whether a stall consumed time.
-func (e *engine) setSpeed(s float64) bool {
+func (e *Engine) setSpeed(s float64) bool {
 	if e.speedSet && nearlyEqual(s, e.curSpeed) {
 		return false
 	}
@@ -489,7 +526,7 @@ func (e *engine) setSpeed(s float64) bool {
 	return false
 }
 
-func (e *engine) dispatch(j *JobState, s float64) {
+func (e *Engine) dispatch(j *JobState, s float64) {
 	if e.running != nil && e.running != j && !e.running.Done && e.running.Started {
 		e.res.Preemptions++
 	}
@@ -501,7 +538,7 @@ func (e *engine) dispatch(j *JobState, s float64) {
 	}
 }
 
-func (e *engine) advanceBusy(dt, s float64) {
+func (e *Engine) advanceBusy(dt, s float64) {
 	if dt < 0 {
 		dt = 0
 	}
@@ -517,7 +554,7 @@ func (e *engine) advanceBusy(dt, s float64) {
 	e.cfg.Policy.OnAdvance(dt)
 }
 
-func (e *engine) advanceIdle(dt float64) {
+func (e *Engine) advanceIdle(dt float64) {
 	if dt <= 0 {
 		return
 	}
@@ -541,7 +578,7 @@ func (e *engine) advanceIdle(dt float64) {
 	}
 }
 
-func (e *engine) complete(j *JobState) {
+func (e *Engine) complete(j *JobState) {
 	heap.Remove(&e.active, j.heapIndex)
 	j.Done = true
 	j.Finish = e.t

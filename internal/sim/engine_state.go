@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dvsslack/internal/snapbuf"
+)
+
+// SnapshotContext is the engine-provided view a policy uses to
+// serialize references to live jobs. Job pointers cannot travel
+// through a snapshot; a policy encodes JobRef(j) — the job's position
+// in the engine's ready queue — and rebinds it with JobAt on restore.
+// The ready queue's array order is preserved verbatim across a
+// snapshot (it is part of the determinism contract), so a reference
+// captured at a checkpoint boundary resolves to the same job after
+// restore.
+type SnapshotContext interface {
+	// JobRef returns a stable reference for a live job (its ready
+	// queue position), or -1 for nil or a job no longer in the queue
+	// (completed jobs, whose pointers restore to nil).
+	JobRef(j *JobState) int
+	// JobAt resolves a reference produced by JobRef; -1 and
+	// out-of-range references resolve to nil.
+	JobAt(ref int) *JobState
+}
+
+// StateSnapshotter is the interface a Policy must implement to
+// participate in checkpoint/restore. SnapshotState appends the
+// policy's mutable run state to enc; RestoreState reads it back in
+// the same field order after Reset has re-derived everything
+// construction-time (bindings, scratch buffers, configuration).
+// Stateless policies implement both as no-ops.
+//
+// The round-trip contract: Reset(sys) followed by RestoreState of a
+// snapshot taken at a checkpoint boundary must leave the policy
+// making bit-identical decisions to the policy that was snapshotted.
+type StateSnapshotter interface {
+	SnapshotState(enc *snapbuf.Encoder, sc SnapshotContext)
+	RestoreState(dec *snapbuf.Decoder, sc SnapshotContext) error
+}
+
+// ErrNoSnapshot reports a policy (or inner wrapped policy) that does
+// not implement StateSnapshotter: its run state cannot be captured,
+// so the engine refuses to snapshot rather than silently dropping it.
+var ErrNoSnapshot = errors.New("sim: policy does not support snapshot/restore")
+
+// JobRef implements SnapshotContext over the ready queue.
+func (e *Engine) JobRef(j *JobState) int {
+	if j == nil {
+		return -1
+	}
+	if i := j.heapIndex; i >= 0 && i < len(e.active.jobs) && e.active.jobs[i] == j {
+		return i
+	}
+	return -1
+}
+
+// JobAt implements SnapshotContext.
+func (e *Engine) JobAt(ref int) *JobState {
+	if ref < 0 || ref >= len(e.active.jobs) {
+		return nil
+	}
+	return e.active.jobs[ref]
+}
+
+// Snapshot serializes the engine's complete dynamic state — clock,
+// ready queue (in exact heap-array order, which the floating-point
+// summation order of the policies depends on), release cursors,
+// energy/cycle accounting, and the policy's run state — at a Step
+// boundary. The bytes carry no framing; internal/snapshot wraps them
+// with magic, version, and checksum. Snapshot fails on an errored
+// engine and on policies that do not implement StateSnapshotter.
+func (e *Engine) Snapshot() ([]byte, error) {
+	if e.err != nil {
+		return nil, fmt.Errorf("sim: cannot snapshot an errored engine: %w", e.err)
+	}
+	sp, ok := e.cfg.Policy.(StateSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, e.cfg.Policy.Name())
+	}
+	enc := snapbuf.NewEncoder()
+	enc.Bool(e.began)
+	if !e.began {
+		return enc.Bytes(), nil
+	}
+	enc.Bool(e.ended)
+	enc.Float64(e.t)
+	enc.Float64(e.horizon) // config-consistency check on restore
+	enc.Float64(e.curSpeed)
+	enc.Bool(e.speedSet)
+	enc.Ints(e.nextIdx)
+
+	// Ready queue in verbatim array order. nomNext/actualNext are
+	// pure functions of nextIdx (k·Period and the stateless jitter
+	// hash) and are recomputed on restore.
+	enc.Int(len(e.active.jobs))
+	for _, j := range e.active.jobs {
+		enc.Int(j.TaskIndex)
+		enc.Int(j.Index)
+		enc.Float64(j.Release)
+		enc.Float64(j.AbsDeadline)
+		enc.Float64(j.WCET)
+		enc.Float64(j.AET)
+		enc.Float64(j.Executed)
+		enc.Float64(j.Speed)
+		enc.Float64(j.Priority)
+		enc.Bool(j.Started)
+	}
+	enc.Int(e.JobRef(e.running))
+
+	r := &e.res
+	enc.Float64(r.BusyEnergy)
+	enc.Float64(r.IdleEnergy)
+	enc.Float64(r.SwitchEnergy)
+	enc.Int(r.JobsReleased)
+	enc.Int(r.JobsCompleted)
+	enc.Int(r.DeadlineMisses)
+	enc.Int(r.SpeedSwitches)
+	enc.Int(r.Preemptions)
+	enc.Int(r.Decisions)
+	enc.Float64(r.IdleTime)
+	enc.Int(r.Sleeps)
+	enc.Float64(r.SleepTime)
+	enc.Float64(r.WorkDone)
+	enc.Float64(r.SpeedTimeIntegral)
+
+	sp.SnapshotState(enc, e)
+	return enc.Bytes(), nil
+}
+
+// RestoreEngine builds an engine for cfg and rewinds it to the state
+// captured by Snapshot. cfg must describe the same simulation the
+// snapshot was taken from (the snapshot envelope binds the scenario
+// key; this layer additionally cross-checks structural invariants
+// and fails closed on any mismatch). On error the returned engine is
+// nil — no partially restored engine ever escapes.
+func RestoreEngine(cfg Config, state []byte) (*Engine, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.restoreState(state); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	return e, nil
+}
+
+func (e *Engine) restoreState(state []byte) error {
+	sp, ok := e.cfg.Policy.(StateSnapshotter)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSnapshot, e.cfg.Policy.Name())
+	}
+	dec := snapbuf.NewDecoder(state)
+	began := dec.Bool()
+	if !began {
+		return dec.Finish() // pre-start snapshot: the fresh engine IS the state
+	}
+	e.began = true
+	e.ended = dec.Bool()
+	e.t = dec.Float64()
+	if h := dec.Float64(); dec.Err() == nil && h != e.horizon {
+		return fmt.Errorf("snapshot horizon %v does not match configured horizon %v", h, e.horizon)
+	}
+	e.curSpeed = dec.Float64()
+	e.speedSet = dec.Bool()
+	nextIdx := dec.Ints()
+	if dec.Err() == nil && len(nextIdx) != len(e.nextIdx) {
+		return fmt.Errorf("snapshot has %d release cursors for %d tasks", len(nextIdx), len(e.nextIdx))
+	}
+
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n < 0 || n > dec.Remaining()/8 {
+		return fmt.Errorf("implausible ready-queue length %d", n)
+	}
+	// Pre-size to at least the task count so later releases keep the
+	// no-realloc property of a fresh engine's ready queue.
+	capJobs := n
+	if nt := e.cfg.TaskSet.N(); nt > capJobs {
+		capJobs = nt
+	}
+	jobs := make([]*JobState, n, capJobs)
+	for i := range jobs {
+		j := &JobState{heapIndex: i}
+		j.TaskIndex = dec.Int()
+		j.Index = dec.Int()
+		j.Release = dec.Float64()
+		j.AbsDeadline = dec.Float64()
+		j.WCET = dec.Float64()
+		j.AET = dec.Float64()
+		j.Executed = dec.Float64()
+		j.Speed = dec.Float64()
+		j.Priority = dec.Float64()
+		j.Started = dec.Bool()
+		jobs[i] = j
+	}
+	runningRef := dec.Int()
+
+	var res Result
+	res.Policy = e.res.Policy
+	res.BusyEnergy = dec.Float64()
+	res.IdleEnergy = dec.Float64()
+	res.SwitchEnergy = dec.Float64()
+	res.JobsReleased = dec.Int()
+	res.JobsCompleted = dec.Int()
+	res.DeadlineMisses = dec.Int()
+	res.SpeedSwitches = dec.Int()
+	res.Preemptions = dec.Int()
+	res.Decisions = dec.Int()
+	res.IdleTime = dec.Float64()
+	res.Sleeps = dec.Int()
+	res.SleepTime = dec.Float64()
+	res.WorkDone = dec.Float64()
+	res.SpeedTimeIntegral = dec.Float64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	// Structural validation before committing anything further: task
+	// indices in range, job identity consistent with the task set,
+	// and the heap invariant intact (the array is stored verbatim; a
+	// corrupted order would silently change dispatch decisions).
+	ntasks := e.cfg.TaskSet.N()
+	for i, j := range jobs {
+		if j.TaskIndex < 0 || j.TaskIndex >= ntasks {
+			return fmt.Errorf("job %d: task index %d out of range", i, j.TaskIndex)
+		}
+		if j.Index < 0 {
+			return fmt.Errorf("job %d: negative job index %d", i, j.Index)
+		}
+	}
+	for i := range nextIdx {
+		if nextIdx[i] < 0 {
+			return fmt.Errorf("task %d: negative release cursor", i)
+		}
+	}
+	h := jobHeap{jobs: jobs, byPriority: e.active.byPriority}
+	for i := 1; i < len(jobs); i++ {
+		if h.Less(i, (i-1)/2) {
+			return fmt.Errorf("ready queue heap invariant violated at index %d", i)
+		}
+	}
+	if runningRef < -1 || runningRef >= n {
+		return fmt.Errorf("running-job reference %d out of range", runningRef)
+	}
+
+	// Commit the engine state.
+	copy(e.nextIdx, nextIdx)
+	ts := e.cfg.TaskSet
+	for i := range e.nextIdx {
+		e.nomNext[i] = float64(e.nextIdx[i]) * ts.Tasks[i].Period
+		e.actualNext[i] = e.jitteredRelease(i, e.nextIdx[i])
+	}
+	e.rel.dirty = true
+	e.active.jobs = jobs
+	e.running = nil
+	if runningRef >= 0 {
+		e.running = jobs[runningRef]
+	}
+	e.res = res
+
+	// Policy: Reset re-derives bindings, scratch, and configuration
+	// against the restored engine; RestoreState then overwrites the
+	// mutable run state. The order matters — Reset must never run
+	// after RestoreState.
+	e.cfg.Policy.Reset(e)
+	if err := sp.RestoreState(dec, e); err != nil {
+		return err
+	}
+	return dec.Finish()
+}

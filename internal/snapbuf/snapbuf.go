@@ -1,0 +1,246 @@
+// Package snapbuf is the low-level binary codec underneath the
+// checkpoint/restore subsystem (internal/snapshot). It is a leaf
+// package — sim, core, dvs, and audit all encode their run state
+// through it, and the snapshot package frames the result — so it must
+// not import anything from this module.
+//
+// The format is deliberately primitive: fixed-width little-endian
+// scalars with length-prefixed strings and slices, no field names, no
+// self-description. Self-description lives one layer up (the snapshot
+// envelope carries magic, version, and checksum); at this layer the
+// writer and reader are the same release of the same binary walking
+// the same struct fields in the same order, which is exactly the
+// determinism contract the round-trip tests pin. Floats travel as
+// their IEEE-754 bit patterns, so a restored value is the identical
+// float64 — including NaN payloads and signed infinities used as
+// sentinels — not a nearest-parse approximation.
+//
+// Decoding is sticky-error: the first failure (truncation, an
+// oversized length prefix) poisons the Decoder, every later read
+// returns zero values, and Err/Finish report the first cause. Callers
+// therefore decode a whole section and check once at the end.
+package snapbuf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports that the payload ended before the value being
+// decoded was complete.
+var ErrTruncated = errors.New("snapbuf: truncated payload")
+
+// Encoder appends values to a growing byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload. The slice aliases the encoder's
+// buffer; callers must not append to the encoder afterwards.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint64 appends v as 8 little-endian bytes.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Int appends v as a two's-complement 64-bit value.
+func (e *Encoder) Int(v int) { e.Uint64(uint64(int64(v))) }
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends the IEEE-754 bit pattern of v, preserving it
+// exactly (NaN payloads and infinity sentinels included).
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uint64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Float64s appends a length-prefixed []float64.
+func (e *Encoder) Float64s(v []float64) {
+	e.Uint64(uint64(len(v)))
+	for _, x := range v {
+		e.Float64(x)
+	}
+}
+
+// Ints appends a length-prefixed []int.
+func (e *Encoder) Ints(v []int) {
+	e.Uint64(uint64(len(v)))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// Decoder reads values back in encoding order, with a sticky error.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b. The decoder does not copy b;
+// the caller must not mutate it while decoding.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns the sticky error if any, and otherwise an error when
+// undecoded bytes remain — trailing garbage means writer and reader
+// disagree about the field walk, which must fail closed.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("snapbuf: %d trailing bytes after decode", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uint64 reads 8 little-endian bytes.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Uint8 reads a single byte.
+func (d *Decoder) Uint8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// Int reads a two's-complement 64-bit value.
+func (d *Decoder) Int() int { return int(int64(d.Uint64())) }
+
+// Bool reads a 0/1 byte; any other value is a decode failure.
+func (d *Decoder) Bool() bool {
+	v := d.Uint8()
+	if d.err != nil {
+		return false
+	}
+	if v > 1 {
+		d.fail(fmt.Errorf("snapbuf: invalid bool byte %#x", v))
+		return false
+	}
+	return v == 1
+}
+
+// Float64 reads an IEEE-754 bit pattern.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// sliceLen validates a decoded length prefix against the remaining
+// payload (elemSize bytes per element), so corrupt or adversarial
+// input cannot force a huge allocation before truncation is noticed.
+func (d *Decoder) sliceLen(elemSize int) int {
+	n := d.Uint64()
+	if d.err != nil {
+		return 0
+	}
+	if max := uint64(d.Remaining()); elemSize > 0 && n > max/uint64(elemSize) {
+		d.fail(fmt.Errorf("snapbuf: length prefix %d exceeds remaining payload (%d bytes): %w",
+			n, d.Remaining(), ErrTruncated))
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.sliceLen(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Float64s reads a length-prefixed []float64 (nil when empty).
+func (d *Decoder) Float64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.Float64()
+	}
+	return v
+}
+
+// Bytes reads exactly n raw bytes (no length prefix; the caller
+// carries the length out of band). The returned slice is a copy.
+func (d *Decoder) Bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.buf[d.off:])
+	d.off += n
+	return v
+}
+
+// Ints reads a length-prefixed []int (nil when empty).
+func (d *Decoder) Ints() []int {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = d.Int()
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+package snapbuf
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint64(0)
+	e.Uint64(math.MaxUint64)
+	e.Int(-42)
+	e.Int(1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint8(0xAB)
+	e.Float64(3.141592653589793)
+	e.Float64(math.Inf(-1))
+	e.Float64(math.Copysign(0, -1))
+	e.String("")
+	e.String("hello, 世界")
+	e.Float64s(nil)
+	e.Float64s([]float64{1, math.Inf(1), -0.5})
+	e.Ints([]int{-1, 0, 7})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint64(); got != 0 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := d.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Int(); got != 1<<40 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if got := d.Float64(); got != 3.141592653589793 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := d.Float64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("Float64 lost the -0 sign bit: %v", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Float64s(); got != nil {
+		t.Errorf("Float64s = %v, want nil", got)
+	}
+	got := d.Float64s()
+	if len(got) != 3 || got[0] != 1 || !math.IsInf(got[1], 1) || got[2] != -0.5 {
+		t.Errorf("Float64s = %v", got)
+	}
+	ints := d.Ints()
+	if len(ints) != 3 || ints[0] != -1 || ints[1] != 0 || ints[2] != 7 {
+		t.Errorf("Ints = %v", ints)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestNaNBitPatternPreserved(t *testing.T) {
+	// A quiet NaN with a payload must survive the round trip exactly.
+	bits := uint64(0x7ff800000000beef)
+	e := NewEncoder()
+	e.Float64(math.Float64frombits(bits))
+	d := NewDecoder(e.Bytes())
+	if got := math.Float64bits(d.Float64()); got != bits {
+		t.Errorf("NaN bits = %#x, want %#x", got, bits)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.Uint64(7)
+	e.Float64s([]float64{1, 2, 3})
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uint64()
+		d.Float64s()
+		if err := d.Finish(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: Finish = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uint64() // fails: truncated
+	if d.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	// Every later read must be a harmless zero value.
+	if v := d.Float64(); v != 0 {
+		t.Errorf("post-error Float64 = %v", v)
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("post-error String = %q", v)
+	}
+	if v := d.Ints(); v != nil {
+		t.Errorf("post-error Ints = %v", v)
+	}
+	if !errors.Is(d.Finish(), ErrTruncated) {
+		t.Errorf("Finish = %v, want ErrTruncated", d.Finish())
+	}
+}
+
+func TestOversizedLengthPrefixFailsFast(t *testing.T) {
+	// A corrupt length prefix claiming ~2^61 elements must fail
+	// before any allocation, not OOM.
+	e := NewEncoder()
+	e.Uint64(math.MaxUint64 / 4)
+	d := NewDecoder(e.Bytes())
+	if v := d.Float64s(); v != nil {
+		t.Errorf("Float64s on corrupt prefix = %v", v)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("Bool(2) must fail")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	e := NewEncoder()
+	e.Uint64(1)
+	e.Uint8(9)
+	d := NewDecoder(e.Bytes())
+	d.Uint64()
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish with trailing bytes must fail")
+	}
+}

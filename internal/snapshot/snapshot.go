@@ -1,0 +1,224 @@
+// Package snapshot frames simulation checkpoints as versioned,
+// self-describing, integrity-checked byte envelopes.
+//
+// The engine's sim.(*Engine).Snapshot produces raw state bytes with
+// no framing; this package wraps them for storage and the wire:
+//
+//	offset  size  field
+//	0       8     magic "DVSSNAP\x00"
+//	8       8     format version (little-endian uint64)
+//	16      8     body length N (little-endian uint64)
+//	24      N     body (snapbuf: scenario key, sim time, engine
+//	              state, optional auditor state)
+//	24+N    32    SHA-256 over bytes [0, 24+N)
+//
+// Decoding is strict and fails closed: bad magic, an unknown (or
+// future) version, a truncated payload, a checksum mismatch, or
+// trailing bytes after the checksum each yield a typed error and no
+// partial state. The scenario key binds a snapshot to the exact
+// simulation request it was taken from; Restore refuses a snapshot
+// whose key differs from the caller's, so a checkpoint can never be
+// resumed against a different scenario's configuration.
+//
+// Version policy: the version is bumped on any change to the body
+// layout (including policy/analyzer codec changes in the packages
+// below). Readers accept exactly the versions they know; there is no
+// best-effort decoding of newer snapshots.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dvsslack/internal/audit"
+	"dvsslack/internal/sim"
+	"dvsslack/internal/snapbuf"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// magic identifies a dvsslack snapshot envelope.
+var magic = [8]byte{'D', 'V', 'S', 'S', 'N', 'A', 'P', 0}
+
+const (
+	headerLen   = 8 + 8 + 8 // magic + version + body length
+	checksumLen = sha256.Size
+)
+
+// Typed decode failures. All of them fail closed: Decode returns no
+// envelope, Restore returns no engine, and a caller-supplied auditor
+// is left untouched.
+var (
+	// ErrBadMagic reports bytes that are not a snapshot envelope.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a dvsslack snapshot)")
+	// ErrVersion reports an unknown or future format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated reports an envelope shorter than its header and
+	// length field claim.
+	ErrTruncated = errors.New("snapshot: truncated envelope")
+	// ErrChecksum reports an integrity failure: the payload does not
+	// hash to the stored checksum.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrTrailingData reports extra bytes after the checksum.
+	ErrTrailingData = errors.New("snapshot: trailing data after envelope")
+	// ErrKeyMismatch reports a restore against a different scenario
+	// than the snapshot was captured from.
+	ErrKeyMismatch = errors.New("snapshot: scenario key mismatch")
+)
+
+// MaxSnapshotBytes caps the envelope size accepted by Decode and by
+// the dvsd restore endpoint. Real snapshots are a few KB; the cap
+// only exists to bound what a hostile payload can make a server hold.
+const MaxSnapshotBytes = 16 << 20
+
+// Envelope is the decoded content of a snapshot.
+type Envelope struct {
+	// ScenarioKey is the canonical key of the simulation request this
+	// snapshot was captured from (server.ScenarioKey).
+	ScenarioKey string
+	// SimTime is the simulation clock at the checkpoint, for
+	// observability; the authoritative clock travels inside Engine.
+	SimTime float64
+	// Engine is the raw engine state from sim.(*Engine).Snapshot.
+	Engine []byte
+	// Audit is the auditor's shadow state, or nil if the run was not
+	// audited.
+	Audit []byte
+}
+
+// Encode frames env as a versioned, checksummed envelope.
+func Encode(env *Envelope) []byte {
+	body := snapbuf.NewEncoder()
+	body.String(env.ScenarioKey)
+	body.Float64(env.SimTime)
+	body.Uint64(uint64(len(env.Engine)))
+	bodyBytes := append(body.Bytes(), env.Engine...)
+	tail := snapbuf.NewEncoder()
+	tail.Bool(env.Audit != nil)
+	bodyBytes = append(bodyBytes, tail.Bytes()...)
+	bodyBytes = append(bodyBytes, env.Audit...)
+
+	out := make([]byte, 0, headerLen+len(bodyBytes)+checksumLen)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(bodyBytes)))
+	out = append(out, bodyBytes...)
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...)
+}
+
+// Decode parses and verifies an envelope. It checks, in order: size
+// bounds, magic, version, declared body length, checksum, and strict
+// body decoding with no trailing bytes at either layer.
+func Decode(data []byte) (*Envelope, error) {
+	if len(data) > MaxSnapshotBytes {
+		return nil, fmt.Errorf("snapshot: envelope of %d bytes exceeds limit %d", len(data), MaxSnapshotBytes)
+	}
+	if len(data) < headerLen+checksumLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the fixed framing", ErrTruncated, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint64(data[8:16])
+	if version != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads version %d)", ErrVersion, version, Version)
+	}
+	bodyLen := binary.LittleEndian.Uint64(data[16:24])
+	if bodyLen != uint64(len(data)-headerLen-checksumLen) {
+		if bodyLen > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: body length %d exceeds envelope", ErrTruncated, bodyLen)
+		}
+		return nil, fmt.Errorf("%w: %d bytes after the declared body", ErrTrailingData,
+			uint64(len(data)-headerLen-checksumLen)-bodyLen)
+	}
+	payloadEnd := headerLen + int(bodyLen)
+	sum := sha256.Sum256(data[:payloadEnd])
+	var stored [checksumLen]byte
+	copy(stored[:], data[payloadEnd:])
+	if sum != stored {
+		return nil, ErrChecksum
+	}
+
+	dec := snapbuf.NewDecoder(data[headerLen:payloadEnd])
+	env := &Envelope{}
+	env.ScenarioKey = dec.String()
+	env.SimTime = dec.Float64()
+	engLen := dec.Uint64()
+	if dec.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, dec.Err())
+	}
+	if engLen > uint64(dec.Remaining()) {
+		return nil, fmt.Errorf("%w: engine state of %d bytes exceeds body", ErrTruncated, engLen)
+	}
+	env.Engine = dec.Bytes(int(engLen))
+	hasAudit := dec.Bool()
+	if dec.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, dec.Err())
+	}
+	if hasAudit {
+		env.Audit = dec.Bytes(dec.Remaining())
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTrailingData, err)
+	}
+	return env, nil
+}
+
+// Capture snapshots a running engine (and its auditor, if any) into a
+// framed envelope bound to scenarioKey. The engine must be between
+// Step calls; Capture does not advance it.
+func Capture(scenarioKey string, e *sim.Engine, aud *audit.Auditor) ([]byte, error) {
+	engState, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	env := &Envelope{ScenarioKey: scenarioKey, SimTime: e.Now(), Engine: engState}
+	if aud != nil {
+		enc := snapbuf.NewEncoder()
+		aud.SnapshotState(enc)
+		env.Audit = enc.Bytes()
+	}
+	return Encode(env), nil
+}
+
+// Restore decodes data, verifies it was captured from scenarioKey,
+// and rebuilds the engine (and auditor, when aud is non-nil) to the
+// checkpointed state. cfg must be rebuilt from the same simulation
+// request that produced scenarioKey — including cfg.Observer pointing
+// at aud if the original run was audited.
+//
+// On any error the returned engine is nil and aud is unmodified
+// (auditor state commits only after its full payload validates). A
+// nil-error return means the engine will replay the remainder of the
+// run bit-identically to the run the snapshot was taken from.
+func Restore(data []byte, scenarioKey string, cfg sim.Config, aud *audit.Auditor) (*sim.Engine, error) {
+	env, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if env.ScenarioKey != scenarioKey {
+		return nil, fmt.Errorf("%w: snapshot is for %.12s…, request is %.12s…",
+			ErrKeyMismatch, env.ScenarioKey, scenarioKey)
+	}
+	if aud != nil && env.Audit == nil {
+		return nil, errors.New("snapshot: request is audited but the snapshot carries no auditor state")
+	}
+	e, err := sim.RestoreEngine(cfg, env.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if aud != nil {
+		dec := snapbuf.NewDecoder(env.Audit)
+		if err := aud.RestoreState(dec); err != nil {
+			return nil, fmt.Errorf("snapshot: auditor restore: %w", err)
+		}
+		if err := dec.Finish(); err != nil {
+			return nil, fmt.Errorf("snapshot: auditor restore: %w", err)
+		}
+	}
+	return e, nil
+}
